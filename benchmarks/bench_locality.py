@@ -1,0 +1,89 @@
+"""E11 (Sections 1, 2.6): locality makes the dual mapping cheap.
+
+"More recent studies of general purpose (university) Unix file usage
+indicate a strong degree of file reference locality... The Ficus file
+system design takes advantage of these locality observations to avoid
+much of the overhead previously encountered in building on top of an
+existing Unix file system implementation."
+
+Sweep Zipf skew (locality strength) and cache size; disk reads per open
+must fall as locality rises — the opposite of what sank the early AFS
+prototype's dual mapping ([19]).
+"""
+
+import pytest
+
+from repro.sim import DaemonConfig, FicusSystem, HostConfig
+from repro.workload import ZipfReferenceGenerator, hit_ratio_estimate
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+SKEWS = [0.0, 0.75, 1.5, 2.25]
+
+
+def build_populated_host(cache_blocks: int = 48):
+    config = HostConfig(cache_blocks=cache_blocks, name_cache_size=64)
+    system = FicusSystem(["solo"], daemon_config=QUIET, host_config=config)
+    host = system.host("solo")
+    fs = host.fs()
+    gen = ZipfReferenceGenerator(num_directories=8, files_per_directory=12, skew=1.0, seed=9)
+    for directory in gen.directories:
+        fs.mkdir("/" + directory)
+    for ref in gen.files:
+        fs.write_file("/" + ref.path, f"contents of {ref.path}".encode())
+    return system, host, fs
+
+
+def replay(skew: float, cache_blocks: int = 48, references: int = 1000):
+    system, host, fs = build_populated_host(cache_blocks)
+    gen = ZipfReferenceGenerator(num_directories=8, files_per_directory=12, skew=skew, seed=9)
+    trace = gen.trace(references)
+    host.ufs.cache.invalidate_all()
+    host.ufs.namecache.invalidate_all()
+    before = host.device.counters.snapshot()
+    for ref in trace:
+        fs.read_file("/" + ref.path)
+    reads = host.device.counters.delta_since(before).reads
+    return reads / references, hit_ratio_estimate(trace, 20)
+
+
+class TestShape:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {skew: replay(skew) for skew in SKEWS}
+
+    def test_stronger_locality_means_fewer_ios(self, sweep):
+        ios = [sweep[s][0] for s in SKEWS]
+        assert all(a >= b for a, b in zip(ios, ios[1:])), ios
+
+    def test_high_locality_open_is_nearly_free(self, sweep):
+        """With strong locality the dual mapping approaches zero I/Os per
+        open — the Section 6 'recently accessed' case dominating."""
+        assert sweep[SKEWS[-1]][0] < sweep[SKEWS[0]][0] / 3
+
+    def test_report(self, sweep, capsys):
+        with capsys.disabled():
+            print("\n[E11] disk reads per open vs reference locality (48-block cache):")
+            print(f"{'zipf skew':>10} | {'locality':>9} | {'reads/open':>10}")
+            for skew in SKEWS:
+                ios, locality = sweep[skew]
+                print(f"{skew:>10.2f} | {locality:>9.3f} | {ios:>10.3f}")
+
+    def test_bigger_cache_compensates_for_weak_locality(self, capsys):
+        small = replay(0.0, cache_blocks=32)[0]
+        large = replay(0.0, cache_blocks=2048)[0]
+        with capsys.disabled():
+            print(f"\n[E11] uniform trace: 32-block cache {small:.3f} r/open, 2048-block {large:.3f} r/open")
+        assert large < small
+
+
+@pytest.mark.parametrize("skew", [0.0, 1.5])
+def test_bench_trace_replay(benchmark, skew):
+    system, host, fs = build_populated_host()
+    gen = ZipfReferenceGenerator(num_directories=8, files_per_directory=12, skew=skew, seed=9)
+    trace = gen.trace(200)
+
+    def run():
+        for ref in trace:
+            fs.read_file("/" + ref.path)
+
+    benchmark(run)

@@ -1,0 +1,132 @@
+"""E10 (Section 2.3): smuggling operations through the lookup service.
+
+"We overloaded the lookup service by encoding an open/close request as a
+null-terminated ASCII string of sufficient length to be passed on by NFS
+without interpretation or interference."  Footnote 2: "The reduction in
+the maximum length of a file name component from 255 to about 200 does
+not seem to be a significant loss: we've never seen a component of even
+length 40."
+
+Shape tests: the encoded open/close traverses a real NFS hop and has its
+effect at the far physical layer; plain vnode open/close does NOT; the
+encoding overhead leaves roughly 200 characters of user name.
+"""
+
+import pytest
+
+from repro.physical import max_user_name_length, op_close, op_open
+from repro.sim import DaemonConfig, FicusSystem
+from repro.ufs import MAX_NAME_LEN
+from repro.util import FicusFileHandle, VolumeId, FileId
+from repro.vv import VersionVector
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+def remote_world():
+    """Logical layer on 'client', the only replica on 'server'."""
+    system = FicusSystem(["server", "client"], root_volume_hosts=["server"], daemon_config=QUIET)
+    return system, system.host("server"), system.host("client")
+
+
+class TestShape:
+    def test_open_close_effective_across_nfs(self):
+        """Through the smuggled lookup, a 3-write session on a REMOTE
+        replica still counts as one update."""
+        system, server, client = remote_world()
+        fs = client.fs()
+        with fs.open("/f", "w") as f:
+            f.write(b"one")
+            f.write(b"two")
+            f.write(b"three")
+        volrep = system.root_locations[0].volrep
+        store = server.physical.store_for(volrep)
+        fh = next(e.fh for e in store.read_entries(store.root_handle()) if e.name == "f")
+        assert store.read_file_aux(store.root_handle(), fh).vv.total_updates == 1
+
+    def test_plain_vnode_open_is_dropped_by_nfs(self):
+        """The problem the encoding solves: a plain open on an NFS client
+        vnode never reaches the server's physical layer."""
+        system, server, client = remote_world()
+        nfs_mount = client.fabric.nfs_mount("server")
+        remote_root = nfs_mount.root()
+        remote_root.open()
+        assert nfs_mount.counters.by_op.get("open-dropped") == 1
+        assert "open" not in server.physical.counters.by_op
+
+    def test_name_budget_about_200(self, capsys):
+        budget = max_user_name_length()
+        open_budget = MAX_NAME_LEN - len(
+            op_open(FicusFileHandle(VolumeId(2**32 - 1, 2**32 - 1), FileId(2**32 - 1, 2**32 - 1)))
+        )
+        with capsys.disabled():
+            print(
+                f"\n[E10] name component budget: UFS limit={MAX_NAME_LEN}, "
+                f"after open/close encoding={open_budget}, after insert encoding={budget} "
+                "(paper: 255 -> about 200)"
+            )
+        assert 195 <= open_budget <= 215
+        assert budget >= 150
+
+    def test_long_user_names_survive_up_to_budget(self):
+        system, server, client = remote_world()
+        fs = client.fs()
+        budget = max_user_name_length()
+        longest = "n" * budget
+        fs.write_file("/" + longest, b"fits")
+        assert fs.read_file("/" + longest) == b"fits"
+        from repro.errors import NameTooLong
+
+        with pytest.raises(NameTooLong):
+            fs.write_file("/" + "n" * (budget + 1), b"too long")
+
+    def test_hostile_names_round_trip_the_encoding(self):
+        system, server, client = remote_world()
+        fs = client.fs()
+        for name in ["with space", "eq=uals", "pi|pe", "back\\slash", "mixed =|\\ all"]:
+            fs.write_file("/" + name, name.encode())
+            assert fs.read_file("/" + name) == name.encode()
+
+    def test_commit_over_lookup_across_nfs(self):
+        system, server, client = remote_world()
+        fs = client.fs()
+        fs.write_file("/f", b"v1")
+        volrep = system.root_locations[0].volrep
+        store = server.physical.store_for(volrep)
+        fh = next(e.fh for e in store.read_entries(store.root_handle()) if e.name == "f")
+        remote_root = client.fabric.volume_root("server", volrep)
+        from repro.physical import op_commit, op_shadow
+
+        remote_root.lookup(op_shadow(fh)).write(0, b"v2 via smuggled commit")
+        remote_root.lookup(op_commit(fh, VersionVector({1: 5})))
+        assert fs.read_file("/f") == b"v2 via smuggled commit"
+
+
+def test_bench_smuggled_open_close_roundtrip(benchmark):
+    system, server, client = remote_world()
+    fs = client.fs()
+    fs.write_file("/f", b"x")
+    volrep = system.root_locations[0].volrep
+    remote_root = client.fabric.volume_root("server", volrep)
+    store = server.physical.store_for(volrep)
+    fh = next(e.fh for e in store.read_entries(store.root_handle()) if e.name == "f")
+
+    def run():
+        remote_root.lookup(op_open(fh))
+        remote_root.lookup(op_close(fh))
+
+    benchmark(run)
+
+
+def test_bench_session_write_vs_bare_writes(benchmark):
+    """Cost of a 5-write session (incl. the two smuggled lookups)."""
+    system, server, client = remote_world()
+    fs = client.fs()
+    fs.write_file("/f", b"x")
+
+    def run():
+        with fs.open("/f", "a") as f:
+            for _ in range(5):
+                f.write(b"y")
+
+    benchmark(run)

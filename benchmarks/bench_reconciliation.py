@@ -1,0 +1,119 @@
+"""E8 (Section 3.3): reconciliation — convergence, repair, conflict rates.
+
+Reproduces the behavioural claims: conflicting directory updates are
+detected and automatically repaired; conflicting file updates are detected
+and reported (never merged); divergent replicas converge.  The benchmark
+half measures reconciliation cost as a function of divergence size.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import DaemonConfig, FicusSystem
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+def diverge(system, creates_per_side: int, shared_conflicts: int, seed: int = 5):
+    """Partition a two-host system and make both sides busy."""
+    rng = random.Random(seed)
+    fs_a = system.host("a").fs()
+    fs_b = system.host("b").fs()
+    for i in range(shared_conflicts):
+        fs_a.write_file(f"/shared{i}", b"base")
+    system.reconcile_everything()
+    system.partition([{"a"}, {"b"}])
+    for i in range(creates_per_side):
+        fs_a.write_file(f"/a-{i}", f"A{i}".encode())
+        fs_b.write_file(f"/b-{i}", f"B{i}".encode())
+    for i in range(shared_conflicts):
+        fs_a.write_file(f"/shared{i}", f"a-version-{i}".encode())
+        fs_b.write_file(f"/shared{i}", f"b-version-{i}".encode())
+    system.heal()
+
+
+class TestShape:
+    def test_divergent_directories_converge(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        diverge(system, creates_per_side=10, shared_conflicts=0)
+        system.reconcile_everything()
+        tree_a = sorted(system.host("a").fs().walk_tree())
+        tree_b = sorted(system.host("b").fs().walk_tree())
+        assert tree_a == tree_b
+        assert len(tree_a) == 20
+
+    def test_file_conflicts_counted_exactly(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        diverge(system, creates_per_side=0, shared_conflicts=7)
+        system.reconcile_everything()
+        reports = {r.name for r in system.host("a").conflict_log.unresolved()}
+        assert reports == {f"shared{i}" for i in range(7)}
+
+    def test_uncontested_updates_never_reported(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        diverge(system, creates_per_side=15, shared_conflicts=0)
+        system.reconcile_everything()
+        assert system.total_conflicts() == 0
+
+    def test_conflict_rate_scales_with_contention(self, capsys):
+        rows = []
+        for conflicts in [0, 2, 5, 10]:
+            system = FicusSystem(["a", "b"], daemon_config=QUIET)
+            diverge(system, creates_per_side=5, shared_conflicts=conflicts)
+            system.reconcile_everything()
+            found = len(system.host("a").conflict_log.unresolved())
+            rows.append((conflicts, found))
+        with capsys.disabled():
+            print("\n[E8] contended files -> reported conflicts (uncontested creates: 5/side):")
+            for contended, found in rows:
+                print(f"  {contended:>3} contended -> {found:>3} reported")
+        assert [found for _, found in rows] == [0, 2, 5, 10]
+
+    def test_three_replica_ring_converges(self):
+        system = FicusSystem(["a", "b", "c"], daemon_config=QUIET)
+        system.partition([{"a"}, {"b"}, {"c"}])
+        for name in ["a", "b", "c"]:
+            system.host(name).fs().write_file(f"/from-{name}", name.encode())
+        system.heal()
+        system.reconcile_everything()
+        trees = [sorted(system.host(n).fs().walk_tree()) for n in ["a", "b", "c"]]
+        assert trees[0] == trees[1] == trees[2]
+
+    def test_recon_cost_scales_with_divergence(self, capsys):
+        """Ops applied during reconciliation track the divergence size."""
+        rows = []
+        for n in [5, 20, 50]:
+            system = FicusSystem(["a", "b"], daemon_config=QUIET)
+            diverge(system, creates_per_side=n, shared_conflicts=0)
+            host = system.host("a")
+            result = host.recon_daemon.tick()[0]
+            rows.append((n, result.inserts_applied, result.files_pulled))
+        with capsys.disabled():
+            print("\n[E8] one recon pass after n creates/side:")
+            for n, inserts, pulls in rows:
+                print(f"  n={n:>3}: inserts={inserts:>3} pulls={pulls:>3}")
+        assert all(inserts == n for n, inserts, _ in rows)
+
+
+@pytest.mark.parametrize("divergence", [5, 25, 100])
+def test_bench_reconciliation_pass(benchmark, divergence):
+    def setup():
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        diverge(system, creates_per_side=divergence, shared_conflicts=0)
+        return (system,), {}
+
+    def run(system):
+        system.host("a").recon_daemon.tick()
+        system.host("b").recon_daemon.tick()
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+def test_bench_no_op_recon(benchmark):
+    """Steady-state cost: reconciling already-identical replicas."""
+    system = FicusSystem(["a", "b"], daemon_config=QUIET)
+    for i in range(20):
+        system.host("a").fs().write_file(f"/f{i}", b"x")
+    system.reconcile_everything()
+    benchmark(lambda: system.host("a").recon_daemon.tick())

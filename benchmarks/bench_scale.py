@@ -1,0 +1,96 @@
+"""E13 (Section 1's scale argument): cost as the system grows.
+
+The paper's design decisions are all justified by scale: no global state,
+no quorums, per-replica independence.  These benchmarks check that the
+implementation actually has the scaling shape those decisions buy:
+
+* a local update's cost does not grow with the number of HOSTS in the
+  system (only notification fan-out grows, and those are fire-and-forget
+  datagrams);
+* pathname translation cost is independent of cluster size;
+* one reconciliation pass is pairwise — its cost tracks divergence, not
+  cluster size;
+* autograft lookup cost is independent of how many volumes exist.
+"""
+
+import pytest
+
+from repro.sim import DaemonConfig, FicusSystem
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+CLUSTER_SIZES = [2, 4, 8, 16]
+
+
+def build(n_hosts: int, replicas: int = 2) -> FicusSystem:
+    hosts = [f"h{i}" for i in range(n_hosts)]
+    return FicusSystem(hosts, root_volume_hosts=hosts[:replicas], daemon_config=QUIET)
+
+
+class TestShape:
+    def test_update_rpc_cost_independent_of_cluster_size(self, capsys):
+        """Writes touch one replica + datagrams; RPCs must not scale with
+        the host count."""
+        rows = {}
+        for n in CLUSTER_SIZES:
+            system = build(n)
+            fs = system.host("h0").fs()
+            fs.write_file("/warm", b"x")
+            before = system.network.stats.rpcs_sent
+            fs.write_file("/f", b"payload")
+            rows[n] = system.network.stats.rpcs_sent - before
+        with capsys.disabled():
+            print("\n[E13] RPCs for one create+write vs cluster size:", rows)
+        assert max(rows.values()) <= min(rows.values()) + 2
+
+    def test_datagram_fanout_tracks_replicas_not_hosts(self):
+        """Notification goes to hosts holding OTHER replicas — adding
+        non-replica hosts must not add datagrams."""
+        fanouts = {}
+        for n in [4, 16]:
+            system = build(n, replicas=3)
+            fs = system.host("h0").fs()
+            before = system.network.stats.datagrams_sent
+            fs.write_file("/f", b"x")
+            fanouts[n] = system.network.stats.datagrams_sent - before
+        assert fanouts[4] == fanouts[16]
+
+    def test_lookup_cost_independent_of_cluster_size(self, capsys):
+        rows = {}
+        for n in CLUSTER_SIZES:
+            system = build(n)
+            fs = system.host("h0").fs()
+            fs.makedirs("/a/b/c")
+            fs.write_file("/a/b/c/leaf", b"x")
+            fs.read_file("/a/b/c/leaf")
+            before = system.network.stats.rpcs_sent
+            fs.read_file("/a/b/c/leaf")
+            rows[n] = system.network.stats.rpcs_sent - before
+        with capsys.disabled():
+            print("[E13] RPCs for one deep read vs cluster size:", rows)
+        assert max(rows.values()) <= min(rows.values()) + 2
+
+    def test_recon_is_pairwise(self):
+        """One reconciliation pass contacts ONE peer regardless of how
+        many replicas the volume has."""
+        costs = {}
+        for replicas in [2, 4, 8]:
+            system = build(8, replicas=replicas)
+            system.host("h0").fs().write_file("/f", b"x")
+            before = system.network.stats.rpcs_sent
+            system.host("h1").recon_daemon.tick()
+            costs[replicas] = system.network.stats.rpcs_sent - before
+        assert max(costs.values()) <= min(costs.values()) + 2
+
+
+@pytest.mark.parametrize("n_hosts", CLUSTER_SIZES)
+def test_bench_write_at_scale(benchmark, n_hosts):
+    system = build(n_hosts)
+    fs = system.host("h0").fs()
+    counter = iter(range(10**9))
+    benchmark(lambda: fs.write_file(f"/f{next(counter)}", b"scaled"))
+
+
+@pytest.mark.parametrize("n_hosts", [2, 8])
+def test_bench_cluster_construction(benchmark, n_hosts):
+    benchmark(build, n_hosts)

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Regenerate the full evaluation in one command.
+
+Prints every experiment table from EXPERIMENTS.md (E1–E13 and the A1–A4
+ablations) by invoking the same measurement code the pytest benchmarks
+use.  Pure stdout, no pytest required:
+
+    python benchmarks/report_all.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_layers import STACKS, op_script  # noqa: E402
+from bench_open_io import PAPER_EXTRA_IOS, ficus_open_reads, ufs_open_reads  # noqa: E402
+
+
+def e1_layers() -> None:
+    results = {name: op_script(factory()) for name, factory in STACKS.items()}
+    baseline = next(iter(results.values()))
+    verdict = "identical" if all(r == baseline for r in results.values()) else "DIVERGED"
+    print(f"[E1] op-script results across {', '.join(results)}: {verdict}")
+
+
+def e2_crossing() -> None:
+    import time
+
+    from bench_crossing import DEPTHS, make_stack
+
+    samples = {}
+    for depth in DEPTHS:
+        _, root = make_stack(depth)
+        probe = root.lookup("probe")
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(2000):
+                probe.getattr()
+            best = min(best, (time.perf_counter() - start) / 2000)
+        samples[depth] = best
+    per_crossing = (samples[max(DEPTHS)] - samples[0]) / max(DEPTHS)
+    print(
+        f"[E2] layer crossing: base getattr {samples[0] * 1e6:.2f} us, "
+        f"per-crossing {per_crossing * 1e6:.2f} us "
+        f"({per_crossing / samples[0]:.1%} of base)"
+    )
+
+
+def e3_e4_open_io() -> None:
+    ufs_cold, ufs_warm = ufs_open_reads()
+    ficus_cold, ficus_warm = ficus_open_reads()
+    print(
+        f"[E3] cold open: UFS={ufs_cold} reads, Ficus={ficus_cold} reads, "
+        f"extra={ficus_cold - ufs_cold} (paper: {PAPER_EXTRA_IOS})"
+    )
+    print(f"[E4] warm open: UFS={ufs_warm} reads, Ficus={ficus_warm} reads (paper: 0 extra)")
+
+
+def e5_availability() -> None:
+    from repro.workload import AvailabilityExperiment
+
+    policies = ["one-copy", "primary-copy", "majority-voting", "weighted-voting", "quorum-consensus"]
+    print("[E5] write availability (5 replicas, 120 epochs/point):")
+    print(f"  {'p(down)':>8} | " + " | ".join(f"{p:>16}" for p in policies))
+    for prob in [0.1, 0.3, 0.5, 0.7, 0.9]:
+        results = AvailabilityExperiment(
+            num_hosts=5, link_failure_prob=prob, epochs=120, seed=42
+        ).run()
+        row = " | ".join(f"{results[p].write_availability:>16.3f}" for p in policies)
+        print(f"  {prob:>8.1f} | {row}")
+
+
+def e6_propagation() -> None:
+    from bench_propagation import DELAYS, run_with_delay
+
+    print("[E6] propagation delay vs pulls (bursty updates):")
+    for delay in DELAYS:
+        updates, pulls, copied = run_with_delay(delay)
+        print(f"  min_age={delay:>6.1f}s: {updates} updates -> {pulls} pulls ({copied} bytes)")
+
+
+def e7_commit() -> None:
+    from bench_commit import SIZES, insert_file, make_world, point_update_via_shadow
+
+    print("[E7] shadow-commit cost of a 16-byte point update:")
+    for size in SIZES:
+        _, _, store, root = make_world()
+        fh, vnode = insert_file(store, root, "f", size)
+        writes = point_update_via_shadow(store, root, fh, vnode.read_all())
+        print(f"  file {size >> 10:>5} KiB -> {writes:>5} device writes")
+
+
+def e8_reconciliation() -> None:
+    from bench_reconciliation import QUIET, diverge
+
+    from repro.sim import FicusSystem
+
+    print("[E8] contended files -> reported conflicts:")
+    for contended in [0, 2, 5, 10]:
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        diverge(system, creates_per_side=5, shared_conflicts=contended)
+        system.reconcile_everything()
+        found = len(system.host("a").conflict_log.unresolved())
+        print(f"  {contended:>3} contended -> {found:>3} reported")
+
+
+def e9_grafting() -> None:
+    from bench_grafting import NUM_VOLUMES, build_forest
+
+    system, hub = build_forest()
+    fs = hub.fs()
+    for i in range(NUM_VOLUMES):
+        fs.read_file(f"/vol{i}/data")
+    print(
+        f"[E9] autografting: {hub.logical.grafter.grafts_performed} grafts for "
+        f"{NUM_VOLUMES} volumes, {hub.logical.grafter.active_grafts} active"
+    )
+
+
+def e10_overload() -> None:
+    from repro.physical import max_user_name_length, op_open
+    from repro.ufs import MAX_NAME_LEN
+    from repro.util import FicusFileHandle, FileId, VolumeId
+
+    worst = FicusFileHandle(VolumeId(2**32 - 1, 2**32 - 1), FileId(2**32 - 1, 2**32 - 1))
+    open_budget = MAX_NAME_LEN - len(op_open(worst))
+    print(
+        f"[E10] name budget: {MAX_NAME_LEN} -> {open_budget} after open/close encoding "
+        f"(paper: 'about 200'); {max_user_name_length()} after insert encoding"
+    )
+
+
+def e11_locality() -> None:
+    from bench_locality import SKEWS, replay
+
+    print("[E11] disk reads per open vs Zipf skew (48-block cache):")
+    for skew in SKEWS:
+        ios, locality = replay(skew)
+        print(f"  skew={skew:>5.2f} locality={locality:>5.3f} -> {ios:>6.3f} reads/open")
+
+
+def e13_scale() -> None:
+    from bench_scale import CLUSTER_SIZES, build
+
+    rows = {}
+    for n in CLUSTER_SIZES:
+        system = build(n)
+        fs = system.host("h0").fs()
+        fs.write_file("/warm", b"x")
+        before = system.network.stats.rpcs_sent
+        fs.write_file("/f", b"payload")
+        rows[n] = system.network.stats.rpcs_sent - before
+    print(f"[E13] RPCs per create+write vs cluster size: {rows}")
+
+
+def a1_to_a4_ablations() -> None:
+    from repro.devel import measure_crossing_penalty
+    from repro.storage import BlockDevice
+    from repro.ufs import Ufs
+    from repro.vnode import UfsLayer
+
+    penalty = measure_crossing_penalty(
+        lambda: UfsLayer(Ufs.mkfs(BlockDevice(2048), num_inodes=128)), ops=500
+    )
+    print(
+        f"[A1] address-space crossing: kernel {penalty.kernel_seconds_per_op * 1e6:.1f} us "
+        f"vs user-level {penalty.user_seconds_per_op * 1e6:.1f} us ({penalty.factor:.1f}x)"
+    )
+
+    from bench_ablations import TestA3NotificationValue
+
+    probe = TestA3NotificationValue()
+    fast = probe._staleness(drop_notifications=False)
+    slow = probe._staleness(drop_notifications=True)
+    print(f"[A3] staleness: with notification {fast:.1f}s, reconciliation-only {slow:.1f}s")
+
+    from bench_ablations import TestA4SessionCoalescing
+
+    coalesce = TestA4SessionCoalescing()
+    with_session = coalesce._aux_writes_for_k_writes(True)
+    without = coalesce._aux_writes_for_k_writes(False)
+    print(f"[A4] 20 appends: {with_session} writes in a session vs {without} bare")
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Ficus reproduction — full evaluation regeneration")
+    print("=" * 72)
+    for section in (
+        e1_layers,
+        e2_crossing,
+        e3_e4_open_io,
+        e5_availability,
+        e6_propagation,
+        e7_commit,
+        e8_reconciliation,
+        e9_grafting,
+        e10_overload,
+        e11_locality,
+        e13_scale,
+        a1_to_a4_ablations,
+    ):
+        section()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""One-copy availability versus the classical replica-control protocols.
+
+Runs the five policies (one-copy, primary copy, majority voting, weighted
+voting, quorum consensus) against identical random partition traces and
+prints read/write availability — the comparison behind the paper's claim
+that "one-copy availability provides strictly greater availability than
+primary copy, voting, weighted voting, and quorum consensus."
+
+Run:  python examples/availability_comparison.py
+"""
+
+from repro.workload import AvailabilityExperiment
+
+
+def main() -> None:
+    print("availability vs link failure probability (5 replicas, 200 epochs)\n")
+    header = f"{'p(link down)':>12} | " + " | ".join(
+        f"{name:>16}" for name in ["one-copy", "primary-copy", "majority", "weighted", "quorum"]
+    )
+    print("WRITE availability")
+    print(header)
+    print("-" * len(header))
+    for prob in [0.1, 0.3, 0.5, 0.7, 0.9]:
+        results = AvailabilityExperiment(
+            num_hosts=5, link_failure_prob=prob, epochs=200, seed=42
+        ).run()
+        row = [
+            results["one-copy"].write_availability,
+            results["primary-copy"].write_availability,
+            results["majority-voting"].write_availability,
+            results["weighted-voting"].write_availability,
+            results["quorum-consensus"].write_availability,
+        ]
+        print(f"{prob:>12.1f} | " + " | ".join(f"{v:>16.3f}" for v in row))
+
+    print("\nREAD availability")
+    print(header)
+    print("-" * len(header))
+    for prob in [0.1, 0.3, 0.5, 0.7, 0.9]:
+        results = AvailabilityExperiment(
+            num_hosts=5, link_failure_prob=prob, epochs=200, seed=42
+        ).run()
+        row = [
+            results["one-copy"].read_availability,
+            results["primary-copy"].read_availability,
+            results["majority-voting"].read_availability,
+            results["weighted-voting"].read_availability,
+            results["quorum-consensus"].read_availability,
+        ]
+        print(f"{prob:>12.1f} | " + " | ".join(f"{v:>16.3f}" for v in row))
+
+    print("\nthe price of optimism: conflicts detected by one-copy (others: 0 by construction)")
+    for prob in [0.1, 0.5, 0.9]:
+        results = AvailabilityExperiment(
+            num_hosts=5, link_failure_prob=prob, epochs=200, seed=42
+        ).run()
+        print(f"  p={prob:.1f}: {results['one-copy'].conflicts} conflicts over 200 epochs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Partitioned update, conflict detection, and reconciliation.
+
+Reproduces the paper's core scenario end to end:
+
+1. a file replicated on three hosts;
+2. the network partitions; both sides keep updating (one-copy
+   availability — no quorum, no primary);
+3. directory updates merge automatically after healing (including a
+   same-name collision, repaired deterministically);
+4. the conflicting file update is detected via version vectors and
+   reported to the owner, who resolves it;
+5. the resolution propagates everywhere.
+
+Run:  python examples/partitioned_update.py
+"""
+
+from repro.recon import resolve_file_conflict
+from repro.sim import FicusSystem
+
+
+def main() -> None:
+    system = FicusSystem(["west", "east", "mobile"])
+    west, east = system.host("west").fs(), system.host("east").fs()
+
+    print("== shared state before the partition ==")
+    west.write_file("/shared.txt", b"the original text")
+    system.run_for(30.0)
+    print("east reads:", east.read_file("/shared.txt"))
+
+    print("\n== network partitions: {west} | {east, mobile} ==")
+    system.partition([{"west"}, {"east", "mobile"}])
+
+    # both sides update the SAME file: a true conflict
+    west.write_file("/shared.txt", b"edited on the west coast")
+    east.write_file("/shared.txt", b"edited on the east coast")
+
+    # both sides create the SAME new name: a directory conflict
+    west.write_file("/minutes.txt", b"west's meeting minutes")
+    east.write_file("/minutes.txt", b"east's meeting minutes")
+
+    # and each side makes an uncontested change too
+    west.mkdir("/west-only")
+    east.mkdir("/east-only")
+    print("west and east diverged while partitioned")
+
+    print("\n== heal and let the reconciliation daemons run ==")
+    system.heal()
+    system.run_for(300.0)
+    system.reconcile_everything()
+
+    print("\n== directory conflicts were repaired automatically ==")
+    print("west sees:", sorted(west.listdir("/")))
+    print("east sees:", sorted(east.listdir("/")))
+    both_minutes = [n for n in west.listdir("/") if n.startswith("minutes.txt")]
+    for name in both_minutes:
+        print(f"  {name}: {west.read_file('/' + name)!r}")
+
+    print("\n== the file conflict was reported, not silently merged ==")
+    for name, host in system.hosts.items():
+        for report in host.conflict_log.unresolved():
+            print(
+                f"  {name}: CONFLICT on {report.name!r} "
+                f"local={report.local_vv} remote={report.remote_vv} (from {report.remote_host})"
+            )
+
+    print("\n== the owner resolves it ==")
+    owner = system.host("east")
+    report = owner.conflict_log.unresolved()[0]
+    volrep = next(l.volrep for l in system.root_locations if l.host == "east")
+    store = owner.physical.store_for(volrep)
+    resolve_file_conflict(
+        store,
+        report.parent_fh,
+        report.fh,
+        b"merged: east text + west text",
+        [report.local_vv, report.remote_vv],
+        owner.conflict_log,
+    )
+    system.run_for(300.0)
+    system.reconcile_everything()
+    print("west now reads:", west.read_file("/shared.txt"))
+    print("east now reads:", east.read_file("/shared.txt"))
+    print("unresolved conflicts:", system.total_conflicts())
+
+
+if __name__ == "__main__":
+    main()

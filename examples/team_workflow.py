@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A week of distributed teamwork on Ficus — the paper's motivating world.
+
+The intro imagines "a transparent, reliable, distributed file system
+encompassing a million hosts geographically dispersed across the
+continent" where "partial operation is the normal, not exceptional,
+status".  This example plays out that world at desk scale:
+
+* a five-host deployment (two offices + a laptop),
+* a shared project volume replicated in both offices,
+* a selective "cache" replica on the laptop (text only, no binaries),
+* a workweek of edits punctuated by outages, a laptop gone roaming,
+  conflicting edits, and an office host crash —
+* and at the end, one converged, conflict-free namespace.
+
+Run:  python examples/team_workflow.py
+"""
+
+from repro.physical.policy import GlobPolicy
+from repro.recon import resolve_file_conflict
+from repro.sim import DaemonConfig, FicusSystem
+
+
+def main() -> None:
+    hosts = ["la-1", "la-2", "ny-1", "ny-2", "laptop"]
+    system = FicusSystem(
+        hosts,
+        root_volume_hosts=["la-1", "ny-1", "laptop"],
+        daemon_config=DaemonConfig(propagation_period=5.0, recon_period=60.0),
+    )
+    # the laptop replica only keeps text; binaries stay entry-only there
+    laptop_volrep = next(l.volrep for l in system.root_locations if l.host == "laptop")
+    system.host("laptop").physical.set_storage_policy(
+        laptop_volrep, GlobPolicy(include=("*.txt", "*.md", "*.py"))
+    )
+
+    la = system.host("la-1").fs()
+    ny = system.host("ny-1").fs()
+    laptop = system.host("laptop").fs()
+
+    print("== Monday: the LA office seeds the project ==")
+    la.makedirs("/ficus/src")
+    la.write_file("/ficus/README.md", b"# Ficus\nOptimistic replication.\n")
+    la.write_file("/ficus/src/main.py", b"print('hello')\n")
+    la.write_file("/ficus/build.bin", b"\x7fELF" + b"\x00" * 500)
+    system.run_for(300.0)
+    print("NY reads README:", ny.read_file("/ficus/README.md").decode().splitlines()[0])
+
+    print("\n== Tuesday: the transcontinental link fails; both coasts work on ==")
+    system.partition([{"la-1", "la-2"}, {"ny-1", "ny-2", "laptop"}])
+    la.write_file("/ficus/src/parser.py", b"# LA's new parser\n")
+    ny.write_file("/ficus/src/network.py", b"# NY's networking\n")
+    # ...and both coasts edit the SAME file: a conflict brews
+    la.write_file("/ficus/README.md", b"# Ficus (LA edition)\n")
+    ny.write_file("/ficus/README.md", b"# Ficus (NY edition)\n")
+    print("LA and NY both kept working — one-copy availability")
+
+    print("\n== Wednesday: the link heals; reconciliation merges the work ==")
+    system.heal()
+    system.run_for(600.0)
+    system.reconcile_everything()
+    print("merged tree at NY:", sorted(n for n in ny.listdir("/ficus/src")))
+    conflicts = [r for h in system.hosts.values() for r in h.conflict_log.unresolved()]
+    print(f"{len(set((r.name) for r in conflicts))} conflicting file(s) reported:",
+          sorted({r.name for r in conflicts}))
+
+    print("\n== Thursday: the owner resolves the README conflict ==")
+    owner = system.host("ny-1")
+    report = owner.conflict_log.unresolved()[0]
+    volrep = next(l.volrep for l in system.root_locations if l.host == "ny-1")
+    resolve_file_conflict(
+        owner.physical.store_for(volrep),
+        report.parent_fh,
+        report.fh,
+        b"# Ficus (merged: LA + NY)\n",
+        [report.local_vv, report.remote_vv],
+        owner.conflict_log,
+    )
+    system.run_for(600.0)
+    system.reconcile_everything()
+    print("LA now reads:", la.read_file("/ficus/README.md").decode().strip())
+    print("unresolved conflicts:", system.total_conflicts())
+
+    print("\n== Friday: laptop goes roaming; ny-1 crashes; life goes on ==")
+    system.partition([{"laptop"}, {"la-1", "la-2", "ny-1", "ny-2"}])
+    print("roaming laptop reads main.py:", laptop.read_file("/ficus/src/main.py").decode().strip())
+    try:
+        laptop.read_file("/ficus/build.bin")
+    except Exception as exc:
+        print(f"laptop never stored build.bin (selective replica): {type(exc).__name__}")
+    laptop.write_file("/ficus/notes.txt", b"ideas from the train\n")
+    system.heal()
+    system.host("ny-1").crash()
+    la.write_file("/ficus/src/fix.py", b"# made while ny-1 was down\n")
+    system.host("ny-1").restart(system)
+    system.run_for(600.0)
+    system.reconcile_everything()
+
+    print("\n== the weekend audit: everything converged ==")
+    trees = {name: sorted(system.host(name).fs().walk_tree()) for name in ["la-1", "ny-1"]}
+    assert trees["la-1"] == trees["ny-1"], "offices diverged!"
+    print("la-1 and ny-1 agree on", len(trees["la-1"]), "paths")
+    print("ny-1 reads the train notes:", ny.read_file("/ficus/notes.txt").decode().strip())
+    from repro.physical import ficus_fsck
+
+    for name, host in system.hosts.items():
+        for volrep, store in host.physical.stores.items():
+            report = ficus_fsck(store)
+            assert report.clean, report.problems
+    print("ficus-fsck clean on every replica")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Locality trace replay: why the dual-mapping scheme is cheap.
+
+The early AFS prototype's dual name mapping performed badly ([19] in the
+paper); Ficus argues its version is fine because the on-disk organization
+parallels the name space, letting the UFS buffer cache and name cache
+exploit the file-reference locality Floyd measured.  This example replays
+Zipf traces of varying skew against a live Ficus host and reports disk
+I/Os per open — watch the cost collapse as locality rises.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.sim import DaemonConfig, FicusSystem, HostConfig
+from repro.workload import ZipfReferenceGenerator, hit_ratio_estimate
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+#: A deliberately small buffer cache so the working set does not fit and
+#: locality (not capacity) decides the hit rate.
+SMALL = HostConfig(cache_blocks=48, name_cache_size=64)
+
+
+def replay(skew: float, references: int = 1500) -> tuple[float, float, float]:
+    system = FicusSystem(["solo"], daemon_config=QUIET, host_config=SMALL)
+    host = system.host("solo")
+    fs = host.fs()
+
+    gen = ZipfReferenceGenerator(num_directories=8, files_per_directory=12, skew=skew, seed=9)
+    for directory in gen.directories:
+        fs.mkdir("/" + directory)
+    for ref in gen.files:
+        fs.write_file("/" + ref.path, f"contents of {ref.path}".encode())
+
+    trace = gen.trace(references)
+    host.ufs.cache.invalidate_all()
+    host.ufs.namecache.invalidate_all()
+    before = host.device.counters.snapshot()
+    for ref in trace:
+        fs.read_file("/" + ref.path)
+    delta = host.device.counters.delta_since(before)
+    ios_per_open = delta.reads / references
+    locality = hit_ratio_estimate(trace, working_set=20)
+    hit_rate = host.ufs.cache.stats.hit_rate
+    return locality, ios_per_open, hit_rate
+
+
+def main() -> None:
+    print("Zipf trace replay on one Ficus host (96 files, cold caches)\n")
+    print(f"{'skew':>6} | {'locality':>9} | {'disk reads/open':>15} | {'buffer hit rate':>15}")
+    print("-" * 56)
+    for skew in [0.0, 0.5, 1.0, 1.5, 2.0]:
+        locality, ios, hits = replay(skew)
+        print(f"{skew:>6.1f} | {locality:>9.3f} | {ios:>15.3f} | {hits:>15.3f}")
+    print(
+        "\nHigher skew (stronger locality) -> warm caches -> the dual "
+        "mapping costs almost nothing per open, matching Section 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

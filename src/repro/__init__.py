@@ -1,0 +1,21 @@
+"""repro — a reproduction of the Ficus replicated file system (USENIX 1990).
+
+Ficus is an optimistically replicated file system built as a stack of vnode
+layers.  This package reimplements the whole stack in Python over simulated
+storage and a simulated network:
+
+* :mod:`repro.storage` — block devices with exact I/O accounting
+* :mod:`repro.ufs` — the UFS substrate (inodes, buffer cache, DNLC)
+* :mod:`repro.vnode` — the stackable vnode layer framework
+* :mod:`repro.net` / :mod:`repro.nfs` — simulated network and stateless NFS
+* :mod:`repro.vv` — version vectors (Parker et al.)
+* :mod:`repro.physical` / :mod:`repro.logical` — the two Ficus layers
+* :mod:`repro.recon` — file and directory reconciliation
+* :mod:`repro.volume` — volumes, graft points, autografting
+* :mod:`repro.baselines` — primary copy / voting / quorum comparators
+* :mod:`repro.sim` — discrete-event cluster simulation and daemons
+* :mod:`repro.workload` — trace and partition generators
+* :mod:`repro.core` — the public :class:`~repro.core.FicusFileSystem` facade
+"""
+
+__version__ = "1.0.0"

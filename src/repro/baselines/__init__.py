@@ -1,0 +1,21 @@
+"""Baseline replica-control protocols for the availability comparison."""
+
+from repro.baselines.registers import (
+    MajorityVotingRegister,
+    OneCopyRegister,
+    PrimaryCopyRegister,
+    QuorumConsensusRegister,
+    ReplicatedRegister,
+    SiteState,
+    WeightedVotingRegister,
+)
+
+__all__ = [
+    "MajorityVotingRegister",
+    "OneCopyRegister",
+    "PrimaryCopyRegister",
+    "QuorumConsensusRegister",
+    "ReplicatedRegister",
+    "SiteState",
+    "WeightedVotingRegister",
+]

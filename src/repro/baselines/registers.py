@@ -1,0 +1,353 @@
+"""Baseline replica-control protocols, implemented as working systems.
+
+Section 1 of the paper claims: "One-copy availability provides strictly
+greater availability than primary copy [2], voting [21], weighted voting
+[7], and quorum consensus [10]."  To reproduce that comparison honestly,
+each policy is implemented as a real replicated register over the same
+simulated network Ficus runs on: writes assemble their quorums with RPCs,
+version numbers resolve staleness, and partitions make calls fail exactly
+as they would for Ficus.
+
+All five policies expose the same interface (:class:`ReplicatedRegister`):
+
+* :class:`PrimaryCopyRegister` — Alsberg & Day: all updates at a primary.
+* :class:`MajorityVotingRegister` — Thomas: majority for read and write.
+* :class:`WeightedVotingRegister` — Gifford: per-site weights, r + w > N.
+* :class:`QuorumConsensusRegister` — Herlihy: configurable quorum sizes.
+* :class:`OneCopyRegister` — the Ficus policy: any single reachable
+  replica suffices for both reads and writes.  Its price is visible too:
+  reads may be stale and concurrent writes conflict (counted via version
+  vectors), which is exactly the trade the paper makes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import HostUnreachable, InvalidArgument, QuorumNotAvailable
+from repro.net import Network
+from repro.vv import VersionVector
+
+
+@dataclass
+class SiteState:
+    """Storage of one replica site."""
+
+    value: bytes = b""
+    version: int = 0
+    #: used only by the one-copy policy
+    vv: VersionVector = field(default_factory=VersionVector)
+
+
+class ReplicatedRegister(abc.ABC):
+    """One logical value replicated at a set of hosts."""
+
+    policy_name = "abstract"
+
+    def __init__(self, network: Network, sites: list[str], register_id: str = "reg"):
+        if not sites:
+            raise InvalidArgument("need at least one replica site")
+        self.network = network
+        self.sites = list(sites)
+        self.register_id = register_id
+        self.state: dict[str, SiteState] = {site: SiteState() for site in sites}
+        for site in sites:
+            network.register_rpc(site, f"{register_id}.read", self._make_read(site))
+            network.register_rpc(site, f"{register_id}.write", self._make_write(site))
+
+    def _make_read(self, site: str):
+        def handler() -> tuple[bytes, int, str]:
+            st = self.state[site]
+            return (st.value, st.version, st.vv.encode())
+
+        return handler
+
+    def _make_write(self, site: str):
+        def handler(value: bytes, version: int, vv_text: str) -> None:
+            st = self.state[site]
+            st.value = value
+            st.version = version
+            st.vv = VersionVector.decode(vv_text)
+
+        return handler
+
+    # -- per-site RPC helpers --
+
+    def _read_site(self, requester: str, site: str) -> tuple[bytes, int, VersionVector]:
+        value, version, vv_text = self.network.rpc(
+            requester, site, f"{self.register_id}.read"
+        )
+        return value, version, VersionVector.decode(vv_text)
+
+    def _write_site(
+        self, requester: str, site: str, value: bytes, version: int, vv: VersionVector
+    ) -> None:
+        self.network.rpc(
+            requester, site, f"{self.register_id}.write", value, version, vv.encode()
+        )
+
+    def _poll_sites(self, requester: str) -> dict[str, tuple[bytes, int, VersionVector]]:
+        """Read every reachable site; unreachable ones are skipped."""
+        replies = {}
+        for site in self.sites:
+            try:
+                replies[site] = self._read_site(requester, site)
+            except HostUnreachable:
+                continue
+        return replies
+
+    # -- the policy interface --
+
+    @abc.abstractmethod
+    def read(self, requester: str) -> bytes:
+        """Read the register; raises QuorumNotAvailable when not permitted."""
+
+    @abc.abstractmethod
+    def write(self, requester: str, value: bytes) -> None:
+        """Write the register; raises QuorumNotAvailable when not permitted."""
+
+
+class PrimaryCopyRegister(ReplicatedRegister):
+    """Alsberg & Day 1976: all updates funnel through a primary site.
+
+    Reads are served by any reachable copy (possibly stale); updates
+    require the primary, so a partition hiding the primary freezes all
+    writers — the availability gap Ficus exploits.
+    """
+
+    policy_name = "primary-copy"
+
+    def __init__(self, network: Network, sites: list[str], register_id: str = "reg", primary: str | None = None):
+        super().__init__(network, sites, register_id)
+        self.primary = primary or sites[0]
+        if self.primary not in sites:
+            raise InvalidArgument(f"primary {self.primary!r} is not a replica site")
+
+    def read(self, requester: str) -> bytes:
+        for site in self.sites:
+            try:
+                value, _, _ = self._read_site(requester, site)
+                return value
+            except HostUnreachable:
+                continue
+        raise QuorumNotAvailable("no reachable copy")
+
+    def write(self, requester: str, value: bytes) -> None:
+        try:
+            _, version, _ = self._read_site(requester, self.primary)
+            self._write_site(requester, self.primary, value, version + 1, VersionVector())
+        except HostUnreachable as exc:
+            raise QuorumNotAvailable("primary unreachable") from exc
+        # asynchronous best-effort propagation to the secondaries
+        for site in self.sites:
+            if site == self.primary:
+                continue
+            try:
+                self._write_site(
+                    requester, site, value, self.state[self.primary].version, VersionVector()
+                )
+            except HostUnreachable:
+                continue
+
+
+class MajorityVotingRegister(ReplicatedRegister):
+    """Thomas 1979: both reads and writes assemble a strict majority."""
+
+    policy_name = "majority-voting"
+
+    @property
+    def _majority(self) -> int:
+        return len(self.sites) // 2 + 1
+
+    def read(self, requester: str) -> bytes:
+        replies = self._poll_sites(requester)
+        if len(replies) < self._majority:
+            raise QuorumNotAvailable(
+                f"read quorum {self._majority} not met: {len(replies)} reachable"
+            )
+        return max(replies.values(), key=lambda r: r[1])[0]
+
+    def write(self, requester: str, value: bytes) -> None:
+        replies = self._poll_sites(requester)
+        if len(replies) < self._majority:
+            raise QuorumNotAvailable(
+                f"write quorum {self._majority} not met: {len(replies)} reachable"
+            )
+        version = max(r[1] for r in replies.values()) + 1
+        for site in replies:
+            self._write_site(requester, site, value, version, VersionVector())
+
+
+class WeightedVotingRegister(ReplicatedRegister):
+    """Gifford 1979: sites carry vote weights; r + w > total enforced."""
+
+    policy_name = "weighted-voting"
+
+    def __init__(
+        self,
+        network: Network,
+        sites: list[str],
+        register_id: str = "reg",
+        weights: dict[str, int] | None = None,
+        read_quorum: int | None = None,
+        write_quorum: int | None = None,
+    ):
+        super().__init__(network, sites, register_id)
+        self.weights = weights or {site: 1 for site in sites}
+        total = sum(self.weights[s] for s in sites)
+        self.read_quorum = read_quorum if read_quorum is not None else total // 2 + 1
+        self.write_quorum = write_quorum if write_quorum is not None else total // 2 + 1
+        if self.read_quorum + self.write_quorum <= total:
+            raise InvalidArgument(
+                f"r({self.read_quorum}) + w({self.write_quorum}) must exceed total votes ({total})"
+            )
+
+    def _reachable_votes(self, replies: dict) -> int:
+        return sum(self.weights[site] for site in replies)
+
+    def read(self, requester: str) -> bytes:
+        replies = self._poll_sites(requester)
+        if self._reachable_votes(replies) < self.read_quorum:
+            raise QuorumNotAvailable("read quorum votes not met")
+        return max(replies.values(), key=lambda r: r[1])[0]
+
+    def write(self, requester: str, value: bytes) -> None:
+        replies = self._poll_sites(requester)
+        if self._reachable_votes(replies) < self.write_quorum:
+            raise QuorumNotAvailable("write quorum votes not met")
+        version = max(r[1] for r in replies.values()) + 1
+        for site in replies:
+            self._write_site(requester, site, value, version, VersionVector())
+
+
+class QuorumConsensusRegister(ReplicatedRegister):
+    """Herlihy 1986: independent read/write quorum sizes, r + w > N."""
+
+    policy_name = "quorum-consensus"
+
+    def __init__(
+        self,
+        network: Network,
+        sites: list[str],
+        register_id: str = "reg",
+        read_quorum: int | None = None,
+        write_quorum: int | None = None,
+    ):
+        super().__init__(network, sites, register_id)
+        n = len(sites)
+        self.read_quorum = read_quorum if read_quorum is not None else n // 2 + 1
+        self.write_quorum = write_quorum if write_quorum is not None else n // 2 + 1
+        if self.read_quorum + self.write_quorum <= n:
+            raise InvalidArgument("r + w must exceed the number of replicas")
+
+    def read(self, requester: str) -> bytes:
+        replies = self._poll_sites(requester)
+        if len(replies) < self.read_quorum:
+            raise QuorumNotAvailable("read quorum not met")
+        return max(replies.values(), key=lambda r: r[1])[0]
+
+    def write(self, requester: str, value: bytes) -> None:
+        replies = self._poll_sites(requester)
+        if len(replies) < self.write_quorum:
+            raise QuorumNotAvailable("write quorum not met")
+        version = max(r[1] for r in replies.values()) + 1
+        for site in replies:
+            self._write_site(requester, site, value, version, VersionVector())
+
+
+class OneCopyRegister(ReplicatedRegister):
+    """The Ficus policy: any single reachable copy permits read AND write.
+
+    Writes land on one replica and bump its version vector; a best-effort
+    push propagates to whoever is reachable (standing in for notification
+    plus propagation).  Concurrent partitioned writes create version-vector
+    conflicts, counted in :attr:`conflicts_detected` — the cost side of
+    the availability trade, reported honestly.
+    """
+
+    policy_name = "one-copy"
+
+    def __init__(self, network: Network, sites: list[str], register_id: str = "reg"):
+        super().__init__(network, sites, register_id)
+        self._site_index = {site: i + 1 for i, site in enumerate(sites)}
+        self.conflicts_detected = 0
+        self.stale_reads = 0
+        self._write_counter = 0
+
+    def read(self, requester: str) -> bytes:
+        replies = self._poll_sites(requester)
+        if not replies:
+            raise QuorumNotAvailable("no reachable copy")
+        # most recent available: maximal version vector among reachable
+        items = list(replies.items())
+        best_site, best = items[0]
+        for site, reply in items[1:]:
+            if reply[2].strictly_dominates(best[2]) or (
+                reply[2].concurrent_with(best[2]) and reply[1] > best[1]
+            ):
+                best_site, best = site, reply
+        # staleness accounting: a strictly newer version exists somewhere
+        for site in self.sites:
+            if site in replies:
+                continue
+            if self.state[site].vv.strictly_dominates(best[2]):
+                self.stale_reads += 1
+                break
+        return best[0]
+
+    def write(self, requester: str, value: bytes) -> None:
+        target_reply = None
+        target_site = None
+        for site in self.sites:
+            try:
+                target_reply = self._read_site(requester, site)
+                target_site = site
+                break
+            except HostUnreachable:
+                continue
+        if target_site is None:
+            raise QuorumNotAvailable("no reachable copy")
+        self._write_counter += 1
+        new_vv = target_reply[2].bump(self._site_index[target_site])
+        self._write_site(requester, target_site, value, self._write_counter, new_vv)
+        # best-effort propagation; detect conflicts where it cannot win
+        for site in self.sites:
+            if site == target_site:
+                continue
+            try:
+                _, _, site_vv = self._read_site(requester, site)
+            except HostUnreachable:
+                continue
+            if new_vv.strictly_dominates(site_vv):
+                self._write_site(requester, site, value, self._write_counter, new_vv)
+            elif new_vv.concurrent_with(site_vv):
+                self.conflicts_detected += 1
+
+    def reconcile(self, requester: str) -> int:
+        """Merge all reachable replicas (post-partition healing).
+
+        Conflicting values merge deterministically (lexicographically
+        largest wins) under the merged version vector — a stand-in for
+        owner resolution so long experiments can proceed.  Returns the
+        number of conflicts resolved.
+        """
+        replies = self._poll_sites(requester)
+        if not replies:
+            return 0
+        merged_vv = VersionVector()
+        conflicts = 0
+        values = []
+        for value, version, vv in replies.values():
+            merged_vv = merged_vv.merge(vv)
+            values.append((value, version, vv))
+        maximal = [v for v in values if not any(o[2].strictly_dominates(v[2]) for o in values)]
+        distinct = {v[0] for v in maximal}
+        if len(distinct) > 1:
+            conflicts = len(distinct) - 1
+            self.conflicts_detected += conflicts
+        winner = max(maximal, key=lambda v: (v[0], v[1]))
+        self._write_counter += 1
+        for site in replies:
+            self._write_site(requester, site, winner[0], self._write_counter, merged_vv)
+        return conflicts

@@ -1,0 +1,5 @@
+"""Public Ficus API: the path-based facade applications program against."""
+
+from repro.core.filesystem import FicusFile, FicusFileSystem, StatResult
+
+__all__ = ["FicusFile", "FicusFileSystem", "StatResult"]

@@ -1,0 +1,23 @@
+"""Extension layers demonstrating the stackable architecture.
+
+The paper (Section 1): "We have used it to provide file distribution and
+replication; we expect to use it for performance monitoring, user
+authentication and encryption."  These three layers realize that
+expectation — each slips transparently into any vnode stack.
+"""
+
+from repro.layers.auth import AccessPolicy, AuthLayer, AuthVnode
+from repro.layers.crypt import CryptLayer, CryptVnode, Keystream
+from repro.layers.monitor import MonitorLayer, MonitorVnode, OpProfile
+
+__all__ = [
+    "AccessPolicy",
+    "AuthLayer",
+    "AuthVnode",
+    "CryptLayer",
+    "CryptVnode",
+    "Keystream",
+    "MonitorLayer",
+    "MonitorVnode",
+    "OpProfile",
+]

@@ -1,0 +1,138 @@
+"""A user-authentication vnode layer (paper Section 1's second example).
+
+Enforces an access-control policy *above* whatever storage sits below —
+without the storage layer knowing.  The policy is deliberately simple
+(per-uid allow/deny plus read-only users); the point is architectural:
+authentication slips into the stack as one more transparent layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PermissionDenied
+from repro.vnode.interface import (
+    ROOT_CRED,
+    Credential,
+    FileSystemLayer,
+    SetAttrs,
+    Vnode,
+)
+from repro.vnode.passthrough import NullLayer, PassthroughVnode
+
+
+@dataclass
+class AccessPolicy:
+    """Who may do what through this layer."""
+
+    #: uids allowed through at all (None = everyone)
+    allowed_uids: set[int] | None = None
+    #: uids restricted to read-only operations
+    read_only_uids: set[int] = field(default_factory=set)
+    #: uid 0 bypasses every check when True
+    root_bypasses: bool = True
+
+    def check(self, cred: Credential, mutating: bool) -> None:
+        if self.root_bypasses and cred.uid == 0:
+            return
+        if self.allowed_uids is not None and cred.uid not in self.allowed_uids:
+            raise PermissionDenied(f"uid {cred.uid} is not admitted by this layer")
+        if mutating and cred.uid in self.read_only_uids:
+            raise PermissionDenied(f"uid {cred.uid} is read-only through this layer")
+
+
+class AuthLayer(NullLayer):
+    """Pass-through layer that authenticates each credential."""
+
+    layer_name = "auth"
+
+    def __init__(self, lower: FileSystemLayer, policy: AccessPolicy, name: str = "auth"):
+        super().__init__(lower, name=name)
+        self.policy = policy
+        self.denials = 0
+
+    def wrap(self, lower: Vnode) -> "AuthVnode":
+        return AuthVnode(self, lower)
+
+    def check(self, cred: Credential, mutating: bool) -> None:
+        try:
+            self.policy.check(cred, mutating)
+        except PermissionDenied:
+            self.denials += 1
+            raise
+
+
+class AuthVnode(PassthroughVnode):
+    """Checks the credential before forwarding each operation."""
+
+    def __init__(self, layer: AuthLayer, lower: Vnode):
+        super().__init__(layer, lower)
+        self.layer: AuthLayer = layer
+
+    # -- reads --
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        self.layer.check(cred, mutating=False)
+        return super().read(offset, length, cred)
+
+    def getattr(self, cred: Credential = ROOT_CRED):
+        self.layer.check(cred, mutating=False)
+        return super().getattr(cred)
+
+    def readdir(self, cred: Credential = ROOT_CRED):
+        self.layer.check(cred, mutating=False)
+        return super().readdir(cred)
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.check(cred, mutating=False)
+        return super().lookup(name, cred)
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        self.layer.check(cred, mutating=False)
+        return super().readlink(cred)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.check(cred, mutating=False)
+        return super().access(mode, cred)
+
+    # -- mutations --
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        self.layer.check(cred, mutating=True)
+        return super().write(offset, data, cred)
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self.layer.check(cred, mutating=True)
+        super().truncate(size, cred)
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.check(cred, mutating=True)
+        super().setattr(attrs, cred)
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.check(cred, mutating=True)
+        return super().create(name, perm, cred)
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.check(cred, mutating=True)
+        return super().mkdir(name, perm, cred)
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.check(cred, mutating=True)
+        super().remove(name, cred)
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.check(cred, mutating=True)
+        super().rmdir(name, cred)
+
+    def rename(self, src_name: str, dst_dir: Vnode, dst_name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.check(cred, mutating=True)
+        super().rename(src_name, dst_dir, dst_name, cred)
+
+    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.check(cred, mutating=True)
+        super().link(target, name, cred)
+
+    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.check(cred, mutating=True)
+        return super().symlink(name, target, cred)

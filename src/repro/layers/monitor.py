@@ -1,0 +1,138 @@
+"""A performance-monitoring vnode layer.
+
+"We have used it to provide file distribution and replication; we expect
+to use it for **performance monitoring**, user authentication and
+encryption" (paper Section 1).  This layer demonstrates that expectation:
+slipped anywhere into a stack, it records per-operation call counts,
+latency sums, and byte volumes without the layers above or below
+noticing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.vnode.interface import (
+    ROOT_CRED,
+    Credential,
+    FileSystemLayer,
+    SetAttrs,
+    Vnode,
+)
+from repro.vnode.passthrough import NullLayer, PassthroughVnode
+
+
+@dataclass
+class OpProfile:
+    """Statistics for one vnode operation."""
+
+    calls: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class MonitorLayer(NullLayer):
+    """Pass-through layer that profiles every operation crossing it."""
+
+    layer_name = "monitor"
+
+    def __init__(self, lower: FileSystemLayer, name: str = "monitor"):
+        super().__init__(lower, name=name)
+        self.profile: dict[str, OpProfile] = {}
+
+    def wrap(self, lower: Vnode) -> "MonitorVnode":
+        return MonitorVnode(self, lower)
+
+    def record(self, op: str, seconds: float, error: bool, n_in: int = 0, n_out: int = 0) -> None:
+        prof = self.profile.setdefault(op, OpProfile())
+        prof.calls += 1
+        prof.total_seconds += seconds
+        if error:
+            prof.errors += 1
+        prof.bytes_in += n_in
+        prof.bytes_out += n_out
+
+    def report(self) -> str:
+        """Human-readable profile table."""
+        lines = [f"{'op':>10} | {'calls':>7} | {'errors':>6} | {'mean us':>9} | {'bytes':>10}"]
+        for op in sorted(self.profile):
+            prof = self.profile[op]
+            lines.append(
+                f"{op:>10} | {prof.calls:>7} | {prof.errors:>6} | "
+                f"{prof.mean_seconds * 1e6:>9.1f} | {prof.bytes_in + prof.bytes_out:>10}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.profile.clear()
+
+
+class MonitorVnode(PassthroughVnode):
+    """Wraps a lower vnode, timing each forwarded operation."""
+
+    def __init__(self, layer: MonitorLayer, lower: Vnode):
+        super().__init__(layer, lower)
+        self.layer: MonitorLayer = layer
+
+    def _timed(self, op: str, thunk, n_in: int = 0):
+        start = time.perf_counter()
+        try:
+            result = thunk()
+        except Exception:
+            self.layer.record(op, time.perf_counter() - start, error=True, n_in=n_in)
+            raise
+        n_out = len(result) if isinstance(result, (bytes, str)) else 0
+        self.layer.record(op, time.perf_counter() - start, error=False, n_in=n_in, n_out=n_out)
+        return result
+
+    # data-bearing operations get byte accounting; the rest just timing
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        return self._timed("read", lambda: self.lower.read(offset, length, cred))
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        def thunk():
+            return self.lower.write(offset, data, cred)
+
+        start = time.perf_counter()
+        try:
+            written = thunk()
+        except Exception:
+            self.layer.record("write", time.perf_counter() - start, error=True, n_in=len(data))
+            raise
+        self.layer.record("write", time.perf_counter() - start, error=False, n_in=written)
+        return written
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        return self.layer.wrap(self._timed("lookup", lambda: self.lower.lookup(name, cred)))
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        return self.layer.wrap(self._timed("create", lambda: self.lower.create(name, perm, cred)))
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        return self.layer.wrap(self._timed("mkdir", lambda: self.lower.mkdir(name, perm, cred)))
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self._timed("remove", lambda: self.lower.remove(name, cred))
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self._timed("rmdir", lambda: self.lower.rmdir(name, cred))
+
+    def getattr(self, cred: Credential = ROOT_CRED):
+        return self._timed("getattr", lambda: self.lower.getattr(cred))
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self._timed("setattr", lambda: self.lower.setattr(attrs, cred))
+
+    def readdir(self, cred: Credential = ROOT_CRED):
+        return self._timed("readdir", lambda: self.lower.readdir(cred))
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self._timed("truncate", lambda: self.lower.truncate(size, cred))

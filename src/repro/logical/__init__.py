@@ -1,0 +1,25 @@
+"""The Ficus logical layer: single-copy abstraction over replicas."""
+
+from repro.logical.fabric import PHYSICAL_SERVICE, Fabric
+from repro.logical.layer import (
+    READ_ANY,
+    READ_LATEST,
+    FicusLogicalLayer,
+    FileReplicaView,
+    ReplicaView,
+)
+from repro.logical.locks import LockManager
+from repro.logical.vnodes import LogicalDirVnode, LogicalFileVnode
+
+__all__ = [
+    "Fabric",
+    "FicusLogicalLayer",
+    "FileReplicaView",
+    "LockManager",
+    "LogicalDirVnode",
+    "LogicalFileVnode",
+    "PHYSICAL_SERVICE",
+    "READ_ANY",
+    "READ_LATEST",
+    "ReplicaView",
+]

@@ -1,0 +1,392 @@
+"""The Ficus logical layer.
+
+"The Ficus logical layer presents its clients ... with the abstraction
+that each file has only a single copy, although it may actually have many
+physical replicas.  The logical layer performs concurrency control on
+logical files, and implements a replica selection algorithm in accordance
+with the consistency policy in effect.  The default policy of one-copy
+availability is to select the most recent copy available.  The logical
+layer also oversees update propagation notification..." (Section 2.5).
+
+One instance runs per host.  It never touches storage itself: every
+access goes through a physical layer, local or across NFS, via the
+:class:`~repro.logical.fabric.Fabric`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    AllReplicasUnavailable,
+    FileNotFound,
+    HostUnreachable,
+    InvalidArgument,
+    StaleFileHandle,
+)
+from repro.logical.fabric import Fabric
+from repro.logical.locks import LockManager
+from repro.net import Network
+from repro.physical import (
+    AuxAttributes,
+    DirectoryEntry,
+    decode_directory,
+    volume_root_handle,
+)
+from repro.physical.wire import op_aux, op_close, op_open
+from repro.util import FicusFileHandle, VolumeId
+from repro.vnode.interface import FileSystemLayer, Vnode, read_whole
+from repro.volume import GraftTable, Grafter, ReplicaLocation
+from repro.vv import VersionVector
+
+#: Replica-selection policies for reads.
+READ_LATEST = "latest"  # the paper's default: most recent copy available
+READ_ANY = "any"  # first reachable copy (cheaper, weaker)
+
+
+@dataclass
+class ReplicaView:
+    """One reachable replica of a directory (or of a file through it)."""
+
+    location: ReplicaLocation
+    dir_vnode: Vnode
+
+
+@dataclass
+class FileReplicaView:
+    """One reachable, stored replica of a regular file."""
+
+    location: ReplicaLocation
+    dir_vnode: Vnode
+    vv: VersionVector
+
+
+class FicusLogicalLayer(FileSystemLayer):
+    """Per-host logical layer: the single-copy abstraction."""
+
+    layer_name = "ficus-logical"
+
+    def __init__(
+        self,
+        network: Network,
+        host_addr: str,
+        fabric: Fabric,
+        graft_table: GraftTable,
+        root_volume: VolumeId,
+        read_policy: str = READ_LATEST,
+    ):
+        super().__init__()
+        if read_policy not in (READ_LATEST, READ_ANY):
+            raise InvalidArgument(f"unknown read policy {read_policy!r}")
+        self.network = network
+        self.host_addr = host_addr
+        self.fabric = fabric
+        self.graft_table = graft_table
+        self.root_volume = root_volume
+        self.read_policy = read_policy
+        self.grafter = Grafter(network, host_addr)
+        self.locks = LockManager()
+        #: volume -> known replica locations (root volume seeded from the
+        #: graft table; others learned by autografting).
+        self._locations: dict[VolumeId, list[ReplicaLocation]] = {}
+        #: open-session pins: logical fh -> the replica taking this session
+        self._session_pins: dict[FicusFileHandle, ReplicaView] = {}
+        self.notifications_sent = 0
+
+    # -- locations ----------------------------------------------------------
+
+    def locations_for(self, volume: VolumeId) -> list[ReplicaLocation]:
+        cached = self._locations.get(volume)
+        if cached:
+            return cached
+        from_table = self.graft_table.locations(volume)
+        if from_table:
+            self._locations[volume] = from_table
+            return from_table
+        raise AllReplicasUnavailable(f"no known replica locations for {volume}")
+
+    def learn_locations(self, volume: VolumeId, locations: list[ReplicaLocation]) -> None:
+        if locations:
+            self._locations[volume] = sorted(
+                locations, key=lambda loc: loc.volrep.replica_id
+            )
+
+    def _candidate_order(self, volume: VolumeId) -> list[ReplicaLocation]:
+        locations = self.locations_for(volume)
+        local = [loc for loc in locations if loc.host == self.host_addr]
+        remote = [loc for loc in locations if loc.host != self.host_addr]
+        return local + remote
+
+    # -- replica iteration ----------------------------------------------------
+
+    def reachable_dirs(self, volume: VolumeId, fh: FicusFileHandle):
+        """Yield a :class:`ReplicaView` per reachable replica of a directory.
+
+        Replicas that are unreachable, or that do not (yet) store the
+        directory, are silently skipped — partial operation is normal.
+        """
+        for location in self._candidate_order(volume):
+            try:
+                dir_vnode = self.fabric.dir_by_handle(location.host, location.volrep, fh)
+            except (HostUnreachable, FileNotFound, StaleFileHandle):
+                continue
+            yield ReplicaView(location=location, dir_vnode=dir_vnode)
+
+    def first_dir(self, volume: VolumeId, fh: FicusFileHandle) -> ReplicaView:
+        """The first reachable replica of a directory (one-copy rule)."""
+        for view in self.reachable_dirs(volume, fh):
+            return view
+        raise AllReplicasUnavailable(f"no reachable replica stores directory {fh}")
+
+    def read_entries(self, volume: VolumeId, fh: FicusFileHandle) -> list[DirectoryEntry]:
+        """Directory entries, from the selected replica.
+
+        Under the default ``latest`` policy this is the directory replica
+        with a maximal version vector among those reachable — "select the
+        most recent copy available" applies to directories too, so a host
+        whose own replica has not yet reconciled still sees names created
+        elsewhere.  Under ``any``, the first reachable replica serves.
+        """
+        try:
+            best = self.select_dir_replica(volume, fh)
+            return decode_directory(read_whole(best.dir_vnode))
+        except StaleFileHandle:
+            # a server rebooted under us; its caches are scrubbed now,
+            # so a fresh selection resolves live handles
+            best = self.select_dir_replica(volume, fh)
+            return decode_directory(read_whole(best.dir_vnode))
+
+    def select_dir_replica(self, volume: VolumeId, fh: FicusFileHandle) -> ReplicaView:
+        """Pick the directory replica the read policy dictates."""
+        if self.read_policy == READ_ANY:
+            return self.first_dir(volume, fh)
+        views = list(self.reachable_dirs(volume, fh))
+        if len(views) == 1:
+            # only one copy reachable: it is trivially the most recent
+            # available, no version-vector probes needed
+            return views[0]
+        from repro.physical.wire import op_dir_aux
+
+        candidates: list[tuple[ReplicaView, VersionVector]] = []
+        for view in views:
+            try:
+                aux = AuxAttributes.from_bytes(read_whole(view.dir_vnode.lookup(op_dir_aux())))
+            except (HostUnreachable, FileNotFound, StaleFileHandle):
+                continue
+            candidates.append((view, aux.vv))
+        if not candidates:
+            raise AllReplicasUnavailable(f"no reachable replica stores directory {fh}")
+        maximal = [
+            (view, vv)
+            for view, vv in candidates
+            if not any(other.strictly_dominates(vv) for _, other in candidates)
+        ]
+        maximal.sort(key=lambda c: (-c[1].total_updates, c[0].location.volrep.replica_id))
+        return maximal[0][0]
+
+    # -- file replica selection -------------------------------------------------
+
+    def file_replicas(
+        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> list[FileReplicaView]:
+        """Every reachable replica that stores the file, with its version."""
+        out = []
+        for view in self.reachable_dirs(volume, parent_fh):
+            try:
+                aux_bytes = read_whole(view.dir_vnode.lookup(op_aux(fh)))
+            except (HostUnreachable, FileNotFound, StaleFileHandle):
+                continue
+            aux = AuxAttributes.from_bytes(aux_bytes)
+            out.append(
+                FileReplicaView(location=view.location, dir_vnode=view.dir_vnode, vv=aux.vv)
+            )
+        return out
+
+    def select_read_replica(
+        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> FileReplicaView:
+        """Pick the replica to read: "select the most recent copy available".
+
+        With the ``latest`` policy the replicas' version vectors are
+        compared and a maximal (undominated) one wins; concurrent maxima
+        tie-break deterministically on total updates then replica id.
+        With ``any``, the first reachable stored copy wins.
+        """
+        pinned = self._session_pins.get(fh.logical)
+        if pinned is not None:
+            replicas = [
+                r
+                for r in self.file_replicas(volume, parent_fh, fh)
+                if r.location == pinned.location
+            ]
+            if replicas:
+                return replicas[0]
+        candidates = self.file_replicas(volume, parent_fh, fh)
+        if not candidates:
+            raise AllReplicasUnavailable(f"no reachable replica stores file {fh}")
+        if self.read_policy == READ_ANY:
+            return candidates[0]
+        maximal = [
+            c
+            for c in candidates
+            if not any(o.vv.strictly_dominates(c.vv) for o in candidates)
+        ]
+        maximal.sort(key=lambda c: (-c.vv.total_updates, c.location.volrep.replica_id))
+        return maximal[0]
+
+    def select_update_replica(
+        self,
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle | None = None,
+    ) -> ReplicaView:
+        """Pick the replica an update is applied to.
+
+        For updates to an existing file, the replica must store the file
+        (and a pinned open session wins).  For directory updates, any
+        reachable replica storing the directory will do; local preferred.
+        """
+        if fh is not None:
+            pinned = self._session_pins.get(fh.logical)
+            if pinned is not None and self.network.reachable(
+                self.host_addr, pinned.location.host
+            ):
+                return pinned
+            stored = self.file_replicas(volume, parent_fh, fh)
+            if not stored:
+                raise AllReplicasUnavailable(f"no reachable replica stores file {fh}")
+            best = self.select_read_replica(volume, parent_fh, fh)
+            return ReplicaView(location=best.location, dir_vnode=best.dir_vnode)
+        return self.first_dir(volume, parent_fh)
+
+    # -- update notification ------------------------------------------------------
+
+    def notify_update(
+        self,
+        volume: VolumeId,
+        acting: ReplicaLocation,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        objkind: str = "file",
+    ) -> int:
+        """Send the asynchronous multicast update notification.
+
+        "When a logical layer requests a physical layer to update a file
+        or directory, an asynchronous multicast datagram is sent to all
+        available replicas informing them that a new version of a file may
+        be obtained from the replica receiving the update" (Section 2.5).
+        """
+        from repro.physical import notification_payload
+
+        others = {
+            loc.host
+            for loc in self.locations_for(volume)
+            if loc.host != acting.host
+        }
+        if not others:
+            return 0
+        payload = notification_payload(acting.volrep, parent_fh, fh, acting.host, objkind)
+        delivered = self.network.multicast(self.host_addr, sorted(others), payload)
+        self.notifications_sent += 1
+        return delivered
+
+    # -- open/close sessions ---------------------------------------------------------
+
+    def open_file(
+        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> ReplicaView:
+        """Open = pin a replica and smuggle the open through lookup."""
+        view = self.select_update_replica(volume, parent_fh, fh)
+        view.dir_vnode.lookup(op_open(fh))
+        self._session_pins[fh.logical] = view
+        return view
+
+    def close_file(
+        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> None:
+        view = self._session_pins.pop(fh.logical, None)
+        if view is None:
+            return
+        try:
+            view.dir_vnode.lookup(op_close(fh))
+        except (HostUnreachable, FileNotFound):
+            pass  # the session dies with the partition; recon cleans up
+        self.notify_update(volume, view.location, parent_fh, fh)
+
+    # -- graft point administration ---------------------------------------------------
+
+    def create_graft_point(
+        self,
+        parent: "LogicalDirVnode",
+        name: str,
+        target_volume: VolumeId,
+        locations: list[ReplicaLocation],
+    ) -> None:
+        """Create a graft point naming ``target_volume`` under ``parent``.
+
+        "The particular volume to be grafted onto a graft point is fixed
+        when the graft point is created" (Section 4.3) — the volume id is
+        stored in the entry; the replica locations become LOCATION entries
+        inside the graft point, replicated and reconciled like any other
+        directory contents.
+        """
+        from repro.physical.wire import EntryType, op_dir, op_insert
+        from repro.volume import location_entry_name
+
+        replica = self.select_update_replica(parent.volume, parent.fh)
+        replica.dir_vnode.create(
+            op_insert(None, name, None, EntryType.GRAFT_POINT, data=target_volume.to_hex())
+        )
+        entry = parent._find_entry_at(replica, name)
+        graft_dir = replica.dir_vnode.lookup(op_dir(entry.fh))
+        for location in locations:
+            graft_dir.create(
+                op_insert(
+                    None,
+                    location_entry_name(location.volrep.replica_id),
+                    None,
+                    EntryType.LOCATION,
+                    data=location.host,
+                )
+            )
+        self.notify_update(parent.volume, replica.location, parent.fh, entry.fh)
+        self.learn_locations(target_volume, locations)
+
+    def add_graft_location(
+        self,
+        parent: "LogicalDirVnode",
+        graft_name: str,
+        location: ReplicaLocation,
+    ) -> None:
+        """Record an additional volume replica in an existing graft point.
+
+        "the number and placement of volume replicas may be dynamically
+        changed" (Section 4.3).
+        """
+        from repro.physical.wire import EntryType, op_dir, op_insert
+        from repro.volume import location_entry_name
+
+        replica = self.select_update_replica(parent.volume, parent.fh)
+        entry = parent._find_entry_at(replica, graft_name)
+        graft_dir = replica.dir_vnode.lookup(op_dir(entry.fh))
+        graft_dir.create(
+            op_insert(
+                None,
+                location_entry_name(location.volrep.replica_id),
+                None,
+                EntryType.LOCATION,
+                data=location.host,
+            )
+        )
+        self.notify_update(parent.volume, replica.location, parent.fh, entry.fh)
+        target = VolumeId.from_hex(entry.data)
+        known = {loc.volrep: loc for loc in self._locations.get(target, [])}
+        known[location.volrep] = location
+        self.learn_locations(target, list(known.values()))
+
+    # -- the root of the logical name space --------------------------------------------
+
+    def root(self) -> "LogicalDirVnode":
+        from repro.logical.vnodes import LogicalDirVnode
+
+        return LogicalDirVnode(self, self.root_volume, volume_root_handle(self.root_volume))

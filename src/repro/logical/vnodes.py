@@ -1,0 +1,382 @@
+"""Vnodes exported by the Ficus logical layer (the client-facing view).
+
+These vnodes name *logical* files: no replica is pinned in the vnode
+itself.  Every operation selects a replica at call time, which is what
+makes the layer tolerant of replicas vanishing mid-use — a read that loses
+its replica to a partition simply fails over to another copy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    AllReplicasUnavailable,
+    CrossDevice,
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.physical import EntryType, decode_directory, effective_entries
+from repro.physical.wire import op_byfh, op_insert, op_remove
+from repro.ufs.inode import FileAttributes, FileType
+from repro.util import FicusFileHandle, VolumeId
+from repro.vnode.interface import ROOT_CRED, Credential, DirEntry, SetAttrs, Vnode, read_whole
+from repro.volume import locations_from_entries
+
+_TYPE_MAP = {
+    EntryType.FILE: FileType.REGULAR,
+    EntryType.SYMLINK: FileType.SYMLINK,
+    EntryType.DIRECTORY: FileType.DIRECTORY,
+    EntryType.GRAFT_POINT: FileType.DIRECTORY,
+}
+
+
+class LogicalDirVnode(Vnode):
+    """A logical directory: one name, many replicas underneath."""
+
+    def __init__(self, layer: "FicusLogicalLayer", volume: VolumeId, fh: FicusFileHandle):  # noqa: F821
+        self.layer = layer
+        self.volume = volume
+        self.fh = fh.logical
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LogicalDirVnode)
+            and other.layer is self.layer
+            and other.volume == self.volume
+            and other.fh == self.fh
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.layer), self.volume, self.fh))
+
+    # -- helpers ----------------------------------------------------------
+
+    def _view(self) -> dict[str, object]:
+        entries = self.layer.read_entries(self.volume, self.fh)
+        return effective_entries(entries)
+
+    def _autograft(self, entry) -> "LogicalDirVnode":
+        """Cross into the volume a graft point names (paper Section 4.4)."""
+        from repro.physical import volume_root_handle
+
+        target_volume = VolumeId.from_hex(entry.data)
+        graft_entries = self.layer.read_entries(self.volume, entry.fh)
+        locations = locations_from_entries(target_volume, graft_entries)
+        state = self.layer.grafter.graft(target_volume, locations)
+        self.layer.learn_locations(target_volume, state.locations)
+        return LogicalDirVnode(self.layer, target_volume, volume_root_handle(target_volume))
+
+    def _child(self, entry) -> Vnode:
+        if entry.etype == EntryType.GRAFT_POINT:
+            return self._autograft(entry)
+        if entry.etype == EntryType.DIRECTORY:
+            return LogicalDirVnode(self.layer, self.volume, entry.fh)
+        return LogicalFileVnode(self.layer, self.volume, self.fh, entry.fh, entry.etype)
+
+    # -- lifetime --
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("open")
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("close")
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+
+    # -- attributes --
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        view = self.layer.first_dir(self.volume, self.fh)
+        return view.dir_vnode.getattr(cred)
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        view = self.layer.select_update_replica(self.volume, self.fh)
+        view.dir_vnode.setattr(attrs, cred)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.counters.bump("access")
+        view = self.layer.first_dir(self.volume, self.fh)
+        return view.dir_vnode.access(mode, cred)
+
+    # -- namespace --
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("lookup")
+        view = self._view()
+        entry = view.get(name)
+        if entry is None or entry.etype == EntryType.LOCATION:
+            raise FileNotFound(f"{name!r} not found")
+        return self._child(entry)
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("create")
+        return self._insert_new(name, EntryType.FILE)
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("mkdir")
+        return self._insert_new(name, EntryType.DIRECTORY)
+
+    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("symlink")
+        vnode = self._insert_new(name, EntryType.SYMLINK)
+        vnode.write(0, target.encode("utf-8"))
+        return vnode
+
+    def _insert_new(self, name: str, etype: EntryType, data: str = "") -> Vnode:
+        """Create a brand-new object: the chosen replica mints its ids."""
+        replica = self.layer.select_update_replica(self.volume, self.fh)
+        existing = effective_entries(decode_directory(read_whole(replica.dir_vnode)))
+        if name in existing:
+            raise FileExists(f"{name!r} already exists")
+        replica.dir_vnode.create(op_insert(None, name, None, etype, data=data))
+        entry = self._find_entry_at(replica, name)
+        self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
+        return self._child(entry)
+
+    def _find_entry_at(self, replica, name: str):
+        entries = decode_directory(read_whole(replica.dir_vnode))
+        view = effective_entries(entries)
+        entry = view.get(name)
+        if entry is None:
+            raise FileNotFound(f"{name!r} vanished after insert")
+        return entry
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("remove")
+        replica = self.layer.select_update_replica(self.volume, self.fh)
+        entry = self._find_entry_at(replica, name)
+        if entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
+            raise IsADirectory(f"{name!r} is a directory; use rmdir")
+        replica.dir_vnode.remove(op_remove(entry.eid))
+        self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("rmdir")
+        replica = self.layer.select_update_replica(self.volume, self.fh)
+        entry = self._find_entry_at(replica, name)
+        if entry.etype == EntryType.FILE or entry.etype == EntryType.SYMLINK:
+            raise NotADirectory(f"{name!r} is not a directory")
+        if entry.etype == EntryType.DIRECTORY:
+            sub_entries = self.layer.read_entries(self.volume, entry.fh)
+            live = [
+                e for e in sub_entries if e.live and e.etype != EntryType.LOCATION
+            ]
+            if live:
+                raise DirectoryNotEmpty(f"{name!r} is not empty")
+        replica.dir_vnode.remove(op_remove(entry.eid))
+        self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
+
+    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+        """Give an existing file an additional name (paper: Ficus files are
+        organized in a general DAG; files may have several names)."""
+        self.layer.counters.bump("link")
+        if not isinstance(target, LogicalFileVnode):
+            raise InvalidArgument("link target must be a logical file")
+        if target.volume != self.volume:
+            raise CrossDevice("links may not cross volume boundaries")
+        replica = self._replica_storing(target)
+        existing = effective_entries(decode_directory(read_whole(replica.dir_vnode)))
+        if name in existing:
+            raise FileExists(f"{name!r} already exists")
+        replica.dir_vnode.create(
+            op_insert(None, name, target.fh, target.etype, link_from=target.parent_fh)
+        )
+        self.layer.notify_update(self.volume, replica.location, self.fh, target.fh, objkind="dir")
+
+    def _replica_storing(self, target: "LogicalFileVnode"):
+        """An update replica of this directory that also stores ``target``.
+
+        The hard link must land where the file's storage lives.
+        """
+        stored_at = {
+            r.location for r in self.layer.file_replicas(self.volume, target.parent_fh, target.fh)
+        }
+        for view in self.layer.reachable_dirs(self.volume, self.fh):
+            if view.location in stored_at:
+                return view
+        raise AllReplicasUnavailable(
+            "no reachable replica stores both the directory and the link target"
+        )
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: Vnode,
+        dst_name: str,
+        cred: Credential = ROOT_CRED,
+    ) -> None:
+        """Rename = insert the new name, then remove the old one.
+
+        Composed from the two replayable directory operations so that the
+        reconciliation machinery handles a rename that happened during a
+        partition exactly like any other insert/delete pair — including
+        the concurrent-rename case that leaves a directory with two names.
+        """
+        self.layer.counters.bump("rename")
+        if not isinstance(dst_dir, LogicalDirVnode):
+            raise InvalidArgument("rename destination must be a logical directory")
+        if dst_dir.volume != self.volume:
+            raise CrossDevice("rename may not cross volume boundaries")
+        src_replica = self.layer.select_update_replica(self.volume, self.fh)
+        entry = self._find_entry_at(src_replica, src_name)
+        # Unix semantics: a file target is replaced, a directory target errors.
+        try:
+            dst_existing = dst_dir._find_entry_at(
+                self.layer.select_update_replica(self.volume, dst_dir.fh), dst_name
+            )
+        except FileNotFound:
+            dst_existing = None
+        if dst_existing is not None:
+            if dst_existing.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
+                raise IsADirectory(f"rename target {dst_name!r} is a directory")
+            dst_dir.remove(dst_name)
+        link_from = self.fh if entry.etype in (EntryType.FILE, EntryType.SYMLINK) else None
+        dst_replica = self.layer.select_update_replica(self.volume, dst_dir.fh)
+        dst_replica.dir_vnode.create(
+            op_insert(None, dst_name, entry.fh, entry.etype, data=entry.data, link_from=link_from)
+        )
+        self.layer.notify_update(self.volume, dst_replica.location, dst_dir.fh, entry.fh, objkind="dir")
+        src_replica.dir_vnode.remove(op_remove(entry.eid))
+        self.layer.notify_update(self.volume, src_replica.location, self.fh, entry.fh, objkind="dir")
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        self.layer.counters.bump("readdir")
+        out = []
+        for name, entry in sorted(self._view().items()):
+            if entry.etype == EntryType.LOCATION:
+                continue
+            out.append(
+                DirEntry(name=name, fileid=entry.fh.file_id.unique, ftype=_TYPE_MAP[entry.etype])
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return f"LogicalDirVnode({self.volume}, {self.fh})"
+
+
+class LogicalFileVnode(Vnode):
+    """A logical regular file or symlink."""
+
+    def __init__(
+        self,
+        layer: "FicusLogicalLayer",  # noqa: F821
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        etype: EntryType,
+    ):
+        self.layer = layer
+        self.volume = volume
+        self.parent_fh = parent_fh.logical
+        self.fh = fh.logical
+        self.etype = etype
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LogicalFileVnode)
+            and other.layer is self.layer
+            and other.volume == self.volume
+            and other.fh == self.fh
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.layer), self.volume, self.fh))
+
+    # -- replica plumbing --
+
+    def _read_child(self) -> Vnode:
+        view = self.layer.select_read_replica(self.volume, self.parent_fh, self.fh)
+        return view.dir_vnode.lookup(op_byfh(self.fh))
+
+    def _update_view(self):
+        return self.layer.select_update_replica(self.volume, self.parent_fh, self.fh)
+
+    @staticmethod
+    def _retry_stale(operation):
+        """Run a replica operation, retrying once on a stale NFS handle.
+
+        A shadow commit replaces the file's underlying inode, so a cached
+        handle can go stale mid-use; the NFS client scrubs its caches
+        before the error surfaces, so one fresh selection + lookup
+        recovers (real NFS clients do exactly this dance on ESTALE).
+        """
+        from repro.errors import StaleFileHandle
+
+        try:
+            return operation()
+        except StaleFileHandle:
+            return operation()
+
+    # -- lifetime: open/close delimit one update session --
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("open")
+        self.layer.open_file(self.volume, self.parent_fh, self.fh)
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("close")
+        self.layer.close_file(self.volume, self.parent_fh, self.fh)
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+
+    # -- data --
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        self.layer.counters.bump("read")
+        return self._retry_stale(lambda: self._read_child().read(offset, length, cred))
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        self.layer.counters.bump("write")
+
+        def attempt() -> int:
+            view = self._update_view()
+            written = view.dir_vnode.lookup(op_byfh(self.fh)).write(offset, data, cred)
+            self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
+            return written
+
+        return self._retry_stale(attempt)
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("truncate")
+        view = self._update_view()
+        view.dir_vnode.lookup(op_byfh(self.fh)).truncate(size, cred)
+        self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
+
+    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("fsync")
+        self._update_view().dir_vnode.lookup(op_byfh(self.fh)).fsync(cred)
+
+    # -- attributes --
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        return self._retry_stale(lambda: self._read_child().getattr(cred))
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        view = self._update_view()
+        view.dir_vnode.lookup(op_byfh(self.fh)).setattr(attrs, cred)
+        self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.counters.bump("access")
+        return self._read_child().access(mode, cred)
+
+    # -- symlink --
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        self.layer.counters.bump("readlink")
+        return self._retry_stale(lambda: self._read_child().readlink(cred))
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        raise NotADirectory(f"{self.fh} is not a directory")
+
+    def __repr__(self) -> str:
+        return f"LogicalFileVnode({self.volume}, {self.fh})"

@@ -1,0 +1,5 @@
+"""Simulated network with partitions, RPC, and multicast datagrams."""
+
+from repro.net.network import Network, NetworkStats
+
+__all__ = ["Network", "NetworkStats"]

@@ -1,0 +1,186 @@
+"""Simulated internetwork: hosts, partitions, RPC, multicast datagrams.
+
+A large-scale system "will never be fully operational at any given time"
+(paper Section 1) — partial operation is the normal state.  This module
+models exactly the communication properties Ficus depends on:
+
+* **Partitions** — the host set can be split into disjoint groups; hosts in
+  different groups (or downed hosts) cannot exchange messages.
+* **Synchronous RPC** — what NFS runs over; raises
+  :class:`~repro.errors.HostUnreachable` when the peer cannot be contacted.
+* **Asynchronous multicast datagrams** — best-effort, unacknowledged; used
+  by the logical layer for update notification ("an asynchronous multicast
+  datagram is sent to all available replicas", Section 2.5).  Recipients
+  that are unreachable simply miss the datagram; reconciliation exists
+  precisely because notification is lossy.
+
+All delivery is deterministic so experiments replay exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import HostUnreachable, InvalidArgument
+from repro.util import VirtualClock
+
+RpcHandler = Callable[..., object]
+DatagramHandler = Callable[[str, object], None]
+
+
+@dataclass
+class NetworkStats:
+    """Traffic accounting for benchmarks."""
+
+    rpcs_sent: int = 0
+    rpcs_failed: int = 0
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    datagrams_lost: int = 0
+
+    def snapshot(self) -> "NetworkStats":
+        return NetworkStats(
+            self.rpcs_sent,
+            self.rpcs_failed,
+            self.datagrams_sent,
+            self.datagrams_delivered,
+            self.datagrams_lost,
+        )
+
+
+@dataclass
+class _HostState:
+    up: bool = True
+    rpc_services: dict[str, RpcHandler] = field(default_factory=dict)
+    datagram_handlers: list[DatagramHandler] = field(default_factory=list)
+
+
+class Network:
+    """The simulated internetwork connecting Ficus hosts."""
+
+    def __init__(self, clock: VirtualClock | None = None, rpc_latency: float = 0.001):
+        self.clock = clock or VirtualClock()
+        self.rpc_latency = rpc_latency
+        self.stats = NetworkStats()
+        self._hosts: dict[str, _HostState] = {}
+        #: Current partition: list of disjoint host groups.  Empty list
+        #: means fully connected.
+        self._groups: list[frozenset[str]] = []
+
+    # -- host management --------------------------------------------------
+
+    def add_host(self, addr: str) -> None:
+        if addr in self._hosts:
+            raise InvalidArgument(f"host {addr!r} already exists")
+        self._hosts[addr] = _HostState()
+
+    def has_host(self, addr: str) -> bool:
+        return addr in self._hosts
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def _host(self, addr: str) -> _HostState:
+        try:
+            return self._hosts[addr]
+        except KeyError:
+            raise InvalidArgument(f"unknown host {addr!r}") from None
+
+    def set_host_up(self, addr: str, up: bool) -> None:
+        """Crash (``up=False``) or restart a host."""
+        self._host(addr).up = up
+
+    def host_is_up(self, addr: str) -> bool:
+        return self._host(addr).up
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network into disjoint groups of hosts.
+
+        Hosts not named in any group are isolated (a singleton group each).
+        """
+        seen: set[str] = set()
+        frozen: list[frozenset[str]] = []
+        for group in groups:
+            fz = frozenset(group)
+            for host in fz:
+                self._host(host)  # validate
+                if host in seen:
+                    raise InvalidArgument(f"host {host!r} in two partition groups")
+                seen.add(host)
+            frozen.append(fz)
+        self._groups = frozen
+
+    def heal(self) -> None:
+        """Remove all partitions: everyone can talk again."""
+        self._groups = []
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._groups)
+
+    def _group_of(self, addr: str) -> frozenset[str]:
+        for group in self._groups:
+            if addr in group:
+                return group
+        return frozenset([addr])
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Can ``src`` currently exchange messages with ``dst``?"""
+        if not self._host(src).up or not self._host(dst).up:
+            return False
+        if src == dst:
+            return True
+        if not self._groups:
+            return True
+        return dst in self._group_of(src)
+
+    def reachable_set(self, src: str, candidates: Iterable[str]) -> list[str]:
+        """The subset of ``candidates`` reachable from ``src``, in order."""
+        return [dst for dst in candidates if self.reachable(src, dst)]
+
+    # -- RPC (what NFS runs over) -----------------------------------------------
+
+    def register_rpc(self, addr: str, service: str, handler: RpcHandler) -> None:
+        """Export ``service`` at ``addr``; calls dispatch to ``handler``."""
+        self._host(addr).rpc_services[service] = handler
+
+    def rpc(self, src: str, dst: str, service: str, *args: object, **kwargs: object) -> object:
+        """Synchronous call; raises HostUnreachable across a partition."""
+        self.stats.rpcs_sent += 1
+        if not self.reachable(src, dst):
+            self.stats.rpcs_failed += 1
+            raise HostUnreachable(f"{src} -> {dst}: unreachable")
+        handler = self._host(dst).rpc_services.get(service)
+        if handler is None:
+            self.stats.rpcs_failed += 1
+            raise HostUnreachable(f"{dst} exports no service {service!r}")
+        self.clock.advance(self.rpc_latency)
+        return handler(*args, **kwargs)
+
+    # -- multicast datagrams (update notification) ---------------------------------
+
+    def register_datagram_handler(self, addr: str, handler: DatagramHandler) -> None:
+        """Subscribe ``addr`` to incoming datagrams."""
+        self._host(addr).datagram_handlers.append(handler)
+
+    def multicast(self, src: str, dsts: Iterable[str], payload: object) -> int:
+        """Best-effort datagram to each destination; returns deliveries.
+
+        Unreachable destinations miss the datagram silently — exactly the
+        failure mode Ficus's periodic reconciliation cleans up after.
+        """
+        delivered = 0
+        for dst in dsts:
+            self.stats.datagrams_sent += 1
+            if not self.reachable(src, dst):
+                self.stats.datagrams_lost += 1
+                continue
+            for handler in self._host(dst).datagram_handlers:
+                handler(src, payload)
+            self.stats.datagrams_delivered += 1
+            delivered += 1
+        return delivered

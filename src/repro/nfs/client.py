@@ -1,0 +1,347 @@
+"""The NFS client: a vnode layer whose storage is a remote NFS server.
+
+Because the client presents the same vnode interface it consumes, "any
+layer that uses a vnode interface can be unaware whether the immediately
+adjacent functional layers are local, or perhaps remote and accessed via an
+intervening NFS layer" (paper Section 2.2).
+
+Two deliberate infidelities of real NFS are reproduced because the paper's
+design reacts to them:
+
+* **open/close are dropped.**  The protocol has no such calls; the client
+  accepts them as no-ops and never forwards them.  Ficus therefore smuggles
+  open/close through ``lookup`` (Section 2.3, experiment E10).
+* **Caching is not fully controllable.**  The client keeps an attribute
+  cache and a directory-name-lookup cache with time-based expiry ("there is
+  no user-level way to disable all caching"), so upper layers can observe
+  bounded staleness exactly as Ficus had to tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RpcTimeout, StaleFileHandle
+from repro.net import Network
+from repro.nfs.protocol import LookupReply, NfsHandle
+from repro.ufs.inode import FileAttributes, FileType
+from repro.util import VirtualClock
+from repro.vnode.interface import (
+    ROOT_CRED,
+    Credential,
+    DirEntry,
+    FileSystemLayer,
+    SetAttrs,
+    Vnode,
+)
+
+
+@dataclass
+class NfsClientConfig:
+    """Client tunables (matching SunOS defaults in spirit)."""
+
+    #: Attribute cache lifetime in (virtual) seconds; 0 disables.
+    attr_cache_ttl: float = 3.0
+    #: Name cache lifetime in (virtual) seconds; 0 disables.
+    name_cache_ttl: float = 3.0
+    #: RPC retransmissions before giving up with ETIMEDOUT.
+    retries: int = 2
+
+
+class NfsClientLayer(FileSystemLayer):
+    """A vnode layer forwarding operations to a remote NFS server."""
+
+    layer_name = "nfs-client"
+
+    def __init__(
+        self,
+        network: Network,
+        client_addr: str,
+        server_addr: str,
+        service: str = "nfs",
+        config: NfsClientConfig | None = None,
+    ):
+        super().__init__()
+        self.network = network
+        self.client_addr = client_addr
+        self.server_addr = server_addr
+        self.service = service
+        self.config = config or NfsClientConfig()
+        self._attr_cache: dict[NfsHandle, tuple[float, FileAttributes]] = {}
+        self._name_cache: dict[tuple[NfsHandle, str], tuple[float, LookupReply]] = {}
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.network.clock
+
+    # -- RPC plumbing ------------------------------------------------------
+
+    def call(self, op: str, *args: object) -> object:
+        """Issue one NFS RPC with retransmission."""
+        last_error: Exception | None = None
+        for _ in range(self.config.retries + 1):
+            try:
+                return self.network.rpc(
+                    self.client_addr, self.server_addr, f"{self.service}.{op}", *args
+                )
+            except RpcTimeout as exc:
+                last_error = exc
+            except StaleFileHandle:
+                raise
+            except Exception as exc:
+                # idempotent stateless ops: retry only transport errors
+                if exc.__class__.__name__ == "HostUnreachable":
+                    last_error = exc
+                    continue
+                raise
+        raise RpcTimeout(f"{op}: server {self.server_addr} unreachable") from last_error
+
+    # -- caches ------------------------------------------------------------------
+
+    def _cache_attrs(self, handle: NfsHandle, attrs: FileAttributes) -> None:
+        if self.config.attr_cache_ttl > 0:
+            self._attr_cache[handle] = (self.clock.now(), attrs)
+
+    def _cached_attrs(self, handle: NfsHandle) -> FileAttributes | None:
+        entry = self._attr_cache.get(handle)
+        if entry is None:
+            return None
+        when, attrs = entry
+        if self.clock.now() - when > self.config.attr_cache_ttl:
+            del self._attr_cache[handle]
+            return None
+        return attrs
+
+    def _cache_name(self, handle: NfsHandle, name: str, reply: LookupReply) -> None:
+        if self.config.name_cache_ttl > 0:
+            self._name_cache[(handle, name)] = (self.clock.now(), reply)
+
+    def _cached_name(self, handle: NfsHandle, name: str) -> LookupReply | None:
+        entry = self._name_cache.get((handle, name))
+        if entry is None:
+            return None
+        when, reply = entry
+        if self.clock.now() - when > self.config.name_cache_ttl:
+            del self._name_cache[(handle, name)]
+            return None
+        return reply
+
+    def invalidate_handle(self, handle: NfsHandle) -> None:
+        self._attr_cache.pop(handle, None)
+        stale = [key for key in self._name_cache if key[0] == handle]
+        for key in stale:
+            del self._name_cache[key]
+
+    def note_stale(self, handle: NfsHandle) -> None:
+        """The server said ESTALE: purge every cache trace of the handle.
+
+        This covers both directions: attributes OF the handle, names
+        looked up THROUGH it, and cached lookup replies that RESOLVED to
+        it (e.g. a file whose inode was replaced by a shadow commit).
+        """
+        self.invalidate_handle(handle)
+        resolved_to = [
+            key for key, (_, reply) in self._name_cache.items() if reply.handle == handle
+        ]
+        for key in resolved_to:
+            del self._name_cache[key]
+
+    def call_h(self, handle: NfsHandle, op: str, *args: object) -> object:
+        """Issue an RPC whose first argument is ``handle``; on ESTALE the
+        caches are scrubbed before the error propagates, so the caller's
+        retry re-lookups instead of replaying the dead handle."""
+        try:
+            return self.call(op, handle, *args)
+        except StaleFileHandle:
+            self.note_stale(handle)
+            raise
+
+    def flush_caches(self) -> None:
+        """Drop all cached state (there is deliberately no *partial* knob,
+        mirroring the paper's complaint about SunOS NFS)."""
+        self._attr_cache.clear()
+        self._name_cache.clear()
+
+    # -- layer interface ---------------------------------------------------------
+
+    def root(self) -> "NfsClientVnode":
+        reply = self.call("root")
+        assert isinstance(reply, LookupReply)
+        self._cache_attrs(reply.handle, reply.attrs)
+        return NfsClientVnode(self, reply.handle)
+
+
+class NfsClientVnode(Vnode):
+    """A vnode addressing a remote object via an NFS handle."""
+
+    def __init__(self, layer: NfsClientLayer, handle: NfsHandle):
+        self.layer = layer
+        self.handle = handle
+
+    def _wrap(self, reply: LookupReply) -> "NfsClientVnode":
+        self.layer._cache_attrs(reply.handle, reply.attrs)
+        return NfsClientVnode(self.layer, reply.handle)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NfsClientVnode)
+            and other.layer is self.layer
+            and other.handle == self.handle
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.layer), self.handle))
+
+    # -- dropped operations (the NFS semantic gap, paper Section 2.2) --
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        """Accepted and DROPPED: the NFS protocol has no open call.
+
+        "the vnode services open and close are not supported by the NFS
+        definition, and so are ignored: a layer intending to receive an
+        open will never get it if NFS is in between."
+        """
+        self.layer.counters.bump("open-dropped")
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        """Accepted and DROPPED, exactly like :meth:`open`."""
+        self.layer.counters.bump("close-dropped")
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+        self.layer.invalidate_handle(self.handle)
+
+    # -- attributes --
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        cached = self.layer._cached_attrs(self.handle)
+        if cached is not None:
+            return cached
+        attrs = self.layer.call_h(self.handle, "getattr")
+        assert isinstance(attrs, FileAttributes)
+        self.layer._cache_attrs(self.handle, attrs)
+        return attrs
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        fresh = self.layer.call_h(self.handle, "setattr", attrs)
+        assert isinstance(fresh, FileAttributes)
+        self.layer._cache_attrs(self.handle, fresh)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.counters.bump("access")
+        attrs = self.getattr(cred)
+        if cred.uid == 0:
+            return True
+        shift = 6 if cred.uid == attrs.uid else 0
+        return (attrs.perm >> shift) & mode == mode
+
+    # -- data --
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        self.layer.counters.bump("read")
+        data = self.layer.call_h(self.handle, "read", offset, length)
+        assert isinstance(data, bytes)
+        return data
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        self.layer.counters.bump("write")
+        written = self.layer.call_h(self.handle, "write", offset, data)
+        self.layer.invalidate_handle(self.handle)
+        assert isinstance(written, int)
+        return written
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("truncate")
+        self.layer.call_h(self.handle, "truncate", size)
+        self.layer.invalidate_handle(self.handle)
+
+    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("fsync")
+        # NFS writes in this simulation are write-through already.
+
+    # -- namespace --
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("lookup")
+        cached = self.layer._cached_name(self.handle, name)
+        if cached is not None:
+            return NfsClientVnode(self.layer, cached.handle)
+        reply = self.layer.call_h(self.handle, "lookup", name)
+        assert isinstance(reply, LookupReply)
+        self.layer._cache_name(self.handle, name, reply)
+        return self._wrap(reply)
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("create")
+        reply = self.layer.call_h(self.handle, "create", name, perm, cred.uid)
+        assert isinstance(reply, LookupReply)
+        self.layer.invalidate_handle(self.handle)
+        self.layer._cache_name(self.handle, name, reply)
+        return self._wrap(reply)
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("remove")
+        self.layer.call_h(self.handle, "remove", name)
+        self.layer._name_cache.pop((self.handle, name), None)
+        self.layer.invalidate_handle(self.handle)
+
+    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("link")
+        if not isinstance(target, NfsClientVnode):
+            raise StaleFileHandle("link target is not an NFS vnode")
+        self.layer.call("link", self.handle, target.handle, name)
+        self.layer.invalidate_handle(self.handle)
+        self.layer.invalidate_handle(target.handle)
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: Vnode,
+        dst_name: str,
+        cred: Credential = ROOT_CRED,
+    ) -> None:
+        self.layer.counters.bump("rename")
+        if not isinstance(dst_dir, NfsClientVnode):
+            raise StaleFileHandle("rename destination is not an NFS vnode")
+        self.layer.call("rename", self.handle, src_name, dst_dir.handle, dst_name)
+        self.layer._name_cache.pop((self.handle, src_name), None)
+        self.layer._name_cache.pop((dst_dir.handle, dst_name), None)
+        self.layer.invalidate_handle(self.handle)
+        self.layer.invalidate_handle(dst_dir.handle)
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("mkdir")
+        reply = self.layer.call_h(self.handle, "mkdir", name, perm, cred.uid)
+        assert isinstance(reply, LookupReply)
+        self.layer.invalidate_handle(self.handle)
+        return self._wrap(reply)
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("rmdir")
+        self.layer.call_h(self.handle, "rmdir", name)
+        self.layer._name_cache.pop((self.handle, name), None)
+        self.layer.invalidate_handle(self.handle)
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        self.layer.counters.bump("readdir")
+        rows = self.layer.call_h(self.handle, "readdir")
+        assert isinstance(rows, list)
+        return [DirEntry(r.name, r.fileid, FileType(r.ftype)) for r in rows]
+
+    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("symlink")
+        reply = self.layer.call_h(self.handle, "symlink", name, target, cred.uid)
+        assert isinstance(reply, LookupReply)
+        self.layer.invalidate_handle(self.handle)
+        return self._wrap(reply)
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        self.layer.counters.bump("readlink")
+        text = self.layer.call_h(self.handle, "readlink")
+        assert isinstance(text, str)
+        return text
+
+    def __repr__(self) -> str:
+        return f"NfsClientVnode({self.layer.server_addr}, fileid={self.handle.fileid})"

@@ -1,0 +1,156 @@
+"""The NFS server: exports any vnode layer over the simulated network.
+
+The server is stateless in the NFS sense: it holds no per-client open
+state, every call is self-contained, and file handles remain valid across
+"reboots" of the server process (handles embed fileid + generation and are
+re-validated on every call).
+
+Ficus uses this to place its logical and physical layers on different
+hosts: "The Ficus replication service layers are able to use NFS for
+transparent access to remote layers, without having to build a transport
+service" (paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import StaleFileHandle
+from repro.net import Network
+from repro.nfs.protocol import LookupReply, NfsHandle, ReaddirEntry
+from repro.ufs.inode import FileAttributes
+from repro.vnode.interface import ROOT_CRED, Credential, FileSystemLayer, SetAttrs, Vnode
+
+
+class NfsServer:
+    """Exports one vnode layer as an RPC service.
+
+    The exported layer should provide ``vnode_for(fileid)`` so that handles
+    can be re-materialized statelessly; a small handle table is kept purely
+    as a cache and can be dropped at any time (see :meth:`reboot`).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        addr: str,
+        exported: FileSystemLayer,
+        service: str = "nfs",
+    ):
+        self.network = network
+        self.addr = addr
+        self.exported = exported
+        self.service = service
+        self._vnode_cache: dict[int, Vnode] = {}
+        for op in (
+            "root",
+            "getattr",
+            "setattr",
+            "lookup",
+            "read",
+            "write",
+            "truncate",
+            "create",
+            "remove",
+            "link",
+            "rename",
+            "mkdir",
+            "rmdir",
+            "readdir",
+            "symlink",
+            "readlink",
+        ):
+            network.register_rpc(addr, f"{service}.{op}", getattr(self, f"_op_{op}"))
+
+    # -- handle management -----------------------------------------------
+
+    def _handle_for(self, vnode: Vnode) -> NfsHandle:
+        attrs = vnode.getattr()
+        self._vnode_cache[attrs.fileid] = vnode
+        return NfsHandle(fileid=attrs.fileid, generation=attrs.generation)
+
+    def _resolve(self, handle: NfsHandle) -> Vnode:
+        """Re-materialize a vnode from a handle; ESTALE when it is gone."""
+        vnode = self._vnode_cache.get(handle.fileid)
+        if vnode is None:
+            rematerialize = getattr(self.exported, "vnode_for", None)
+            if rematerialize is None:
+                raise StaleFileHandle(f"no vnode for fileid {handle.fileid}")
+            try:
+                vnode = rematerialize(handle.fileid)
+            except Exception as exc:
+                raise StaleFileHandle(str(exc)) from exc
+            self._vnode_cache[handle.fileid] = vnode
+        attrs = vnode.getattr()
+        if attrs.generation != handle.generation:
+            self._vnode_cache.pop(handle.fileid, None)
+            raise StaleFileHandle(
+                f"fileid {handle.fileid}: generation {handle.generation} superseded by {attrs.generation}"
+            )
+        return vnode
+
+    def reboot(self) -> None:
+        """Simulate a server restart: the handle cache vanishes.
+
+        Statelessness means clients must not notice (their handles are
+        re-materialized via ``vnode_for`` on the next call).
+        """
+        self._vnode_cache.clear()
+
+    # -- RPC operation handlers ----------------------------------------------
+
+    def _op_root(self) -> LookupReply:
+        vnode = self.exported.root()
+        return LookupReply(self._handle_for(vnode), vnode.getattr())
+
+    def _op_getattr(self, handle: NfsHandle) -> FileAttributes:
+        return self._resolve(handle).getattr()
+
+    def _op_setattr(self, handle: NfsHandle, attrs: SetAttrs) -> FileAttributes:
+        vnode = self._resolve(handle)
+        vnode.setattr(attrs)
+        return vnode.getattr()
+
+    def _op_lookup(self, handle: NfsHandle, name: str) -> LookupReply:
+        child = self._resolve(handle).lookup(name, ROOT_CRED)
+        return LookupReply(self._handle_for(child), child.getattr())
+
+    def _op_read(self, handle: NfsHandle, offset: int, length: int) -> bytes:
+        return self._resolve(handle).read(offset, length)
+
+    def _op_write(self, handle: NfsHandle, offset: int, data: bytes) -> int:
+        return self._resolve(handle).write(offset, data)
+
+    def _op_truncate(self, handle: NfsHandle, size: int) -> None:
+        self._resolve(handle).truncate(size)
+
+    def _op_create(self, handle: NfsHandle, name: str, perm: int, uid: int = 0) -> LookupReply:
+        child = self._resolve(handle).create(name, perm, Credential(uid=uid))
+        return LookupReply(self._handle_for(child), child.getattr())
+
+    def _op_remove(self, handle: NfsHandle, name: str) -> None:
+        self._resolve(handle).remove(name)
+
+    def _op_link(self, dir_handle: NfsHandle, target: NfsHandle, name: str) -> None:
+        self._resolve(dir_handle).link(self._resolve(target), name)
+
+    def _op_rename(
+        self, src_dir: NfsHandle, src_name: str, dst_dir: NfsHandle, dst_name: str
+    ) -> None:
+        self._resolve(src_dir).rename(src_name, self._resolve(dst_dir), dst_name)
+
+    def _op_mkdir(self, handle: NfsHandle, name: str, perm: int, uid: int = 0) -> LookupReply:
+        child = self._resolve(handle).mkdir(name, perm, Credential(uid=uid))
+        return LookupReply(self._handle_for(child), child.getattr())
+
+    def _op_rmdir(self, handle: NfsHandle, name: str) -> None:
+        self._resolve(handle).rmdir(name)
+
+    def _op_readdir(self, handle: NfsHandle) -> list[ReaddirEntry]:
+        entries = self._resolve(handle).readdir()
+        return [ReaddirEntry(e.name, e.fileid, int(e.ftype)) for e in entries]
+
+    def _op_symlink(self, handle: NfsHandle, name: str, target: str, uid: int = 0) -> LookupReply:
+        child = self._resolve(handle).symlink(name, target, Credential(uid=uid))
+        return LookupReply(self._handle_for(child), child.getattr())
+
+    def _op_readlink(self, handle: NfsHandle) -> str:
+        return self._resolve(handle).readlink()

@@ -1,0 +1,201 @@
+"""Integrity checker for Ficus physical-layer storage ("ficus-fsck").
+
+Validates the structural invariants of one volume replica's on-disk
+organization, the way :func:`repro.ufs.fsck` validates UFS structure:
+
+* every directory's entry file decodes, and entry-ids are unique;
+* live file/symlink entries either have contents + aux storage in the
+  naming directory, or are awaiting propagation (entry-only);
+* aux records agree with their entries (handle, type);
+* directory reference counts in aux equal the number of live entries
+  naming the directory across the whole replica;
+* directory storage is reachable: every ``nodes/`` directory except the
+  volume root is named by at least one live entry (or is a tolerated
+  orphan awaiting the GC daemon);
+* no stray objects inside the underlying Unix directories (everything is
+  a known file, aux, shadow, or metadata name);
+* LOCATION entries appear only inside graft points;
+* the id mints are ahead of every issued id.
+
+Used by tests as an oracle after arbitrary operation/recon/crash
+sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FicusError
+from repro.physical.store import ReplicaStore, volume_root_handle
+from repro.physical.wire import (
+    AUX_SUFFIX,
+    FAUX_NAME,
+    FDIR_NAME,
+    SHADOW_SUFFIX,
+    AuxAttributes,
+    EntryType,
+)
+from repro.util import FicusFileHandle
+
+
+@dataclass
+class FicusCheckReport:
+    """Findings of one checker run; clean when ``problems`` is empty."""
+
+    problems: list[str] = field(default_factory=list)
+    directories_checked: int = 0
+    entries_checked: int = 0
+    #: live file entries whose contents have not been propagated here yet
+    entries_awaiting_contents: int = 0
+    #: directory storage with zero live names (tolerated, GC's job)
+    orphan_directories: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def complain(self, message: str) -> None:
+        self.problems.append(message)
+
+
+def ficus_fsck(store: ReplicaStore) -> FicusCheckReport:
+    """Check every structural invariant of one volume replica."""
+    report = FicusCheckReport()
+    root_fh = volume_root_handle(store.volume)
+
+    try:
+        all_dirs = store.all_directory_handles()
+    except FicusError as exc:
+        report.complain(f"cannot enumerate directories: {exc}")
+        return report
+
+    dir_set = {fh.logical for fh in all_dirs}
+    if root_fh not in dir_set:
+        report.complain("volume root directory storage missing")
+        return report
+
+    #: directory fh -> live references observed across the replica
+    dir_refs: dict[FicusFileHandle, int] = {fh: 0 for fh in dir_set}
+    issued_uniques: list[int] = []
+    issued_seqs: list[int] = []
+
+    for dir_fh in sorted(dir_set, key=lambda fh: fh.to_hex()):
+        report.directories_checked += 1
+        try:
+            entries = store.read_entries(dir_fh)
+        except FicusError as exc:
+            report.complain(f"dir {dir_fh}: unreadable entry file ({exc})")
+            continue
+        try:
+            dir_aux = store.read_dir_aux(dir_fh)
+        except FicusError as exc:
+            report.complain(f"dir {dir_fh}: unreadable aux ({exc})")
+            continue
+        if dir_aux.fh != dir_fh.logical:
+            report.complain(f"dir {dir_fh}: aux names {dir_aux.fh}")
+        is_graft = dir_aux.etype == EntryType.GRAFT_POINT
+
+        seen_eids = set()
+        expected_names = {FDIR_NAME, FAUX_NAME}
+        for entry in entries:
+            report.entries_checked += 1
+            if entry.eid in seen_eids:
+                report.complain(f"dir {dir_fh}: duplicate entry id {entry.eid.encode()}")
+            seen_eids.add(entry.eid)
+            if entry.eid.replica_id == store.replica_id:
+                issued_seqs.append(entry.eid.seq)
+            if entry.fh.file_id.issuing_replica == store.replica_id:
+                issued_uniques.append(entry.fh.file_id.unique)
+            if entry.etype == EntryType.LOCATION:
+                if not is_graft:
+                    report.complain(
+                        f"dir {dir_fh}: LOCATION entry {entry.name!r} outside a graft point"
+                    )
+                continue
+            if not entry.live:
+                continue
+            if entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
+                if entry.fh.logical not in dir_set:
+                    report.complain(
+                        f"dir {dir_fh}: live entry {entry.name!r} -> missing directory {entry.fh}"
+                    )
+                else:
+                    dir_refs[entry.fh.logical] += 1
+                continue
+            # FILE / SYMLINK
+            key = entry.fh.logical.to_hex()
+            if store.has_file(dir_fh, entry.fh):
+                expected_names.add(key)
+                expected_names.add(key + AUX_SUFFIX)
+                try:
+                    aux = store.read_file_aux(dir_fh, entry.fh)
+                except FicusError as exc:
+                    report.complain(f"dir {dir_fh}: {entry.name!r} unreadable aux ({exc})")
+                    continue
+                if aux.fh != entry.fh.logical:
+                    report.complain(
+                        f"dir {dir_fh}: {entry.name!r} aux names {aux.fh}, entry names {entry.fh}"
+                    )
+                if aux.etype != entry.etype:
+                    report.complain(
+                        f"dir {dir_fh}: {entry.name!r} aux type {aux.etype} != entry {entry.etype}"
+                    )
+            else:
+                # entry-only: contents arrive later by propagation
+                report.entries_awaiting_contents += 1
+
+        # stray-object sweep of the underlying Unix directory
+        try:
+            unix_dir = store.dir_unix_vnode(dir_fh)
+            for dirent in unix_dir.readdir():
+                name = dirent.name
+                if name in (".", ".."):
+                    continue
+                if name in expected_names:
+                    continue
+                if name.endswith(SHADOW_SUFFIX):
+                    continue  # in-flight propagation; scavenged on recovery
+                if name.endswith(AUX_SUFFIX) or _is_handle_hex(name):
+                    # storage for a dead or unknown entry: a leak
+                    report.complain(f"dir {dir_fh}: stray object {name!r}")
+                else:
+                    report.complain(f"dir {dir_fh}: unrecognized name {name!r}")
+        except FicusError as exc:
+            report.complain(f"dir {dir_fh}: cannot sweep unix directory ({exc})")
+
+    # reference counts and reachability
+    for dir_fh, observed in dir_refs.items():
+        if dir_fh == root_fh:
+            continue
+        try:
+            recorded = store.read_dir_aux(dir_fh).refs
+        except FicusError:
+            continue  # already complained above
+        if observed == 0:
+            report.orphan_directories += 1
+        elif recorded != observed:
+            report.complain(
+                f"dir {dir_fh}: aux refs={recorded} but {observed} live names observed"
+            )
+
+    # id mints must be ahead of everything issued
+    meta = store._read_meta()
+    next_unique = int(meta["next_unique"])
+    next_seq = int(meta["next_seq"])
+    if issued_uniques and max(issued_uniques) >= next_unique:
+        report.complain(
+            f"file-id mint behind: next_unique={next_unique}, max issued={max(issued_uniques)}"
+        )
+    if issued_seqs and max(issued_seqs) >= next_seq:
+        report.complain(
+            f"entry-id mint behind: next_seq={next_seq}, max issued={max(issued_seqs)}"
+        )
+    return report
+
+
+def _is_handle_hex(name: str) -> bool:
+    try:
+        FicusFileHandle.from_hex(name)
+        return True
+    except FicusError:
+        return False

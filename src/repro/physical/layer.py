@@ -1,0 +1,284 @@
+"""The Ficus physical layer.
+
+One instance runs per host.  It stacks on a lower vnode layer (normally
+UFS), manages the volume replicas stored on that host, tracks open/close
+update sessions, advances version vectors on updates, and keeps the
+*new-version cache* fed by update-notification datagrams:
+
+"A physical layer that receives an update notification makes an entry for
+the file in a new version cache.  An update propagation daemon consults
+this cache to see what new replica versions should be propagated in, and
+performs the propagation when it deems it appropriate" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FileNotFound, InvalidArgument, StaleFileHandle
+from repro.net import Network
+from repro.physical.policy import StoragePolicy
+from repro.physical.store import ReplicaStore
+from repro.physical.vnodes import (
+    PhysicalDirVnode,
+    PhysicalFileVnode,
+    PhysicalRootVnode,
+)
+from repro.physical.wire import EntryType
+from repro.util import FicusFileHandle, VirtualClock, VolumeReplicaId
+from repro.vnode.interface import FileSystemLayer, Vnode
+
+
+@dataclass(frozen=True)
+class NewVersionKey:
+    """Identifies one file replica needing propagation."""
+
+    volrep: VolumeReplicaId
+    parent_fh: FicusFileHandle
+    fh: FicusFileHandle
+
+
+@dataclass
+class NewVersionNote:
+    """One new-version cache entry."""
+
+    key: NewVersionKey
+    src_addr: str
+    src_volrep: VolumeReplicaId
+    noted_at: float
+    #: "file" (pull contents) or "dir" (replay entry ops via recon)
+    objkind: str = "file"
+
+
+@dataclass
+class _Session:
+    """Open/close update session state for one file replica."""
+
+    opens: int = 0
+    dirty: bool = False
+
+
+def notification_payload(
+    volrep: VolumeReplicaId,
+    parent_fh: FicusFileHandle,
+    fh: FicusFileHandle,
+    src_addr: str,
+    objkind: str = "file",
+) -> dict[str, str]:
+    """Wire form of an update-notification datagram.
+
+    ``objkind`` distinguishes file-content updates (propagated by atomic
+    copy) from directory updates (propagated by replaying entry operations
+    through directory reconciliation — "simply copying directory contents
+    is incorrect", Section 3.2).
+    """
+    return {
+        "kind": "new-version",
+        "volrep": volrep.to_hex(),
+        "parent": parent_fh.logical.to_hex(),
+        "fh": fh.logical.to_hex(),
+        "src": src_addr,
+        "objkind": objkind,
+    }
+
+
+class FicusPhysicalLayer(FileSystemLayer):
+    """Per-host physical layer managing this host's volume replicas."""
+
+    layer_name = "ficus-physical"
+
+    def __init__(
+        self,
+        lower: FileSystemLayer,
+        host_addr: str,
+        network: Network | None = None,
+        clock: VirtualClock | None = None,
+    ):
+        super().__init__()
+        self.lower_layer = lower
+        self.lower_root = lower.root()
+        self.host_addr = host_addr
+        self.network = network
+        self.clock = clock or (network.clock if network is not None else VirtualClock())
+        self.stores: dict[VolumeReplicaId, ReplicaStore] = {}
+        self._policies: dict[VolumeReplicaId, StoragePolicy] = {}
+        self._sessions: dict[tuple[int, FicusFileHandle], _Session] = {}
+        self._session_parents: dict[tuple[int, FicusFileHandle], FicusFileHandle] = {}
+        self._new_versions: dict[NewVersionKey, NewVersionNote] = {}
+        self._registry: dict[int, Vnode] = {}
+        #: count of version-vector bumps deferred into sessions (observability)
+        self.session_coalesced_updates = 0
+        if network is not None:
+            network.register_datagram_handler(host_addr, self._on_datagram)
+
+    # -- volume replica management ------------------------------------------
+
+    def create_volume_replica(self, volrep: VolumeReplicaId) -> ReplicaStore:
+        """Initialize storage for a new volume replica on this host."""
+        if volrep in self.stores:
+            raise InvalidArgument(f"{volrep} already hosted on {self.host_addr}")
+        store = ReplicaStore.create(self.lower_root, volrep)
+        self.stores[volrep] = store
+        return store
+
+    def attach_volume_replica(self, volrep: VolumeReplicaId) -> ReplicaStore:
+        """Attach to existing storage (host restart)."""
+        if volrep in self.stores:
+            return self.stores[volrep]
+        store = ReplicaStore.attach(self.lower_root, volrep)
+        self.stores[volrep] = store
+        return store
+
+    def store_for(self, volrep: VolumeReplicaId) -> ReplicaStore:
+        try:
+            return self.stores[volrep]
+        except KeyError:
+            raise FileNotFound(f"{self.host_addr} hosts no volume replica {volrep}") from None
+
+    def store_by_hex(self, text: str) -> ReplicaStore:
+        return self.store_for(VolumeReplicaId.from_hex(text))
+
+    def hosts_volume_replica(self, volrep: VolumeReplicaId) -> bool:
+        return volrep in self.stores
+
+    def set_storage_policy(self, volrep: VolumeReplicaId, policy: StoragePolicy) -> None:
+        """Make this volume replica selective about file contents."""
+        self.store_for(volrep)  # validate
+        self._policies[volrep] = policy
+
+    def policy_for(self, volrep: VolumeReplicaId) -> StoragePolicy:
+        return self._policies.get(volrep) or _FULL_POLICY
+
+    # -- vnode minting & NFS handle support -----------------------------------
+
+    def root(self) -> PhysicalRootVnode:
+        return PhysicalRootVnode(self)
+
+    def dir_vnode(self, store: ReplicaStore, fh: FicusFileHandle) -> PhysicalDirVnode:
+        return PhysicalDirVnode(self, store, fh)
+
+    def file_vnode(
+        self,
+        store: ReplicaStore,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        etype: EntryType,
+    ) -> PhysicalFileVnode:
+        return PhysicalFileVnode(self, store, parent_fh, fh, etype)
+
+    def register_vnode(self, fileid: int, vnode: Vnode) -> None:
+        """Remember fileid -> vnode so NFS handles can be re-resolved."""
+        self._registry[fileid] = vnode
+
+    def vnode_for(self, fileid: int) -> Vnode:
+        vnode = self._registry.get(fileid)
+        if vnode is None:
+            raise StaleFileHandle(f"physical layer has no vnode for fileid {fileid}")
+        return vnode
+
+    # -- update sessions (open/close, possibly smuggled via lookup) ------------
+
+    def _session_key(self, store: ReplicaStore, fh: FicusFileHandle) -> tuple[int, FicusFileHandle]:
+        return (id(store), fh.logical)
+
+    def session_open(
+        self, store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> None:
+        key = self._session_key(store, fh)
+        session = self._sessions.setdefault(key, _Session())
+        session.opens += 1
+        self._session_parents[key] = parent_fh.logical
+
+    def session_close(
+        self, store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> None:
+        key = self._session_key(store, fh)
+        session = self._sessions.get(key)
+        if session is None or session.opens == 0:
+            return
+        session.opens -= 1
+        if session.opens == 0:
+            if session.dirty:
+                self._bump_file_vv(store, parent_fh, fh)
+            del self._sessions[key]
+            self._session_parents.pop(key, None)
+
+    def has_open_session(self, store: ReplicaStore, fh: FicusFileHandle) -> bool:
+        session = self._sessions.get(self._session_key(store, fh))
+        return session is not None and session.opens > 0
+
+    def note_update(
+        self, store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> None:
+        """A write/truncate happened: advance the version vector.
+
+        Inside an open/close session the bump is deferred to close so one
+        whole update session counts as a single update — this is what the
+        smuggled open/close information buys (paper Section 2.3: "Ficus is
+        able to use effectively the open/close information that NFS
+        intercepts and ignores").
+        """
+        key = self._session_key(store, fh)
+        session = self._sessions.get(key)
+        if session is not None and session.opens > 0:
+            session.dirty = True
+            self.session_coalesced_updates += 1
+            return
+        self._bump_file_vv(store, parent_fh, fh)
+
+    def _bump_file_vv(
+        self, store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle
+    ) -> None:
+        aux = store.read_file_aux(parent_fh, fh)
+        aux.vv = aux.vv.bump(store.replica_id)
+        store.write_file_aux(parent_fh, fh, aux)
+
+    # -- new-version cache (update notification receive side) ------------------
+
+    def _on_datagram(self, src: str, payload: object) -> None:
+        if not isinstance(payload, dict) or payload.get("kind") != "new-version":
+            return
+        try:
+            volrep_field = payload["volrep"]
+            parent = FicusFileHandle.from_hex(payload["parent"])
+            fh = FicusFileHandle.from_hex(payload["fh"])
+            src_addr = payload["src"]
+        except (KeyError, InvalidArgument):
+            return
+        # The notification names the *sender's* volume replica; we care if
+        # we host ANY replica of the same volume.
+        try:
+            sender_volrep = VolumeReplicaId.from_hex(volrep_field)
+        except InvalidArgument:
+            return
+        for volrep in self.stores:
+            if volrep.volume == sender_volrep.volume:
+                key = NewVersionKey(volrep=volrep, parent_fh=parent, fh=fh)
+                objkind = payload.get("objkind", "file")
+                existing = self._new_versions.get(key)
+                if existing is not None and existing.objkind == "dir":
+                    # a pending directory note subsumes a file note: the
+                    # directory reconciliation pass pulls files too
+                    objkind = "dir"
+                self._new_versions[key] = NewVersionNote(
+                    key=key,
+                    src_addr=src_addr,
+                    src_volrep=sender_volrep,
+                    noted_at=self.clock.now(),
+                    objkind=objkind,
+                )
+
+    def pending_new_versions(self) -> list[NewVersionNote]:
+        """What the propagation daemon consults."""
+        return list(self._new_versions.values())
+
+    def clear_new_version(self, key: NewVersionKey) -> None:
+        self._new_versions.pop(key, None)
+
+    @property
+    def new_version_cache_size(self) -> int:
+        return len(self._new_versions)
+
+
+#: shared default: a full replica stores everything
+_FULL_POLICY = StoragePolicy()

@@ -1,0 +1,72 @@
+"""Per-volume-replica storage policies (selective replication).
+
+"A volume replica may contain at most one replica of a file, but need not
+store a replica of any particular file" (paper Section 4.1).  A storage
+policy decides which files' *contents* this volume replica keeps locally;
+directory structure and entries always replicate (they are the name
+space), and files the policy declines remain entry-only here — readable
+through any replica that does store them, exactly like a file whose
+contents have not propagated yet.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+
+from repro.physical.wire import DirectoryEntry
+
+
+class StoragePolicy:
+    """Base policy: store everything (the default, a full replica)."""
+
+    name = "full"
+
+    def wants(self, entry: DirectoryEntry, size_hint: int | None = None) -> bool:
+        """Should this replica store the contents of ``entry``?"""
+        return True
+
+
+@dataclass
+class GlobPolicy(StoragePolicy):
+    """Store only files whose names match one of the patterns.
+
+    ``exclude`` patterns override: a name matching both is not stored.
+    """
+
+    include: tuple[str, ...] = ("*",)
+    exclude: tuple[str, ...] = ()
+    name: str = "glob"
+
+    def wants(self, entry: DirectoryEntry, size_hint: int | None = None) -> bool:
+        if any(fnmatch.fnmatch(entry.name, pattern) for pattern in self.exclude):
+            return False
+        return any(fnmatch.fnmatch(entry.name, pattern) for pattern in self.include)
+
+
+@dataclass
+class SizeCapPolicy(StoragePolicy):
+    """Store only files at or below a size cap (bytes).
+
+    Useful for small-disk replicas: big artifacts stay entry-only and are
+    fetched through fuller replicas on demand.
+    """
+
+    max_bytes: int = 1 << 20
+    name: str = "size-cap"
+
+    def wants(self, entry: DirectoryEntry, size_hint: int | None = None) -> bool:
+        if size_hint is None:
+            return True  # unknown size: optimistic
+        return size_hint <= self.max_bytes
+
+
+@dataclass
+class CompositePolicy(StoragePolicy):
+    """All sub-policies must agree to store."""
+
+    policies: tuple[StoragePolicy, ...] = ()
+    name: str = "composite"
+
+    def wants(self, entry: DirectoryEntry, size_hint: int | None = None) -> bool:
+        return all(p.wants(entry, size_hint) for p in self.policies)

@@ -1,0 +1,341 @@
+"""Storage organization of one Ficus volume replica.
+
+"A volume replica is stored entirely within a Unix disk partition" (paper
+Section 4.1).  This module manages that storage *through the vnode
+interface of the layer below* — normally UFS, but by stackability anything
+presenting the same interface.
+
+Layout under the lower layer's root::
+
+    <volrep-hex>/            one UFS directory per hosted volume replica
+      .meta                  identity + id-mint counters
+      nodes/
+        <dirfh-hex>/         the "underlying Unix directory" of one Ficus
+                             directory (keyed by the *logical* handle so
+                             every replica uses the same key)
+          .fdir              the Ficus directory file (entry records)
+          .faux              the directory's auxiliary attributes
+          <filefh-hex>       a regular file replica's contents
+          <filefh-hex>.aux   its auxiliary attributes (version vector...)
+          <filefh-hex>.shadow  transient shadow during atomic propagation
+
+Regular files live inside their directory's UFS directory — the "on-disk
+file organization closely parallels the logical Ficus name space topology"
+(Section 2.6), which is what lets the UFS caches exploit directory
+locality.  A file with several names is hard-linked (contents and aux)
+into each naming directory's UFS directory.  Ficus *directories* are keyed
+flat in ``nodes/`` so that the directory DAG (multiple names for one
+directory, a consequence of concurrent renames) needs no extra mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FileNotFound, InvalidArgument
+from repro.physical.wire import (
+    AUX_SUFFIX,
+    FAUX_NAME,
+    FDIR_NAME,
+    META_NAME,
+    SHADOW_SUFFIX,
+    AuxAttributes,
+    DirectoryEntry,
+    EntryId,
+    EntryType,
+    decode_directory,
+    encode_directory,
+)
+from repro.util import (
+    FicusFileHandle,
+    FileId,
+    VolumeId,
+    VolumeReplicaId,
+    decode_record,
+    encode_record,
+)
+from repro.vnode.interface import Vnode
+from repro.vv import VersionVector
+
+#: Every volume root directory has this well-known file-id (issuer 0 is
+#: reserved for volume genesis, so no replica's mint can collide with it).
+ROOT_FILE_ID = FileId(0, 1)
+
+
+def volume_root_handle(volume: VolumeId) -> FicusFileHandle:
+    """The logical handle of a volume's root directory."""
+    return FicusFileHandle(volume, ROOT_FILE_ID)
+
+
+class ReplicaStore:
+    """Reads and writes one volume replica's on-disk structures."""
+
+    def __init__(self, lower_root: Vnode, volrep: VolumeReplicaId):
+        self.lower_root = lower_root
+        self.volrep = volrep
+        self._base = lower_root.lookup(volrep.to_hex())
+        self._nodes = self._base.lookup("nodes")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, lower_root: Vnode, volrep: VolumeReplicaId) -> "ReplicaStore":
+        """Initialize storage for a brand-new volume replica."""
+        base = lower_root.mkdir(volrep.to_hex())
+        meta = base.create(META_NAME)
+        meta.write(
+            0,
+            encode_record(
+                {
+                    "volrep": volrep.to_hex(),
+                    "next_unique": "1",
+                    "next_seq": "1",
+                }
+            ).encode("utf-8"),
+        )
+        base.mkdir("nodes")
+        store = cls(lower_root, volrep)
+        root_fh = volume_root_handle(volrep.volume)
+        store.create_directory_storage(root_fh, EntryType.DIRECTORY)
+        return store
+
+    @classmethod
+    def attach(cls, lower_root: Vnode, volrep: VolumeReplicaId) -> "ReplicaStore":
+        """Open existing volume-replica storage (e.g. after host restart)."""
+        return cls(lower_root, volrep)
+
+    @classmethod
+    def exists(cls, lower_root: Vnode, volrep: VolumeReplicaId) -> bool:
+        try:
+            lower_root.lookup(volrep.to_hex())
+            return True
+        except FileNotFound:
+            return False
+
+    @property
+    def volume(self) -> VolumeId:
+        return self.volrep.volume
+
+    @property
+    def replica_id(self) -> int:
+        return self.volrep.replica_id
+
+    def root_handle(self) -> FicusFileHandle:
+        return volume_root_handle(self.volume)
+
+    # -- id mints (persisted in .meta) ------------------------------------------
+
+    def _read_meta(self) -> dict[str, str]:
+        meta = self._base.lookup(META_NAME)
+        return decode_record(meta.read_all().decode("utf-8"))
+
+    def _write_meta(self, rec: dict[str, str]) -> None:
+        meta = self._base.lookup(META_NAME)
+        data = encode_record(rec).encode("utf-8")
+        meta.truncate(0)
+        meta.write(0, data)
+
+    def new_file_id(self) -> FileId:
+        """Mint a file-id: ⟨this replica's id, next unique⟩ (Section 4.2)."""
+        rec = self._read_meta()
+        unique = int(rec["next_unique"])
+        rec["next_unique"] = str(unique + 1)
+        self._write_meta(rec)
+        return FileId(self.replica_id, unique)
+
+    def new_entry_id(self) -> EntryId:
+        """Mint a directory-entry insertion id, unique to this replica."""
+        rec = self._read_meta()
+        seq = int(rec["next_seq"])
+        rec["next_seq"] = str(seq + 1)
+        self._write_meta(rec)
+        return EntryId(self.replica_id, seq)
+
+    # -- directory storage -----------------------------------------------------
+
+    @staticmethod
+    def _dir_key(fh: FicusFileHandle) -> str:
+        return fh.logical.to_hex()
+
+    def has_directory(self, fh: FicusFileHandle) -> bool:
+        try:
+            self._nodes.lookup(self._dir_key(fh))
+            return True
+        except FileNotFound:
+            return False
+
+    def dir_unix_vnode(self, fh: FicusFileHandle) -> Vnode:
+        """The underlying Unix directory of a Ficus directory."""
+        return self._nodes.lookup(self._dir_key(fh))
+
+    def create_directory_storage(
+        self,
+        fh: FicusFileHandle,
+        etype: EntryType,
+        graft_volume: str = "",
+    ) -> Vnode:
+        """Materialize storage for a new Ficus directory (or graft point)."""
+        unix_dir = self._nodes.mkdir(self._dir_key(fh))
+        unix_dir.create(FDIR_NAME)
+        aux = AuxAttributes(fh=fh.logical, etype=etype, refs=1, graft_volume=graft_volume)
+        unix_dir.create(FAUX_NAME).write(0, aux.to_bytes())
+        return unix_dir
+
+    def remove_directory_storage(self, fh: FicusFileHandle) -> None:
+        """Reclaim a dead directory's storage (refs reached zero)."""
+        unix_dir = self.dir_unix_vnode(fh)
+        for entry in unix_dir.readdir():
+            if entry.name in (".", ".."):
+                continue
+            unix_dir.remove(entry.name)
+        self._nodes.rmdir(self._dir_key(fh))
+
+    def read_entries(self, fh: FicusFileHandle) -> list[DirectoryEntry]:
+        """All entries of a Ficus directory, tombstones included."""
+        fdir = self.dir_unix_vnode(fh).lookup(FDIR_NAME)
+        return decode_directory(fdir.read_all())
+
+    def write_entries(self, fh: FicusFileHandle, entries: list[DirectoryEntry]) -> None:
+        fdir = self.dir_unix_vnode(fh).lookup(FDIR_NAME)
+        data = encode_directory(entries)
+        fdir.truncate(0)
+        if data:
+            fdir.write(0, data)
+
+    def read_dir_aux(self, fh: FicusFileHandle) -> AuxAttributes:
+        faux = self.dir_unix_vnode(fh).lookup(FAUX_NAME)
+        return AuxAttributes.from_bytes(faux.read_all())
+
+    def write_dir_aux(self, fh: FicusFileHandle, aux: AuxAttributes) -> None:
+        faux = self.dir_unix_vnode(fh).lookup(FAUX_NAME)
+        data = aux.to_bytes()
+        faux.truncate(0)
+        faux.write(0, data)
+
+    # -- regular-file storage (lives inside the parent's Unix directory) --------
+
+    @staticmethod
+    def _file_key(fh: FicusFileHandle) -> str:
+        return fh.logical.to_hex()
+
+    def file_vnode(self, parent: FicusFileHandle, fh: FicusFileHandle) -> Vnode:
+        """The contents vnode of a regular-file replica."""
+        return self.dir_unix_vnode(parent).lookup(self._file_key(fh))
+
+    def aux_vnode(self, parent: FicusFileHandle, fh: FicusFileHandle) -> Vnode:
+        return self.dir_unix_vnode(parent).lookup(self._file_key(fh) + AUX_SUFFIX)
+
+    def read_file_aux(self, parent: FicusFileHandle, fh: FicusFileHandle) -> AuxAttributes:
+        return AuxAttributes.from_bytes(self.aux_vnode(parent, fh).read_all())
+
+    def write_file_aux(
+        self, parent: FicusFileHandle, fh: FicusFileHandle, aux: AuxAttributes
+    ) -> None:
+        vnode = self.aux_vnode(parent, fh)
+        data = aux.to_bytes()
+        vnode.truncate(0)
+        vnode.write(0, data)
+
+    def create_file_storage(
+        self, parent: FicusFileHandle, fh: FicusFileHandle, etype: EntryType = EntryType.FILE
+    ) -> Vnode:
+        """Materialize contents + aux for a new regular file or symlink."""
+        unix_dir = self.dir_unix_vnode(parent)
+        contents = unix_dir.create(self._file_key(fh))
+        aux = AuxAttributes(fh=fh.logical, etype=etype, refs=1)
+        unix_dir.create(self._file_key(fh) + AUX_SUFFIX).write(0, aux.to_bytes())
+        return contents
+
+    def link_file_storage(
+        self,
+        src_parent: FicusFileHandle,
+        dst_parent: FicusFileHandle,
+        fh: FicusFileHandle,
+    ) -> None:
+        """Hard-link a file's contents and aux into another directory.
+
+        Gives the file a second name without copying: both Unix names share
+        one inode, so updates and version-vector changes are seen through
+        every name.
+        """
+        src_dir = self.dir_unix_vnode(src_parent)
+        dst_dir = self.dir_unix_vnode(dst_parent)
+        key = self._file_key(fh)
+        dst_dir.link(src_dir.lookup(key), key)
+        dst_dir.link(src_dir.lookup(key + AUX_SUFFIX), key + AUX_SUFFIX)
+
+    def unlink_file_storage(self, parent: FicusFileHandle, fh: FicusFileHandle) -> None:
+        """Drop one directory's name for a file (UFS frees at last link)."""
+        unix_dir = self.dir_unix_vnode(parent)
+        key = self._file_key(fh)
+        unix_dir.remove(key)
+        unix_dir.remove(key + AUX_SUFFIX)
+        try:
+            unix_dir.remove(key + SHADOW_SUFFIX)
+        except FileNotFound:
+            pass
+
+    def has_file(self, parent: FicusFileHandle, fh: FicusFileHandle) -> bool:
+        try:
+            self.file_vnode(parent, fh)
+            return True
+        except FileNotFound:
+            return False
+
+    # -- shadow files (single-file atomic commit, paper Section 3.2) -----------
+
+    def shadow_vnode(self, parent: FicusFileHandle, fh: FicusFileHandle, create: bool = False) -> Vnode:
+        unix_dir = self.dir_unix_vnode(parent)
+        key = self._file_key(fh) + SHADOW_SUFFIX
+        try:
+            return unix_dir.lookup(key)
+        except FileNotFound:
+            if not create:
+                raise
+            return unix_dir.create(key)
+
+    def commit_shadow(
+        self, parent: FicusFileHandle, fh: FicusFileHandle, vv: VersionVector
+    ) -> None:
+        """Atomically replace the file contents with its shadow.
+
+        "a shadow file replica is used to hold the new version until it is
+        completely propagated, and then the shadow atomically replaces the
+        original by changing a low-level directory reference."  The
+        low-level reference change is a UFS rename.
+        """
+        unix_dir = self.dir_unix_vnode(parent)
+        key = self._file_key(fh)
+        unix_dir.rename(key + SHADOW_SUFFIX, unix_dir, key)
+        aux = self.read_file_aux(parent, fh)
+        aux.vv = vv
+        self.write_file_aux(parent, fh, aux)
+
+    def abort_shadow(self, parent: FicusFileHandle, fh: FicusFileHandle) -> None:
+        """Discard an uncommitted shadow ("the shadow discarded")."""
+        try:
+            self.dir_unix_vnode(parent).remove(self._file_key(fh) + SHADOW_SUFFIX)
+        except FileNotFound:
+            pass
+
+    def scavenge_shadows(self, fh: FicusFileHandle) -> int:
+        """Crash recovery: drop every orphan shadow in one directory."""
+        unix_dir = self.dir_unix_vnode(fh)
+        dropped = 0
+        for entry in unix_dir.readdir():
+            if entry.name.endswith(SHADOW_SUFFIX):
+                unix_dir.remove(entry.name)
+                dropped += 1
+        return dropped
+
+    # -- directory enumeration (for reconciliation sweeps) -----------------------
+
+    def all_directory_handles(self) -> list[FicusFileHandle]:
+        """Every Ficus directory with storage in this volume replica."""
+        out = []
+        for entry in self._nodes.readdir():
+            if entry.name in (".", ".."):
+                continue
+            try:
+                out.append(FicusFileHandle.from_hex(entry.name))
+            except InvalidArgument:
+                continue
+        return out

@@ -1,0 +1,626 @@
+"""Vnodes exported by the Ficus physical layer.
+
+The physical layer "implements the concept of a file replica" (paper
+Section 2.6).  Its vnodes are:
+
+* :class:`PhysicalRootVnode` — names the volume replicas this host stores.
+* :class:`PhysicalDirVnode` — one Ficus directory replica (or graft
+  point).  Plain-name lookups perform the dual mapping (name -> Ficus file
+  handle via the directory file, handle -> inode via the hex-encoded UFS
+  name).  Encoded ``@@op|...`` names carry the operations the vnode
+  interface lacks — open/close notification, access by handle, shadow and
+  commit for atomic propagation, version-vector maintenance — so that
+  everything works unmodified through an intervening NFS layer.
+* :class:`PhysicalFileVnode` — one regular-file (or symlink) replica;
+  writes advance the replica's version vector.
+
+Name conflicts between live entries (possible after optimistic concurrent
+inserts) are repaired *deterministically at read time*: every replica
+computes the same effective names from the same entry set, so the repair
+itself needs no coordination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    NotSupported,
+)
+from repro.physical.store import ReplicaStore
+from repro.physical.wire import (
+    AuxAttributes,
+    DirectoryEntry,
+    EntryId,
+    EntryType,
+    decode_op,
+    is_encoded_op,
+)
+from repro.ufs.inode import FileAttributes, FileType
+from repro.util import FicusFileHandle
+from repro.vnode.interface import ROOT_CRED, Credential, DirEntry, SetAttrs, Vnode
+from repro.vv import VersionVector
+
+#: Separator used when repairing a live-name collision: the colliding
+#: entries after the first become ``name#<entry-id>``.
+CONFLICT_SEP = "#"
+
+
+def effective_entries(entries: list[DirectoryEntry]) -> dict[str, DirectoryEntry]:
+    """Map user-visible names to live entries, repairing collisions.
+
+    Concurrent partitioned inserts can leave two live entries with the same
+    name.  Every replica applies the same rule — the entry with the lowest
+    entry-id keeps the plain name, later ones are shown as
+    ``name#<entry-id>`` — so the repaired view converges with no messages.
+    """
+    by_name: dict[str, list[DirectoryEntry]] = {}
+    for entry in entries:
+        if entry.live:
+            by_name.setdefault(entry.name, []).append(entry)
+    view: dict[str, DirectoryEntry] = {}
+    for name, group in by_name.items():
+        group.sort(key=lambda e: e.eid)
+        view[name] = group[0]
+        for extra in group[1:]:
+            view[f"{name}{CONFLICT_SEP}{extra.eid.encode()}"] = extra
+    return view
+
+
+def count_name_collisions(entries: list[DirectoryEntry]) -> int:
+    """How many live entries currently need a repaired (suffixed) name."""
+    by_name: dict[str, int] = {}
+    for entry in entries:
+        if entry.live:
+            by_name[entry.name] = by_name.get(entry.name, 0) + 1
+    return sum(n - 1 for n in by_name.values() if n > 1)
+
+
+class PhysicalRootVnode(Vnode):
+    """Root of the physical layer's namespace: one name per volume replica."""
+
+    def __init__(self, layer: "FicusPhysicalLayer"):  # noqa: F821
+        self.layer = layer
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        return self.layer.lower_root.getattr(cred)
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("lookup")
+        store = self.layer.store_by_hex(name)
+        return self.layer.dir_vnode(store, store.root_handle())
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        self.layer.counters.bump("readdir")
+        out = []
+        for volrep, store in sorted(self.layer.stores.items(), key=lambda kv: kv[0].to_hex()):
+            fileid = store.dir_unix_vnode(store.root_handle()).getattr().fileid
+            out.append(DirEntry(name=volrep.to_hex(), fileid=fileid, ftype=FileType.DIRECTORY))
+        return out
+
+    def __repr__(self) -> str:
+        return f"PhysicalRootVnode({self.layer.host_addr})"
+
+
+class PhysicalDirVnode(Vnode):
+    """One Ficus directory replica (also used for graft points)."""
+
+    def __init__(
+        self,
+        layer: "FicusPhysicalLayer",  # noqa: F821
+        store: ReplicaStore,
+        fh: FicusFileHandle,
+    ):
+        self.layer = layer
+        self.store = store
+        self.fh = fh.logical
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PhysicalDirVnode)
+            and other.store is self.store
+            and other.fh == self.fh
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.store), self.fh))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fdir_vnode(self) -> Vnode:
+        from repro.physical.wire import FDIR_NAME
+
+        return self.store.dir_unix_vnode(self.fh).lookup(FDIR_NAME)
+
+    def entries(self) -> list[DirectoryEntry]:
+        """All entries including tombstones (reconciliation reads these)."""
+        return self.store.read_entries(self.fh)
+
+    def aux(self) -> AuxAttributes:
+        return self.store.read_dir_aux(self.fh)
+
+    def _child_vnode(self, entry: DirectoryEntry) -> Vnode:
+        if entry.etype == EntryType.LOCATION:
+            raise FileNotFound(f"{entry.name!r} is graft-point metadata, not a file")
+        if entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
+            if not self.store.has_directory(entry.fh):
+                raise FileNotFound(f"directory {entry.fh} not stored in this volume replica")
+            return self.layer.dir_vnode(self.store, entry.fh)
+        if not self.store.has_file(self.fh, entry.fh):
+            raise ReplicaNotStored(
+                f"file {entry.fh} has an entry here but its contents are not "
+                "stored in this volume replica yet"
+            )
+        return self.layer.file_vnode(self.store, self.fh, entry.fh, entry.etype)
+
+    def find_live_by_fh(self, fh: FicusFileHandle) -> DirectoryEntry:
+        logical = fh.logical
+        for entry in self.entries():
+            if entry.live and entry.fh == logical:
+                return entry
+        raise FileNotFound(f"no live entry for {fh} in directory {self.fh}")
+
+    # -- attributes ----------------------------------------------------------
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        attrs = self._fdir_vnode().getattr(cred)
+        attrs = dataclasses.replace(attrs, ftype=FileType.DIRECTORY)
+        self.layer.register_vnode(attrs.fileid, self)
+        return attrs
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        if attrs.size is not None:
+            raise IsADirectory("cannot truncate a directory")
+        self._fdir_vnode().setattr(attrs, cred)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.counters.bump("access")
+        attrs = self.getattr(cred)
+        if cred.uid == 0:
+            return True
+        shift = 6 if cred.uid == attrs.uid else 0
+        return (attrs.perm >> shift) & mode == mode
+
+    # -- data: a Ficus directory IS a file, so it can be read ------------------
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        """Read the raw directory file (the logical layer and the
+        reconciliation protocol parse entries from these bytes)."""
+        self.layer.counters.bump("read")
+        return self._fdir_vnode().read(offset, length, cred)
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        raise InvalidArgument("Ficus directories are mutated via insert/remove operations")
+
+    # -- lifetime: these actually arrive (encoded) via lookup when remote --------
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("open")
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("close")
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+
+    # -- namespace ---------------------------------------------------------------
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("lookup")
+        if is_encoded_op(name):
+            return self._encoded_lookup(name)
+        view = effective_entries(self.entries())
+        entry = view.get(name)
+        if entry is None:
+            raise FileNotFound(f"{name!r} not found in Ficus directory {self.fh}")
+        return self._child_vnode(entry)
+
+    def _encoded_lookup(self, name: str) -> Vnode:
+        """Dispatch an operation smuggled through the lookup service."""
+        op, fields = decode_op(name)
+        if op == "open":
+            fh = FicusFileHandle.from_hex(fields[0])
+            self.layer.session_open(self.store, self.fh, fh)
+            return self._child_vnode(self.find_live_by_fh(fh))
+        if op == "close":
+            fh = FicusFileHandle.from_hex(fields[0])
+            self.layer.session_close(self.store, self.fh, fh)
+            return self._child_vnode(self.find_live_by_fh(fh))
+        if op == "byfh":
+            return self._child_vnode(self.find_live_by_fh(FicusFileHandle.from_hex(fields[0])))
+        if op == "dir":
+            fh = FicusFileHandle.from_hex(fields[0])
+            if not self.store.has_directory(fh):
+                raise FileNotFound(f"directory {fh} not stored in this volume replica")
+            return self.layer.dir_vnode(self.store, fh)
+        if op == "aux":
+            fh = FicusFileHandle.from_hex(fields[0])
+            return self.store.aux_vnode(self.fh, fh)
+        if op == "dauxv":
+            return self.store.dir_unix_vnode(self.fh).lookup(".faux")
+        if op == "shadow":
+            fh = FicusFileHandle.from_hex(fields[0])
+            return self.store.shadow_vnode(self.fh, fh, create=True)
+        if op == "commit":
+            fh = FicusFileHandle.from_hex(fields[0])
+            vv = VersionVector.decode(fields[1])
+            self.store.commit_shadow(self.fh, fh, vv)
+            return self._child_vnode(self.find_live_by_fh(fh))
+        if op == "abortshadow":
+            fh = FicusFileHandle.from_hex(fields[0])
+            self.store.abort_shadow(self.fh, fh)
+            return self
+        if op == "mergevv":
+            self._merge_dir_vv(VersionVector.decode(fields[0]))
+            return self
+        if op == "setvv":
+            fh = FicusFileHandle.from_hex(fields[0])
+            aux = self.store.read_file_aux(self.fh, fh)
+            aux.vv = VersionVector.decode(fields[1])
+            self.store.write_file_aux(self.fh, fh, aux)
+            return self._child_vnode(self.find_live_by_fh(fh))
+        raise NotSupported(f"encoded operation {op!r}")
+
+    def _merge_dir_vv(self, remote: VersionVector) -> None:
+        aux = self.aux()
+        aux.vv = aux.vv.merge(remote)
+        self.store.write_dir_aux(self.fh, aux)
+
+    def _bump_dir_vv(self) -> None:
+        aux = self.aux()
+        aux.vv = aux.vv.bump(self.store.replica_id)
+        self.store.write_dir_aux(self.fh, aux)
+
+    # insert arrives as the name argument of create (paper Section 2.3
+    # style overloading: NFS passes the string through untouched).
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("create")
+        if not is_encoded_op(name):
+            raise InvalidArgument(
+                "physical-layer create expects an encoded insert operation; "
+                "plain creates belong to the logical layer"
+            )
+        op, fields = decode_op(name)
+        if op != "insert":
+            raise NotSupported(f"create cannot carry operation {op!r}")
+        # The applying replica mints ids the requester left blank — id
+        # issuance stays with the volume replica (paper Section 4.2) even
+        # when the request crossed an NFS hop.
+        eid = EntryId.decode(fields[0]) if fields[0] else self.store.new_entry_id()
+        user_name = fields[1]
+        if fields[2]:
+            fh = FicusFileHandle.from_hex(fields[2])
+        else:
+            fh = FicusFileHandle(self.store.volume, self.store.new_file_id())
+        etype = EntryType(fields[3])
+        data = fields[4]
+        link_from = FicusFileHandle.from_hex(fields[5]) if fields[5] else None
+        from_recon = bool(fields[6])
+        return self.apply_insert(eid, user_name, fh, etype, data, link_from, from_recon)
+
+    def apply_insert(
+        self,
+        eid: EntryId,
+        name: str,
+        fh: FicusFileHandle,
+        etype: EntryType,
+        data: str = "",
+        link_from: FicusFileHandle | None = None,
+        from_recon: bool = False,
+    ) -> Vnode:
+        """Insert one directory entry and materialize backing storage.
+
+        Idempotent on entry-id: re-applying an insert (an RPC retry or a
+        repeated reconciliation) is a no-op.
+        """
+        if is_encoded_op(name) or "/" in name or "\x00" in name or not name:
+            raise InvalidArgument(f"bad Ficus name {name!r}")
+        from repro.errors import NameTooLong
+        from repro.physical.wire import max_user_name_length
+
+        if len(name) > max_user_name_length():
+            # footnote 2: the encoding overhead caps user components at
+            # ~200 chars; enforce the worst-case bound uniformly so every
+            # entry can be re-encoded through an NFS hop later
+            raise NameTooLong(
+                f"name of {len(name)} chars exceeds the {max_user_name_length()}-char "
+                "budget left by the lookup-overload encoding"
+            )
+        entries = self.entries()
+        for existing in entries:
+            if existing.eid == eid:
+                return self._child_vnode(existing) if existing.live else self
+        fh = fh.logical
+        entry = DirectoryEntry(eid=eid, name=name, fh=fh, etype=etype, data=data)
+        # materialize storage before publishing the entry
+        if etype == EntryType.LOCATION:
+            pass  # pure metadata: a graft point's volume-replica record
+        elif etype in (EntryType.FILE, EntryType.SYMLINK):
+            if not self.store.has_file(self.fh, fh):
+                if link_from is not None and self.store.has_file(link_from, fh):
+                    self.store.link_file_storage(link_from, self.fh, fh)
+                elif from_recon:
+                    # Entry learned via reconciliation: contents arrive
+                    # later by update propagation; publish the entry only.
+                    pass
+                else:
+                    self.store.create_file_storage(self.fh, fh, etype)
+        else:
+            if self.store.has_directory(fh):
+                daux = self.store.read_dir_aux(fh)
+                daux.refs += 1
+                self.store.write_dir_aux(fh, daux)
+            else:
+                self.store.create_directory_storage(fh, etype, graft_volume=data)
+        entries.append(entry)
+        self.store.write_entries(self.fh, entries)
+        if not from_recon:
+            self._bump_dir_vv()
+        if entry.etype == EntryType.LOCATION:
+            return self  # metadata entries have no child vnode
+        try:
+            return self._child_vnode(entry)
+        except ReplicaNotStored:
+            return self
+
+    def apply_tombstone(self, entry: DirectoryEntry) -> None:
+        """Record a remote entry that is already dead, storage-free.
+
+        Reconciliation uses this when the remote replica shows an entry
+        that was inserted *and* deleted while we were out of touch: the
+        tombstone must be remembered (so the delete still wins against a
+        third replica that only saw the insert) but no storage is created.
+        Idempotent on entry-id; deletion-acknowledgement sets merge.
+        """
+        merged_acks = entry.acks | {self.store.replica_id}
+        merged_acks2 = entry.acks2
+        entries = self.entries()
+        for index, existing in enumerate(entries):
+            if existing.eid == entry.eid:
+                if existing.live:
+                    entries[index] = existing.killed(acks=merged_acks).with_acks(
+                        merged_acks, merged_acks2
+                    )
+                    self.store.write_entries(self.fh, entries)
+                    self._gc_storage(existing, entries)
+                elif not (merged_acks <= existing.acks and merged_acks2 <= existing.acks2):
+                    entries[index] = existing.with_acks(
+                        existing.acks | merged_acks, existing.acks2 | merged_acks2
+                    )
+                    self.store.write_entries(self.fh, entries)
+                return
+        entries.append(entry.killed(acks=merged_acks).with_acks(merged_acks, merged_acks2))
+        self.store.write_entries(self.fh, entries)
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("remove")
+        if not is_encoded_op(name):
+            raise InvalidArgument(
+                "physical-layer remove expects an encoded remove operation"
+            )
+        op, fields = decode_op(name)
+        if op != "remove":
+            raise NotSupported(f"remove cannot carry operation {op!r}")
+        self.apply_remove(EntryId.decode(fields[0]), from_recon=bool(fields[1]))
+
+    def apply_remove(self, eid: EntryId, from_recon: bool = False) -> None:
+        """Tombstone one entry and garbage-collect its backing storage.
+
+        Idempotent: removing an already-dead entry is a no-op; removing an
+        unknown entry-id records a tombstone-only entry is NOT done — the
+        caller must have seen the insert (reconciliation guarantees this by
+        applying inserts before removes).
+        """
+        entries = self.entries()
+        for index, entry in enumerate(entries):
+            if entry.eid == eid:
+                if not entry.live:
+                    return
+                entries[index] = entry.killed(acks=frozenset({self.store.replica_id}))
+                self.store.write_entries(self.fh, entries)
+                self._gc_storage(entry, entries)
+                if not from_recon:
+                    self._bump_dir_vv()
+                return
+        raise FileNotFound(f"no entry {eid.encode()} in directory {self.fh}")
+
+    def _gc_storage(self, dead: DirectoryEntry, entries: list[DirectoryEntry]) -> None:
+        if dead.etype == EntryType.LOCATION:
+            return
+        if dead.etype in (EntryType.FILE, EntryType.SYMLINK):
+            still_named_here = any(
+                e.live and e.fh == dead.fh for e in entries
+            )
+            if not still_named_here and self.store.has_file(self.fh, dead.fh):
+                self.store.unlink_file_storage(self.fh, dead.fh)
+            return
+        if not self.store.has_directory(dead.fh):
+            return
+        daux = self.store.read_dir_aux(dead.fh)
+        daux.refs -= 1
+        if daux.refs > 0:
+            self.store.write_dir_aux(dead.fh, daux)
+            return
+        # last name gone: reclaim, but only when the directory is empty of
+        # live entries (the logical layer enforces rmdir-on-empty; entries
+        # arriving later via reconciliation leave an orphan for the GC
+        # daemon rather than losing data).
+        sub_entries = self.store.read_entries(dead.fh)
+        if any(e.live for e in sub_entries):
+            self.store.write_dir_aux(dead.fh, daux)
+            return
+        self.store.remove_directory_storage(dead.fh)
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: Vnode,
+        dst_name: str,
+        cred: Credential = ROOT_CRED,
+    ) -> None:
+        raise NotSupported(
+            "the logical layer composes rename from insert + remove; the "
+            "physical layer has no rename of its own"
+        )
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        # mkdir carries the same encoded insert as create
+        return self.create(name, perm, cred)
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.remove(name, cred)
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        self.layer.counters.bump("readdir")
+        out = []
+        type_map = {
+            EntryType.FILE: FileType.REGULAR,
+            EntryType.SYMLINK: FileType.SYMLINK,
+            EntryType.DIRECTORY: FileType.DIRECTORY,
+            EntryType.GRAFT_POINT: FileType.DIRECTORY,
+        }
+        for name, entry in sorted(effective_entries(self.entries()).items()):
+            if entry.etype == EntryType.LOCATION:
+                continue  # graft-point metadata is not user-visible
+            out.append(
+                DirEntry(
+                    name=name,
+                    fileid=entry.fh.file_id.unique,
+                    ftype=type_map[entry.etype],
+                )
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return f"PhysicalDirVnode({self.store.volrep}, {self.fh})"
+
+
+class PhysicalFileVnode(Vnode):
+    """One regular-file or symlink replica."""
+
+    def __init__(
+        self,
+        layer: "FicusPhysicalLayer",  # noqa: F821
+        store: ReplicaStore,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        etype: EntryType,
+    ):
+        self.layer = layer
+        self.store = store
+        self.parent_fh = parent_fh.logical
+        self.fh = fh.logical
+        self.etype = etype
+
+    def _contents(self) -> Vnode:
+        return self.store.file_vnode(self.parent_fh, self.fh)
+
+    def aux(self) -> AuxAttributes:
+        return self.store.read_file_aux(self.parent_fh, self.fh)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PhysicalFileVnode)
+            and other.store is self.store
+            and other.fh == self.fh
+            and other.parent_fh == self.parent_fh
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.store), self.parent_fh, self.fh))
+
+    # -- lifetime --
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        """Works when the physical layer is local; when an NFS hop is in
+        between this never arrives — hence the encoded @@open lookup."""
+        self.layer.counters.bump("open")
+        self.layer.session_open(self.store, self.parent_fh, self.fh)
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("close")
+        self.layer.session_close(self.store, self.parent_fh, self.fh)
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+
+    # -- data --
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        self.layer.counters.bump("read")
+        return self._contents().read(offset, length, cred)
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        self.layer.counters.bump("write")
+        written = self._contents().write(offset, data, cred)
+        self.layer.note_update(self.store, self.parent_fh, self.fh)
+        return written
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("truncate")
+        self._contents().truncate(size, cred)
+        self.layer.note_update(self.store, self.parent_fh, self.fh)
+
+    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("fsync")
+        self._contents().fsync(cred)
+
+    # -- attributes --
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        attrs = self._contents().getattr(cred)
+        if self.etype == EntryType.SYMLINK:
+            attrs = dataclasses.replace(attrs, ftype=FileType.SYMLINK)
+        self.layer.register_vnode(attrs.fileid, self)
+        return attrs
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        self._contents().setattr(attrs, cred)
+        if attrs.size is not None:
+            self.layer.note_update(self.store, self.parent_fh, self.fh)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.counters.bump("access")
+        attrs = self.getattr(cred)
+        if cred.uid == 0:
+            return True
+        shift = 6 if cred.uid == attrs.uid else 0
+        return (attrs.perm >> shift) & mode == mode
+
+    # -- symlink --
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        self.layer.counters.bump("readlink")
+        if self.etype != EntryType.SYMLINK:
+            raise InvalidArgument("not a symlink")
+        return self._contents().read_all(cred).decode("utf-8")
+
+    # -- directories only --
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        raise NotADirectory(f"{self.fh} is not a directory")
+
+    def __repr__(self) -> str:
+        return f"PhysicalFileVnode({self.store.volrep}, {self.fh})"
+
+
+class ReplicaNotStored(FileNotFound):
+    """The entry exists, but this volume replica stores no copy of the file.
+
+    "A volume replica may contain at most one replica of a file, but need
+    not store a replica of any particular file" (paper Section 4.1).  The
+    logical layer reacts by selecting a different replica.
+    """
+
+    errno_name = "ENOTSTORED"

@@ -1,0 +1,367 @@
+"""On-disk record formats and encoded operations for the physical layer.
+
+Two kinds of byte formats live here:
+
+* **Ficus directory entries and auxiliary attributes** — Ficus directories
+  are stored as UFS *files* of entry records, and "replication-related
+  attributes [are] stored in an auxiliary file" (paper Section 2.6).
+
+* **Encoded vnode operations.**  The vnode interface predates Ficus, and
+  NFS drops calls it does not know (open/close) — so Ficus "overloaded the
+  lookup service by encoding an open/close request as a null-terminated
+  ASCII string of sufficient length to be passed on by NFS without
+  interpretation or interference" (Section 2.3).  We encode *all* Ficus
+  control operations this way (open, close, shadow access, commit, version
+  merging), and the entry-management operations through the name argument
+  of create/remove.  The footnoted cost is reproduced exactly: the
+  encoding overhead shrinks the usable name component from 255 to about
+  200 characters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgument, NameTooLong
+from repro.ufs.layout import MAX_NAME_LEN
+from repro.util import FicusFileHandle, decode_record, encode_record, escape_value, unescape_value
+from repro.vv import VersionVector
+
+#: Prefix marking an encoded operation smuggled through a name argument.
+#: Real names may not start with this (checked at insert time).
+OP_PREFIX = "@@"
+
+#: Separator between fields of an encoded operation.
+OP_SEP = "|"
+
+#: Reserved UFS names inside a Ficus directory's underlying Unix directory.
+FDIR_NAME = ".fdir"  # the Ficus directory entry file
+FAUX_NAME = ".faux"  # the directory's auxiliary attribute file
+META_NAME = ".meta"  # volume-replica counters (file-id / entry-id mints)
+AUX_SUFFIX = ".aux"  # per-file auxiliary attribute file
+SHADOW_SUFFIX = ".shadow"  # transient shadow replica during propagation
+
+
+class EntryType(enum.Enum):
+    """What a Ficus directory entry names."""
+
+    FILE = "file"
+    DIRECTORY = "dir"
+    SYMLINK = "symlink"
+    #: A graft point: "a special file type used to indicate that a
+    #: (specific) volume is to be transparently grafted at this point in
+    #: the name space" (paper Section 4.3).
+    GRAFT_POINT = "graft"
+    #: A volume-replica location record inside a graft point: "the list of
+    #: volume replicas and the (Internet) addresses of the managing Ficus
+    #: physical layers are conveniently maintained as directory entries"
+    #: (Section 4.3).  Pure metadata — no backing storage.
+    LOCATION = "loc"
+
+
+@dataclass(frozen=True, order=True)
+class EntryId:
+    """Globally unique id of one directory-entry *insertion event*.
+
+    Reinserting a deleted name is a new event with a new id, which is what
+    lets insert/delete reconciliation converge without clocks.
+    """
+
+    replica_id: int
+    seq: int
+
+    def encode(self) -> str:
+        return f"{self.replica_id:x}:{self.seq:x}"
+
+    @classmethod
+    def decode(cls, text: str) -> "EntryId":
+        try:
+            rep, seq = text.split(":")
+            return cls(int(rep, 16), int(seq, 16))
+        except ValueError as exc:
+            raise InvalidArgument(f"bad entry id {text!r}") from exc
+
+
+@dataclass
+class DirectoryEntry:
+    """One record of a Ficus directory file.
+
+    ``status`` is ``live`` or ``dead`` (a tombstone).  Tombstones are kept
+    so that a deletion performed in one partition wins over the stale copy
+    of the entry in another.  ``data`` carries graft-point payload (the
+    storage-site host address for one volume replica).
+
+    Two-phase tombstone collection state (dead entries only): ``acks``
+    records which volume replicas have seen the deletion (phase 1);
+    ``acks2`` records which replicas have *observed that phase 1 is
+    complete* (phase 2).  A tombstone may be purged only when acks2
+    covers every replica — purging on a full phase-1 set alone is the
+    classic mistake (the purger stops relaying the acknowledgements its
+    peers still need).
+    """
+
+    eid: EntryId
+    name: str
+    fh: FicusFileHandle
+    etype: EntryType
+    status: str = "live"
+    data: str = ""
+    acks: frozenset[int] = frozenset()
+    acks2: frozenset[int] = frozenset()
+
+    @property
+    def live(self) -> bool:
+        return self.status == "live"
+
+    def killed(self, acks: frozenset[int] = frozenset()) -> "DirectoryEntry":
+        return DirectoryEntry(self.eid, self.name, self.fh, self.etype, "dead", self.data, acks)
+
+    def with_acks(
+        self, acks: frozenset[int], acks2: frozenset[int] | None = None
+    ) -> "DirectoryEntry":
+        return DirectoryEntry(
+            self.eid,
+            self.name,
+            self.fh,
+            self.etype,
+            self.status,
+            self.data,
+            frozenset(acks),
+            frozenset(acks2) if acks2 is not None else self.acks2,
+        )
+
+    def to_record(self) -> dict[str, str]:
+        rec = {
+            "eid": self.eid.encode(),
+            "name": self.name,
+            "fh": self.fh.to_hex(),
+            "type": self.etype.value,
+            "status": self.status,
+        }
+        if self.data:
+            rec["data"] = self.data
+        if self.acks:
+            rec["acks"] = ",".join(str(r) for r in sorted(self.acks))
+        if self.acks2:
+            rec["acks2"] = ",".join(str(r) for r in sorted(self.acks2))
+        return rec
+
+    @classmethod
+    def from_record(cls, rec: dict[str, str]) -> "DirectoryEntry":
+        try:
+            return cls(
+                eid=EntryId.decode(rec["eid"]),
+                name=rec["name"],
+                fh=FicusFileHandle.from_hex(rec["fh"]),
+                etype=EntryType(rec["type"]),
+                status=rec.get("status", "live"),
+                data=rec.get("data", ""),
+                acks=frozenset(int(r) for r in rec.get("acks", "").split(",") if r),
+                acks2=frozenset(int(r) for r in rec.get("acks2", "").split(",") if r),
+            )
+        except KeyError as exc:
+            raise InvalidArgument(f"directory entry missing field {exc}") from exc
+
+
+@dataclass
+class AuxAttributes:
+    """Replication attributes of one file replica (the auxiliary file).
+
+    "These attributes would be placed in the inode if we were to modify
+    the UFS" (paper Section 2.6).
+    """
+
+    fh: FicusFileHandle
+    etype: EntryType
+    vv: VersionVector = field(default_factory=VersionVector)
+    #: live directory entries referencing this object in this volume
+    #: replica — drives storage garbage collection for directories.
+    refs: int = 1
+    #: graft points record their target volume here (hex VolumeId).
+    graft_volume: str = ""
+
+    def to_bytes(self) -> bytes:
+        rec = {
+            "fh": self.fh.to_hex(),
+            "type": self.etype.value,
+            "vv": self.vv.encode(),
+            "refs": str(self.refs),
+        }
+        if self.graft_volume:
+            rec["graftvol"] = self.graft_volume
+        return encode_record(rec).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AuxAttributes":
+        rec = decode_record(data.decode("utf-8"))
+        try:
+            return cls(
+                fh=FicusFileHandle.from_hex(rec["fh"]),
+                etype=EntryType(rec["type"]),
+                vv=VersionVector.decode(rec.get("vv", "")),
+                refs=int(rec.get("refs", "1")),
+                graft_volume=rec.get("graftvol", ""),
+            )
+        except KeyError as exc:
+            raise InvalidArgument(f"aux record missing field {exc}") from exc
+
+
+def encode_directory(entries: list[DirectoryEntry]) -> bytes:
+    """Serialize a Ficus directory to its UFS file contents."""
+    lines = [encode_record(entry.to_record()) for entry in entries]
+    return "\n".join(lines).encode("utf-8")
+
+
+def decode_directory(data: bytes) -> list[DirectoryEntry]:
+    """Parse a Ficus directory file back into entries."""
+    text = data.decode("utf-8")
+    if not text:
+        return []
+    return [DirectoryEntry.from_record(decode_record(line)) for line in text.split("\n")]
+
+
+# ---------------------------------------------------------------------------
+# Encoded operations (the lookup/create overloading of paper Section 2.3)
+# ---------------------------------------------------------------------------
+
+
+def encode_op(op: str, *fields: str) -> str:
+    """Build an encoded operation string: ``@@op|field|field...``.
+
+    Fields are escaped so user-supplied names survive the trip.  The result
+    must fit in one UFS name component, which is what costs roughly 55
+    characters of user-name budget (255 -> ~200, paper footnote 2).
+    """
+    encoded = OP_PREFIX + OP_SEP.join([op, *[escape_value(f) for f in fields]])
+    if len(encoded) > MAX_NAME_LEN:
+        raise NameTooLong(
+            f"encoded {op} operation is {len(encoded)} chars; the {MAX_NAME_LEN}-char "
+            "UFS name limit leaves roughly 200 for the user name"
+        )
+    return encoded
+
+
+def is_encoded_op(name: str) -> bool:
+    return name.startswith(OP_PREFIX)
+
+
+def decode_op(name: str) -> tuple[str, list[str]]:
+    """Split an encoded operation into (op, fields)."""
+    if not is_encoded_op(name):
+        raise InvalidArgument(f"{name!r} is not an encoded operation")
+    parts = name[len(OP_PREFIX) :].split(OP_SEP)
+    return parts[0], [unescape_value(p) for p in parts[1:]]
+
+
+# Specific operation builders, so call sites stay typo-proof.
+
+
+def op_open(fh: FicusFileHandle) -> str:
+    """Open notification for a file, smuggled through lookup."""
+    return encode_op("open", fh.to_hex())
+
+
+def op_close(fh: FicusFileHandle) -> str:
+    """Close notification for a file, smuggled through lookup."""
+    return encode_op("close", fh.to_hex())
+
+
+def op_byfh(fh: FicusFileHandle) -> str:
+    """Fetch a child vnode directly by file handle."""
+    return encode_op("byfh", fh.to_hex())
+
+
+def op_dir(fh: FicusFileHandle) -> str:
+    """Fetch any directory of the same volume replica by handle.
+
+    Used by the reconciliation protocol to address remote directory
+    replicas directly instead of walking the path.
+    """
+    return encode_op("dir", fh.to_hex())
+
+
+def op_aux(fh: FicusFileHandle) -> str:
+    """Fetch the auxiliary-attribute vnode of a child."""
+    return encode_op("aux", fh.to_hex())
+
+
+def op_dir_aux() -> str:
+    """Fetch this directory's own auxiliary-attribute vnode."""
+    return encode_op("dauxv")
+
+
+def op_shadow(fh: FicusFileHandle) -> str:
+    """Fetch (creating if needed) the shadow vnode of a child file."""
+    return encode_op("shadow", fh.to_hex())
+
+
+def op_commit(fh: FicusFileHandle, vv: VersionVector) -> str:
+    """Atomically promote the shadow of ``fh`` with version vector ``vv``."""
+    return encode_op("commit", fh.to_hex(), vv.encode())
+
+
+def op_abort_shadow(fh: FicusFileHandle) -> str:
+    """Discard an uncommitted shadow (crash recovery / aborted pull)."""
+    return encode_op("abortshadow", fh.to_hex())
+
+
+def op_insert(
+    eid: EntryId | None,
+    name: str,
+    fh: FicusFileHandle | None,
+    etype: EntryType,
+    data: str = "",
+    link_from: FicusFileHandle | None = None,
+    vv: VersionVector | None = None,
+) -> str:
+    """Insert a directory entry (the name argument of vnode ``create``).
+
+    ``eid`` and/or ``fh`` may be ``None``: the physical replica applying
+    the insert then mints them itself, preserving the paper's rule that
+    "each volume replica assigns file identifiers to new files
+    independently" even when the requesting logical layer is remote.
+
+    ``link_from`` names the directory already holding the file's storage
+    when this insert adds an additional name (a cross-directory link).
+    ``vv`` carries the entry's origin version for reconciliation-applied
+    inserts; local inserts leave it empty and the physical layer bumps.
+    """
+    return encode_op(
+        "insert",
+        eid.encode() if eid is not None else "",
+        name,
+        fh.to_hex() if fh is not None else "",
+        etype.value,
+        data,
+        link_from.to_hex() if link_from is not None else "",
+        vv.encode() if vv is not None else "",
+    )
+
+
+def op_remove(eid: EntryId, vv: VersionVector | None = None) -> str:
+    """Tombstone the entry with id ``eid`` (the name argument of remove)."""
+    return encode_op("remove", eid.encode(), vv.encode() if vv is not None else "")
+
+
+def op_mergevv(vv: VersionVector) -> str:
+    """Merge ``vv`` into the directory's own version vector (end of recon)."""
+    return encode_op("mergevv", vv.encode())
+
+
+def op_setvv(fh: FicusFileHandle, vv: VersionVector) -> str:
+    """Overwrite a child's version vector (conflict resolution)."""
+    return encode_op("setvv", fh.to_hex(), vv.encode())
+
+
+#: Overhead the insert encoding steals from the 255-char name budget; the
+#: paper reports the usable component length drops to "about 200".
+def max_user_name_length() -> int:
+    """Longest user name component guaranteed to survive encoding."""
+    probe = op_insert(
+        EntryId(0xFFFFFFFF, 0xFFFFFFFF),
+        "",
+        FicusFileHandle.from_hex("ffffffff.ffffffff.ffffffff.ffffffff.fffffffe"),
+        EntryType.GRAFT_POINT,
+    )
+    return MAX_NAME_LEN - len(probe)

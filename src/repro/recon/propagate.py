@@ -1,0 +1,108 @@
+"""Regular-file update propagation (paper Section 3.2).
+
+"For regular files, update propagation is simply a matter of atomically
+replacing the contents of the local replica with those of a newer version
+remote replica.  Ficus contains a single-file atomic commit service to
+support file update propagation."
+
+The pull compares version vectors first:
+
+* remote EQUAL / DOMINATED  -> nothing to do (we are as new or newer)
+* remote DOMINATES          -> pull through a shadow + atomic commit
+* CONCURRENT                -> a conflict: report, never merge silently
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FileNotFound, HostUnreachable, StaleFileHandle
+from repro.physical import AuxAttributes, FicusPhysicalLayer, ReplicaStore
+from repro.physical.wire import op_aux, op_byfh
+from repro.util import FicusFileHandle
+from repro.vnode.interface import Vnode, read_whole
+from repro.vv import Ordering, VersionVector
+
+
+class PullOutcome(enum.Enum):
+    UP_TO_DATE = "up-to-date"  # local dominates or equals remote
+    PULLED = "pulled"  # remote version installed locally
+    CONFLICT = "conflict"  # concurrent updates detected
+    REMOTE_MISSING = "remote-missing"  # remote replica does not store the file
+    UNREACHABLE = "unreachable"  # partition/crash interrupted the pull
+
+
+@dataclass
+class PullResult:
+    outcome: PullOutcome
+    local_vv: VersionVector
+    remote_vv: VersionVector
+    bytes_copied: int = 0
+
+
+def pull_file(
+    store: ReplicaStore,
+    parent_fh: FicusFileHandle,
+    fh: FicusFileHandle,
+    remote_dir: Vnode,
+) -> PullResult:
+    """Bring the local replica of one file up to the remote version.
+
+    ``remote_dir`` is the remote physical directory vnode holding the
+    file (possibly an NFS client vnode).  Crash-safe: contents land in a
+    shadow first and replace the original atomically.
+    """
+    parent_fh = parent_fh.logical
+    fh = fh.logical
+
+    # local state: the file may have an entry here but no storage yet
+    # (the entry arrived by directory reconciliation).
+    local_stored = store.has_file(parent_fh, fh)
+    local_vv = (
+        store.read_file_aux(parent_fh, fh).vv if local_stored else VersionVector()
+    )
+
+    try:
+        remote_aux = AuxAttributes.from_bytes(read_whole(remote_dir.lookup(op_aux(fh))))
+    except FileNotFound:
+        return PullResult(PullOutcome.REMOTE_MISSING, local_vv, VersionVector())
+    except (HostUnreachable, StaleFileHandle):
+        return PullResult(PullOutcome.UNREACHABLE, local_vv, VersionVector())
+
+    remote_vv = remote_aux.vv
+    order = local_vv.compare(remote_vv)
+    if order in (Ordering.EQUAL, Ordering.DOMINATES):
+        return PullResult(PullOutcome.UP_TO_DATE, local_vv, remote_vv)
+    if order is Ordering.CONCURRENT:
+        return PullResult(PullOutcome.CONFLICT, local_vv, remote_vv)
+
+    # remote strictly dominates: propagate through shadow + atomic commit
+    try:
+        contents = read_whole(remote_dir.lookup(op_byfh(fh)))
+    except (HostUnreachable, StaleFileHandle):
+        return PullResult(PullOutcome.UNREACHABLE, local_vv, remote_vv)
+    except FileNotFound:
+        return PullResult(PullOutcome.REMOTE_MISSING, local_vv, remote_vv)
+
+    if not local_stored:
+        store.create_file_storage(parent_fh, fh, remote_aux.etype)
+    shadow = store.shadow_vnode(parent_fh, fh, create=True)
+    shadow.truncate(0)
+    if contents:
+        shadow.write(0, contents)
+    store.commit_shadow(parent_fh, fh, remote_vv)
+    return PullResult(PullOutcome.PULLED, remote_vv, remote_vv, bytes_copied=len(contents))
+
+
+def push_notify_pull(
+    physical: FicusPhysicalLayer,
+    note,
+    remote_dir: Vnode,
+) -> PullResult:
+    """Service one new-version cache entry (what the daemon does)."""
+    store = physical.store_for(note.key.volrep)
+    result = pull_file(store, note.key.parent_fh, note.key.fh, remote_dir)
+    if result.outcome in (PullOutcome.UP_TO_DATE, PullOutcome.PULLED):
+        physical.clear_new_version(note.key)
+    return result

@@ -1,0 +1,152 @@
+"""The full Ficus reconciliation protocol (paper Section 3.3).
+
+"The directory reconciliation algorithm used for update propagation and
+the basic file update propagation service are both incorporated into the
+general Ficus file system reconciliation protocol.  This protocol is
+executed periodically to traverse an entire subgraph (not just a single
+node), and reconcile the local replica against a remote replica."
+
+:func:`reconcile_subtree` walks the directory DAG from a root handle,
+reconciling each directory and pulling each regular file, accumulating
+conflict reports along the way.  It tolerates mid-run partitions: an
+unreachable remote simply truncates the traversal (the next periodic run
+finishes the job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FileNotFound, HostUnreachable, StaleFileHandle
+from repro.physical import FicusPhysicalLayer
+from repro.physical.policy import StoragePolicy
+from repro.physical.wire import op_dir
+from repro.recon.conflicts import ConflictKind, ConflictLog, ConflictReport
+from repro.recon.directory import DirReconResult, reconcile_directory
+from repro.recon.propagate import PullOutcome, pull_file
+from repro.util import FicusFileHandle, VolumeReplicaId
+from repro.vnode.interface import Vnode
+
+
+@dataclass
+class SubtreeReconResult:
+    """Aggregate outcome of one subtree reconciliation run."""
+
+    directories_reconciled: int = 0
+    directories_unreachable: int = 0
+    inserts_applied: int = 0
+    tombstones_recorded: int = 0
+    deletes_applied: int = 0
+    tombstones_purged_by_inference: int = 0
+    collisions_repaired: int = 0
+    concurrent_directories: int = 0
+    files_checked: int = 0
+    files_pulled: int = 0
+    bytes_copied: int = 0
+    file_conflicts: int = 0
+    files_declined_by_policy: int = 0
+    aborted_by_partition: bool = False
+
+    def fold_dir(self, res: DirReconResult) -> None:
+        self.directories_reconciled += 1
+        self.inserts_applied += res.inserts_applied
+        self.tombstones_recorded += res.tombstones_recorded
+        self.deletes_applied += res.deletes_applied
+        self.tombstones_purged_by_inference += res.tombstones_purged_by_inference
+        self.collisions_repaired += res.collisions_repaired
+        if res.was_concurrent:
+            self.concurrent_directories += 1
+
+
+def reconcile_subtree(
+    physical: FicusPhysicalLayer,
+    volrep: VolumeReplicaId,
+    remote_volume_root: Vnode,
+    remote_host: str,
+    conflict_log: ConflictLog | None = None,
+    root_fh: FicusFileHandle | None = None,
+    all_replicas: frozenset[int] = frozenset(),
+    policy: StoragePolicy | None = None,
+) -> SubtreeReconResult:
+    """Reconcile the local volume replica against one remote replica.
+
+    ``remote_volume_root`` is the remote replica's root directory vnode
+    (physical, possibly via NFS).  The walk covers every directory
+    reachable from ``root_fh`` (default: the volume root).
+    """
+    store = physical.store_for(volrep)
+    result = SubtreeReconResult()
+    start = (root_fh or store.root_handle()).logical
+
+    seen: set[FicusFileHandle] = set()
+    queue: list[FicusFileHandle] = [start]
+    while queue:
+        dir_fh = queue.pop(0)
+        if dir_fh in seen:
+            continue  # the namespace is a DAG; visit each directory once
+        seen.add(dir_fh)
+
+        try:
+            remote_dir = remote_volume_root.lookup(op_dir(dir_fh))
+        except FileNotFound:
+            continue  # remote replica does not store this directory
+        except (HostUnreachable, StaleFileHandle):
+            result.aborted_by_partition = True
+            result.directories_unreachable += 1
+            continue
+
+        dir_result = reconcile_directory(
+            physical, store, dir_fh, remote_dir, all_replicas=all_replicas
+        )
+        if dir_result.unreachable:
+            result.aborted_by_partition = True
+            result.directories_unreachable += 1
+            continue
+        result.fold_dir(dir_result)
+
+        for file_entry in dir_result.child_files:
+            file_fh = file_entry.fh
+            if (
+                policy is not None
+                and not store.has_file(dir_fh, file_fh)
+                and not policy.wants(file_entry)
+            ):
+                # selective replication: this replica declines the
+                # contents; the entry stays entry-only here
+                result.files_declined_by_policy += 1
+                continue
+            result.files_checked += 1
+            pull = pull_file(store, dir_fh, file_fh, remote_dir)
+            if pull.outcome is PullOutcome.PULLED:
+                result.files_pulled += 1
+                result.bytes_copied += pull.bytes_copied
+                if conflict_log is not None:
+                    # a strictly dominating version arrived: any previously
+                    # reported conflict on this file is now settled
+                    conflict_log.mark_resolved(file_fh)
+            elif pull.outcome is PullOutcome.UP_TO_DATE:
+                if conflict_log is not None and pull.local_vv.strictly_dominates(pull.remote_vv):
+                    conflict_log.mark_resolved(file_fh)
+            elif pull.outcome is PullOutcome.CONFLICT:
+                result.file_conflicts += 1
+                if conflict_log is not None:
+                    conflict_log.report(
+                        ConflictReport(
+                            kind=ConflictKind.FILE_UPDATE,
+                            volume=volrep.volume,
+                            parent_fh=dir_fh,
+                            fh=file_fh,
+                            name=file_entry.name,
+                            local_vv=pull.local_vv,
+                            remote_vv=pull.remote_vv,
+                            remote_host=remote_host,
+                            detected_at=physical.clock.now(),
+                        )
+                    )
+            elif pull.outcome is PullOutcome.UNREACHABLE:
+                result.aborted_by_partition = True
+
+        queue.extend(dir_result.child_directories)
+
+    return result
+

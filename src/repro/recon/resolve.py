@@ -1,0 +1,47 @@
+"""Owner-driven conflict resolution for regular files.
+
+The paper reports file conflicts to the owner and leaves resolution to
+them.  This module provides the primitive the owner (or a resolver tool)
+uses: install chosen contents with a version vector that *dominates* every
+conflicting version, so the resolution propagates everywhere and the
+conflict cannot re-surface.
+"""
+
+from __future__ import annotations
+
+from repro.physical import ReplicaStore
+from repro.recon.conflicts import ConflictLog
+from repro.util import FicusFileHandle
+from repro.vv import VersionVector
+
+
+def resolve_file_conflict(
+    store: ReplicaStore,
+    parent_fh: FicusFileHandle,
+    fh: FicusFileHandle,
+    chosen_contents: bytes,
+    observed_vvs: list[VersionVector],
+    conflict_log: ConflictLog | None = None,
+) -> VersionVector:
+    """Install ``chosen_contents`` as the post-conflict version.
+
+    The new version vector is the merge of every observed conflicting
+    vector, bumped at this replica: it strictly dominates all of them, so
+    normal update propagation carries the resolution to every replica.
+    """
+    parent_fh = parent_fh.logical
+    fh = fh.logical
+    merged = store.read_file_aux(parent_fh, fh).vv
+    for vv in observed_vvs:
+        merged = merged.merge(vv)
+    resolved_vv = merged.bump(store.replica_id)
+
+    shadow = store.shadow_vnode(parent_fh, fh, create=True)
+    shadow.truncate(0)
+    if chosen_contents:
+        shadow.write(0, chosen_contents)
+    store.commit_shadow(parent_fh, fh, resolved_vv)
+
+    if conflict_log is not None:
+        conflict_log.mark_resolved(fh)
+    return resolved_vv

@@ -1,0 +1,24 @@
+"""Simulation harness: event loop, daemons, and whole-cluster builder."""
+
+from repro.sim.cluster import DaemonConfig, FicusHost, FicusSystem, HostConfig
+from repro.sim.daemons import (
+    GraftPruneDaemon,
+    PropagationDaemon,
+    PropagationStats,
+    ReconciliationDaemon,
+    ReconStats,
+)
+from repro.sim.events import EventLoop
+
+__all__ = [
+    "DaemonConfig",
+    "EventLoop",
+    "FicusHost",
+    "FicusSystem",
+    "GraftPruneDaemon",
+    "HostConfig",
+    "PropagationDaemon",
+    "PropagationStats",
+    "ReconStats",
+    "ReconciliationDaemon",
+]

@@ -1,0 +1,235 @@
+"""The per-host background daemons.
+
+* :class:`PropagationDaemon` — drains the new-version cache, pulling fresh
+  versions from the notifying replica.  "Each physical layer reacts to the
+  update notification as it sees fit: it may propagate the new version
+  immediately, or wait for some later, more convenient time" (Section
+  2.5); the ``min_age`` knob is that policy, and is what experiment E6
+  sweeps ("rapid propagation enhances availability...; delayed propagation
+  may reduce the overall propagation cost when updates are bursty").
+
+* :class:`ReconciliationDaemon` — periodically reconciles each hosted
+  volume replica against one remote peer, rotating around the replica
+  ring, "concurrently with respect to normal file activity" (Section 3.3).
+
+* :class:`GraftPruneDaemon` — "a graft that is no longer needed is quietly
+  pruned at a later time" (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FicusError, HostUnreachable
+from repro.logical import Fabric, FicusLogicalLayer
+from repro.physical import FicusPhysicalLayer, NewVersionNote
+from repro.physical.wire import op_dir
+from repro.recon import (
+    ConflictLog,
+    PullOutcome,
+    SubtreeReconResult,
+    push_notify_pull,
+    reconcile_subtree,
+)
+from repro.util import VolumeReplicaId
+from repro.volume import ReplicaLocation
+
+
+@dataclass
+class PropagationStats:
+    pulls_attempted: int = 0
+    pulls_succeeded: int = 0
+    already_current: int = 0
+    conflicts_deferred: int = 0
+    unreachable: int = 0
+    bytes_copied: int = 0
+
+
+class PropagationDaemon:
+    """Pulls new versions named by the new-version cache."""
+
+    def __init__(
+        self,
+        physical: FicusPhysicalLayer,
+        fabric: Fabric,
+        min_age: float = 0.0,
+    ):
+        self.physical = physical
+        self.fabric = fabric
+        self.min_age = min_age
+        self.stats = PropagationStats()
+
+    def tick(self) -> int:
+        """Service every sufficiently old new-version note; returns pulls."""
+        now = self.physical.clock.now()
+        pulled = 0
+        for note in self.physical.pending_new_versions():
+            if now - note.noted_at < self.min_age:
+                continue
+            pulled += self._service(note)
+        return pulled
+
+    def _service(self, note: NewVersionNote) -> int:
+        self.stats.pulls_attempted += 1
+        try:
+            remote_root = self.fabric.volume_root(note.src_addr, note.src_volrep)
+            remote_dir = remote_root.lookup(op_dir(note.key.parent_fh))
+            if note.objkind == "dir":
+                return self._service_directory(note, remote_dir)
+            result = push_notify_pull(self.physical, note, remote_dir)
+        except HostUnreachable:
+            self.stats.unreachable += 1
+            return 0
+        except FicusError:
+            self.stats.unreachable += 1
+            return 0
+        if result.outcome is PullOutcome.PULLED:
+            self.stats.pulls_succeeded += 1
+            self.stats.bytes_copied += result.bytes_copied
+            return 1
+        if result.outcome is PullOutcome.UP_TO_DATE:
+            self.stats.already_current += 1
+            return 0
+        if result.outcome is PullOutcome.CONFLICT:
+            # leave it to the reconciliation protocol to report
+            self.stats.conflicts_deferred += 1
+            self.physical.clear_new_version(note.key)
+            return 0
+        self.stats.unreachable += 1
+        return 0
+
+    def _service_directory(self, note: NewVersionNote, remote_dir) -> int:
+        """Directory updates are 'replayed', not copied: run the directory
+        reconciliation algorithm against the notifying replica, then pull
+        any files whose new versions the merge revealed."""
+        from repro.recon import reconcile_directory
+        from repro.recon.propagate import pull_file
+
+        store = self.physical.store_for(note.key.volrep)
+        dir_fh = note.key.parent_fh
+        if not store.has_directory(dir_fh):
+            # parent itself unknown yet: wait for subtree reconciliation
+            return 0
+        result = reconcile_directory(self.physical, store, dir_fh, remote_dir)
+        if result.unreachable:
+            self.stats.unreachable += 1
+            return 0
+        pulled = 0
+        policy = self.physical.policy_for(note.key.volrep)
+        for file_entry in result.child_files:
+            file_fh = file_entry.fh
+            if not store.has_file(dir_fh, file_fh) and not policy.wants(file_entry):
+                continue  # selective replication: entry-only here
+            pull = pull_file(store, dir_fh, file_fh, remote_dir)
+            if pull.outcome is PullOutcome.PULLED:
+                pulled += 1
+                self.stats.bytes_copied += pull.bytes_copied
+        self.physical.clear_new_version(note.key)
+        self.stats.pulls_succeeded += 1 if (pulled or result.changed) else 0
+        if not pulled and not result.changed:
+            self.stats.already_current += 1
+        return pulled
+
+
+@dataclass
+class ReconStats:
+    runs: int = 0
+    results: list[SubtreeReconResult] = field(default_factory=list)
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(r.file_conflicts for r in self.results)
+
+    @property
+    def total_pulled(self) -> int:
+        return sum(r.files_pulled for r in self.results)
+
+
+class ReconciliationDaemon:
+    """Periodic subtree reconciliation against rotating remote peers."""
+
+    def __init__(
+        self,
+        physical: FicusPhysicalLayer,
+        fabric: Fabric,
+        conflict_log: ConflictLog,
+        peers: dict[VolumeReplicaId, list[ReplicaLocation]],
+    ):
+        self.physical = physical
+        self.fabric = fabric
+        self.conflict_log = conflict_log
+        #: per hosted volume replica: the other replicas of the volume
+        self.peers = peers
+        self._ring_position: dict[VolumeReplicaId, int] = {}
+        self.stats = ReconStats()
+        self.tombstones_purged = 0
+
+    def set_peers(self, volrep: VolumeReplicaId, locations: list[ReplicaLocation]) -> None:
+        self.peers[volrep] = [
+            loc for loc in locations if loc.volrep != volrep
+        ]
+
+    def tick(self) -> list[SubtreeReconResult]:
+        """Reconcile each hosted replica against its next ring peer."""
+        outcomes = []
+        for volrep in list(self.physical.stores):
+            peers = self.peers.get(volrep, [])
+            if not peers:
+                continue
+            position = self._ring_position.get(volrep, 0) % len(peers)
+            self._ring_position[volrep] = position + 1
+            peer = peers[position]
+            outcomes.append(self.reconcile_with(volrep, peer))
+        return outcomes
+
+    def volume_replica_ids(self, volrep: VolumeReplicaId) -> frozenset[int]:
+        """The full replica-id set of a volume (self + known peers)."""
+        ids = {volrep.replica_id}
+        for peer in self.peers.get(volrep, []):
+            ids.add(peer.volrep.replica_id)
+        return frozenset(ids)
+
+    def reconcile_with(
+        self, volrep: VolumeReplicaId, peer: ReplicaLocation
+    ) -> SubtreeReconResult:
+        try:
+            remote_root = self.fabric.volume_root(peer.host, peer.volrep)
+        except FicusError:
+            result = SubtreeReconResult(aborted_by_partition=True)
+            self.stats.runs += 1
+            self.stats.results.append(result)
+            return result
+        all_replicas = self.volume_replica_ids(volrep)
+        result = reconcile_subtree(
+            self.physical,
+            volrep,
+            remote_root,
+            peer.host,
+            conflict_log=self.conflict_log,
+            all_replicas=all_replicas,
+            policy=self.physical.policy_for(volrep),
+        )
+        # tombstone garbage collection: purge fully-acknowledged deletes
+        from repro.recon.gc import collect_volume_replica
+
+        gc = collect_volume_replica(
+            self.physical, self.physical.store_for(volrep), all_replicas
+        )
+        self.tombstones_purged += gc.tombstones_purged + result.tombstones_purged_by_inference
+        self.stats.runs += 1
+        self.stats.results.append(result)
+        return result
+
+
+class GraftPruneDaemon:
+    """Quietly drops grafts idle longer than ``idle_timeout``."""
+
+    def __init__(self, logical: FicusLogicalLayer, idle_timeout: float = 300.0):
+        self.logical = logical
+        self.idle_timeout = idle_timeout
+        self.pruned_total = 0
+
+    def tick(self) -> int:
+        pruned = self.logical.grafter.prune(self.idle_timeout)
+        self.pruned_total += pruned
+        return pruned

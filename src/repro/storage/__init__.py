@@ -1,0 +1,5 @@
+"""Simulated block storage with exact I/O accounting."""
+
+from repro.storage.device import DEFAULT_BLOCK_SIZE, BlockDevice, CrashPlan, IoCounters
+
+__all__ = ["DEFAULT_BLOCK_SIZE", "BlockDevice", "CrashPlan", "IoCounters"]

@@ -1,0 +1,23 @@
+"""Simulated UFS substrate: inodes, buffer cache, DNLC, directories, fsck."""
+
+from repro.ufs.cache import BufferCache, CacheStats, NameCache
+from repro.ufs.filesystem import Ufs
+from repro.ufs.fsck import FsckReport, fsck
+from repro.ufs.inode import FileAttributes, FileType, Inode
+from repro.ufs.layout import MAX_NAME_LEN, NDIRECT, ROOT_INO, Superblock
+
+__all__ = [
+    "BufferCache",
+    "CacheStats",
+    "FileAttributes",
+    "FileType",
+    "FsckReport",
+    "Inode",
+    "MAX_NAME_LEN",
+    "NDIRECT",
+    "NameCache",
+    "ROOT_INO",
+    "Superblock",
+    "Ufs",
+    "fsck",
+]

@@ -1,0 +1,36 @@
+"""Virtual time.
+
+Everything in the repro runs against a discrete-event virtual clock so that
+experiments are deterministic: daemons, RPC timeouts, propagation delays and
+partition schedules all consume the same time source.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidArgument
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock (seconds as float)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise InvalidArgument(f"cannot advance clock by {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to absolute time ``when`` (no-op if in past)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now:.6f})"

@@ -1,0 +1,31 @@
+"""Stackable vnode layer framework (paper Section 2)."""
+
+from repro.vnode.interface import (
+    ROOT_CRED,
+    Credential,
+    DirEntry,
+    FileSystemLayer,
+    OpCounters,
+    SetAttrs,
+    Vnode,
+)
+from repro.vnode.mount import MountLayer, MountVnode
+from repro.vnode.passthrough import NullLayer, PassthroughVnode, build_null_stack
+from repro.vnode.ufs_layer import UfsLayer, UfsVnode
+
+__all__ = [
+    "Credential",
+    "DirEntry",
+    "FileSystemLayer",
+    "MountLayer",
+    "MountVnode",
+    "NullLayer",
+    "OpCounters",
+    "PassthroughVnode",
+    "ROOT_CRED",
+    "SetAttrs",
+    "UfsLayer",
+    "UfsVnode",
+    "Vnode",
+    "build_null_stack",
+]

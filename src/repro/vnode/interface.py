@@ -1,0 +1,258 @@
+"""The vnode interface (paper Section 2.1).
+
+"The vnode interface is defined by a set of about two dozen services,
+together with their calling syntax and parameters."  We reproduce that
+contract: :class:`Vnode` declares the operations, and every layer — UFS,
+NFS client, Ficus physical, Ficus logical — implements the *same* interface
+above and below, which is what makes the layers stackable.
+
+The symmetric-interface property is the whole point: a layer cannot tell
+whether the layer beneath it is local UFS, another Ficus layer, or an NFS
+hop to a different host.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import NotSupported
+from repro.ufs.inode import FileAttributes, FileType
+
+
+@dataclass(frozen=True)
+class Credential:
+    """Identity presented with each vnode call (cred in SunOS)."""
+
+    uid: int = 0
+    gids: tuple[int, ...] = ()
+
+
+#: The default credential used when callers do not care about identity.
+ROOT_CRED = Credential(uid=0)
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One readdir result row."""
+
+    name: str
+    fileid: int
+    ftype: FileType
+
+
+@dataclass
+class SetAttrs:
+    """Fields settable via setattr; ``None`` means "leave unchanged"."""
+
+    perm: int | None = None
+    uid: int | None = None
+    size: int | None = None
+
+
+@dataclass
+class OpCounters:
+    """Per-layer count of vnode operations handled.
+
+    The paper's Section 6 argues the cost of a layer crossing is "one
+    additional procedure call, one pointer indirection, and storage for
+    another vnode block"; counting crossings lets benchmark E2 report the
+    measured overhead per crossing.
+    """
+
+    by_op: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, op: str) -> None:
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_op.values())
+
+
+class Vnode(abc.ABC):
+    """One file-system object as seen through the vnode interface.
+
+    Concrete layers subclass this.  The default implementation of every
+    operation raises :class:`~repro.errors.NotSupported`, mirroring a vnode
+    ops vector with missing entries; layers override what they support.
+    """
+
+    #: Operations comprising the interface ("about two dozen services").
+    OPERATIONS = (
+        "open",
+        "close",
+        "read",
+        "write",
+        "ioctl",
+        "select",
+        "getattr",
+        "setattr",
+        "access",
+        "lookup",
+        "create",
+        "remove",
+        "link",
+        "rename",
+        "mkdir",
+        "rmdir",
+        "readdir",
+        "symlink",
+        "readlink",
+        "fsync",
+        "inactive",
+        "bmap",
+        "truncate",
+        "sync",
+    )
+
+    # -- object lifetime ----------------------------------------------------
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        """Prepare the object for I/O.  NFS famously drops this call."""
+        raise NotSupported("open")
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        """Release the object.  NFS famously drops this call too."""
+        raise NotSupported("close")
+
+    def inactive(self) -> None:
+        """Hint that no references remain (used for cache teardown)."""
+        raise NotSupported("inactive")
+
+    # -- data ----------------------------------------------------------------
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        raise NotSupported("read")
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        """Write bytes; returns the number written."""
+        raise NotSupported("write")
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        raise NotSupported("truncate")
+
+    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+        raise NotSupported("fsync")
+
+    def ioctl(self, command: str, argument: object = None, cred: Credential = ROOT_CRED) -> object:
+        raise NotSupported("ioctl")
+
+    def select(self, which: str, cred: Credential = ROOT_CRED) -> bool:
+        raise NotSupported("select")
+
+    def bmap(self, file_block: int) -> int:
+        raise NotSupported("bmap")
+
+    def sync(self) -> None:
+        raise NotSupported("sync")
+
+    # -- attributes -------------------------------------------------------------
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        raise NotSupported("getattr")
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        raise NotSupported("setattr")
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        raise NotSupported("access")
+
+    # -- namespace ---------------------------------------------------------------
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> "Vnode":
+        raise NotSupported("lookup")
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> "Vnode":
+        raise NotSupported("create")
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        raise NotSupported("remove")
+
+    def link(self, target: "Vnode", name: str, cred: Credential = ROOT_CRED) -> None:
+        raise NotSupported("link")
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: "Vnode",
+        dst_name: str,
+        cred: Credential = ROOT_CRED,
+    ) -> None:
+        raise NotSupported("rename")
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> "Vnode":
+        raise NotSupported("mkdir")
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        raise NotSupported("rmdir")
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        raise NotSupported("readdir")
+
+    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> "Vnode":
+        raise NotSupported("symlink")
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        raise NotSupported("readlink")
+
+    # -- conveniences shared by all layers -----------------------------------------
+
+    @property
+    def is_dir(self) -> bool:
+        return self.getattr().ftype == FileType.DIRECTORY
+
+    def read_all(self, cred: Credential = ROOT_CRED) -> bytes:
+        """Read the entire contents (getattr + read)."""
+        return self.read(0, self.getattr(cred).size, cred)
+
+    def walk(self, path: str, cred: Credential = ROOT_CRED) -> "Vnode":
+        """Resolve a slash-separated relative path via repeated lookup."""
+        node: Vnode = self
+        for part in path.split("/"):
+            if part:
+                node = node.lookup(part, cred)
+        return node
+
+
+def read_whole(vnode: "Vnode", chunk: int = 1 << 20, cred: Credential = ROOT_CRED) -> bytes:
+    """Read a vnode to EOF without trusting getattr's size.
+
+    Through an NFS hop, getattr may serve a *cached, stale* size (the
+    uncontrollable caching the paper complains about in Section 2.2), so
+    ``read_all`` can truncate or over-read a file that just changed.
+    Reading fixed-size chunks until a short read sidesteps the attribute
+    cache entirely.  Use this for anything mutable read across layers —
+    Ficus directory files, auxiliary attributes, file pulls.
+    """
+    pieces = []
+    offset = 0
+    while True:
+        data = vnode.read(offset, chunk, cred)
+        if not data:
+            break
+        pieces.append(data)
+        offset += len(data)
+        if len(data) < chunk:
+            break
+    return b"".join(pieces)
+
+
+class FileSystemLayer(abc.ABC):
+    """One layer in a vnode stack (a "virtual file system type").
+
+    A layer exposes a root vnode; everything else is reached via lookup.
+    Layers keep :class:`OpCounters` so experiments can observe crossings.
+    """
+
+    layer_name = "layer"
+
+    def __init__(self) -> None:
+        self.counters = OpCounters()
+
+    @abc.abstractmethod
+    def root(self) -> Vnode:
+        """The root vnode of this layer."""
+
+    def unmount(self) -> None:
+        """Release resources (default: nothing to do)."""

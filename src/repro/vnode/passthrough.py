@@ -1,0 +1,168 @@
+"""The null (pass-through) layer.
+
+A layer that forwards every vnode operation unchanged to the layer below,
+wrapping returned vnodes so the stack stays layered.  It demonstrates the
+paper's transparency claim — "layers can indeed be transparently inserted
+between other layers" — and its per-crossing cost is what benchmark E2
+measures ("one additional procedure call, one pointer indirection, and
+storage for another vnode block").
+"""
+
+from __future__ import annotations
+
+from repro.ufs.inode import FileAttributes
+from repro.vnode.interface import (
+    ROOT_CRED,
+    Credential,
+    DirEntry,
+    FileSystemLayer,
+    SetAttrs,
+    Vnode,
+)
+
+
+class PassthroughVnode(Vnode):
+    """Wraps one lower vnode; every operation forwards after counting."""
+
+    def __init__(self, layer: "NullLayer", lower: Vnode):
+        self.layer = layer
+        self.lower = lower
+
+    def _wrap(self, lower: Vnode) -> "PassthroughVnode":
+        return self.layer.wrap(lower)
+
+    @staticmethod
+    def _unwrap(node: Vnode) -> Vnode:
+        """Peel our own wrapper off vnode-valued arguments."""
+        return node.lower if isinstance(node, PassthroughVnode) else node
+
+    # -- lifetime --
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("open")
+        self.lower.open(cred)
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("close")
+        self.lower.close(cred)
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+        self.lower.inactive()
+
+    # -- data --
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        self.layer.counters.bump("read")
+        return self.lower.read(offset, length, cred)
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        self.layer.counters.bump("write")
+        return self.lower.write(offset, data, cred)
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("truncate")
+        self.lower.truncate(size, cred)
+
+    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("fsync")
+        self.lower.fsync(cred)
+
+    def ioctl(self, command: str, argument: object = None, cred: Credential = ROOT_CRED) -> object:
+        self.layer.counters.bump("ioctl")
+        return self.lower.ioctl(command, argument, cred)
+
+    # -- attributes --
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        return self.lower.getattr(cred)
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        self.lower.setattr(attrs, cred)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        self.layer.counters.bump("access")
+        return self.lower.access(mode, cred)
+
+    # -- namespace --
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("lookup")
+        return self._wrap(self.lower.lookup(name, cred))
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("create")
+        return self._wrap(self.lower.create(name, perm, cred))
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("remove")
+        self.lower.remove(name, cred)
+
+    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("link")
+        self.lower.link(self._unwrap(target), name, cred)
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: Vnode,
+        dst_name: str,
+        cred: Credential = ROOT_CRED,
+    ) -> None:
+        self.layer.counters.bump("rename")
+        self.lower.rename(src_name, self._unwrap(dst_dir), dst_name, cred)
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("mkdir")
+        return self._wrap(self.lower.mkdir(name, perm, cred))
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("rmdir")
+        self.lower.rmdir(name, cred)
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        self.layer.counters.bump("readdir")
+        return self.lower.readdir(cred)
+
+    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("symlink")
+        return self._wrap(self.lower.symlink(name, target, cred))
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        self.layer.counters.bump("readlink")
+        return self.lower.readlink(cred)
+
+    def __repr__(self) -> str:
+        return f"PassthroughVnode({self.layer.layer_name}, {self.lower!r})"
+
+
+class NullLayer(FileSystemLayer):
+    """A file-system layer that adds nothing but a crossing.
+
+    Stacking N of these over any other layer leaves behaviour unchanged
+    while adding N crossings per operation — the measurable quantity in
+    experiment E2.
+    """
+
+    layer_name = "null"
+
+    def __init__(self, lower: FileSystemLayer, name: str = "null"):
+        super().__init__()
+        self.lower_layer = lower
+        self.layer_name = name
+
+    def wrap(self, lower: Vnode) -> PassthroughVnode:
+        return PassthroughVnode(self, lower)
+
+    def root(self) -> PassthroughVnode:
+        return self.wrap(self.lower_layer.root())
+
+
+def build_null_stack(base: FileSystemLayer, depth: int) -> FileSystemLayer:
+    """Stack ``depth`` null layers over ``base`` and return the top layer."""
+    layer = base
+    for i in range(depth):
+        layer = NullLayer(layer, name=f"null{i}")
+    return layer

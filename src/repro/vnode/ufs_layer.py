@@ -1,0 +1,174 @@
+"""UFS as a vnode layer — the storage bottom of every Ficus stack.
+
+"Ficus can use the UFS as its underlying nonvolatile storage service"
+(paper Section 2.1).  This module adapts :class:`repro.ufs.Ufs` to the
+vnode interface, making it a drop-in bottom layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FicusError, PermissionDenied
+from repro.ufs import ROOT_INO, FileType, Ufs
+from repro.ufs.inode import FileAttributes
+from repro.vnode.interface import (
+    ROOT_CRED,
+    Credential,
+    DirEntry,
+    FileSystemLayer,
+    SetAttrs,
+    Vnode,
+)
+
+
+class UfsVnode(Vnode):
+    """A vnode backed directly by a UFS inode."""
+
+    def __init__(self, layer: "UfsLayer", ino: int):
+        self.layer = layer
+        self.ino = ino
+
+    @property
+    def fs(self) -> Ufs:
+        return self.layer.fs
+
+    def _node(self, ino: int) -> "UfsVnode":
+        return UfsVnode(self.layer, ino)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UfsVnode) and other.layer is self.layer and other.ino == self.ino
+
+    def __hash__(self) -> int:
+        return hash((id(self.layer), self.ino))
+
+    # -- lifetime: UFS keeps no open state, but honours the calls -------------
+
+    def open(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("open")
+
+    def close(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("close")
+
+    def inactive(self) -> None:
+        self.layer.counters.bump("inactive")
+
+    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("fsync")
+        # write-through buffer cache: everything is already on the device
+
+    # -- data --
+
+    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+        self.layer.counters.bump("read")
+        return self.fs.read_file(self.ino, offset, length)
+
+    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+        self.layer.counters.bump("write")
+        self.fs.write_file(self.ino, offset, data)
+        return len(data)
+
+    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("truncate")
+        self.fs.truncate_file(self.ino, size)
+
+    # -- attributes --
+
+    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+        self.layer.counters.bump("getattr")
+        return self.fs.getattr(self.ino)
+
+    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("setattr")
+        if attrs.size is not None:
+            self.fs.truncate_file(self.ino, attrs.size)
+        if attrs.perm is not None or attrs.uid is not None:
+            self.fs.setattr(self.ino, perm=attrs.perm, uid=attrs.uid)
+
+    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+        """Classic Unix permission check against owner/other bits."""
+        self.layer.counters.bump("access")
+        attrs = self.fs.getattr(self.ino)
+        if cred.uid == 0:
+            return True
+        perm = attrs.perm
+        shift = 6 if cred.uid == attrs.uid else 0
+        return (perm >> shift) & mode == mode
+
+    # -- namespace --
+
+    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("lookup")
+        return self._node(self.fs.lookup(self.ino, name))
+
+    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("create")
+        return self._node(self.fs.create(self.ino, name, perm=perm, uid=cred.uid))
+
+    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("remove")
+        self.fs.unlink(self.ino, name)
+
+    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("link")
+        if not isinstance(target, UfsVnode) or target.layer is not self.layer:
+            raise PermissionDenied("cross-layer hard link")
+        self.fs.link(target.ino, self.ino, name)
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: Vnode,
+        dst_name: str,
+        cred: Credential = ROOT_CRED,
+    ) -> None:
+        self.layer.counters.bump("rename")
+        if not isinstance(dst_dir, UfsVnode) or dst_dir.layer is not self.layer:
+            raise PermissionDenied("cross-layer rename")
+        self.fs.rename(self.ino, src_name, dst_dir.ino, dst_name)
+
+    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("mkdir")
+        return self._node(self.fs.mkdir(self.ino, name, perm=perm, uid=cred.uid))
+
+    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+        self.layer.counters.bump("rmdir")
+        self.fs.rmdir(self.ino, name)
+
+    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+        self.layer.counters.bump("readdir")
+        out = []
+        for name, ino in sorted(self.fs.readdir(self.ino).items()):
+            try:
+                ftype = self.fs.getattr(ino).ftype
+            except FicusError:
+                ftype = FileType.NONE
+            out.append(DirEntry(name=name, fileid=ino, ftype=ftype))
+        return out
+
+    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+        self.layer.counters.bump("symlink")
+        return self._node(self.fs.symlink(self.ino, name, target, uid=cred.uid))
+
+    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+        self.layer.counters.bump("readlink")
+        return self.fs.readlink(self.ino)
+
+    def __repr__(self) -> str:
+        return f"UfsVnode(ino={self.ino})"
+
+
+class UfsLayer(FileSystemLayer):
+    """The UFS file system as a stackable vnode layer."""
+
+    layer_name = "ufs"
+
+    def __init__(self, fs: Ufs):
+        super().__init__()
+        self.fs = fs
+
+    def root(self) -> UfsVnode:
+        return UfsVnode(self, ROOT_INO)
+
+    def vnode_for(self, ino: int) -> UfsVnode:
+        """Re-materialize a vnode from a stable inode number (NFS server use)."""
+        self.fs.get_inode(ino)  # validates liveness
+        return UfsVnode(self, ino)

@@ -1,0 +1,5 @@
+"""Version vectors for mutual-inconsistency detection (Parker et al.)."""
+
+from repro.vv.vector import Ordering, VersionVector
+
+__all__ = ["Ordering", "VersionVector"]

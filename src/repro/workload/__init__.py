@@ -1,0 +1,40 @@
+"""Workload generators and measurement harnesses."""
+
+from repro.workload.availability import AvailabilityExperiment, PolicyAvailability
+from repro.workload.locality import FileRef, ZipfReferenceGenerator, hit_ratio_estimate
+from repro.workload.partitions import (
+    PartitionEpoch,
+    PartitionTraceGenerator,
+    apply_epoch,
+    expected_availability_one_copy,
+)
+from repro.workload.replay import (
+    ReplayResult,
+    TraceOp,
+    decode_trace,
+    encode_trace,
+    replay_trace,
+    synthesize_trace,
+)
+from repro.workload.updates import BurstyUpdateGenerator, SteadyUpdateGenerator, UpdateEvent
+
+__all__ = [
+    "AvailabilityExperiment",
+    "BurstyUpdateGenerator",
+    "FileRef",
+    "PartitionEpoch",
+    "PartitionTraceGenerator",
+    "PolicyAvailability",
+    "ReplayResult",
+    "SteadyUpdateGenerator",
+    "TraceOp",
+    "UpdateEvent",
+    "ZipfReferenceGenerator",
+    "apply_epoch",
+    "decode_trace",
+    "encode_trace",
+    "replay_trace",
+    "synthesize_trace",
+    "expected_availability_one_copy",
+    "hit_ratio_estimate",
+]

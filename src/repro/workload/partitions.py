@@ -1,0 +1,86 @@
+"""Partition trace generation.
+
+"For a variety of technical, economic, and administrative reasons various
+system components such as hosts, network links, and gateways will at times
+be unusable" (paper Section 1).  We model that directly: every pair of
+hosts has a link that is independently down with some probability each
+epoch; the partition groups are the connected components of the surviving
+link graph.  A seeded RNG makes every trace reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.errors import InvalidArgument
+
+
+@dataclass
+class PartitionEpoch:
+    """One epoch of a partition trace."""
+
+    index: int
+    groups: list[frozenset[str]]
+
+    @property
+    def fully_connected(self) -> bool:
+        return len(self.groups) == 1
+
+    def group_of(self, host: str) -> frozenset[str]:
+        for group in self.groups:
+            if host in group:
+                return group
+        return frozenset([host])
+
+    def reachable(self, a: str, b: str) -> bool:
+        return b in self.group_of(a)
+
+
+class PartitionTraceGenerator:
+    """Generates epoch-by-epoch partition configurations."""
+
+    def __init__(self, hosts: list[str], link_failure_prob: float, seed: int = 0):
+        if not 0.0 <= link_failure_prob <= 1.0:
+            raise InvalidArgument("link_failure_prob must be in [0, 1]")
+        if len(hosts) < 1:
+            raise InvalidArgument("need at least one host")
+        self.hosts = list(hosts)
+        self.link_failure_prob = link_failure_prob
+        self.rng = random.Random(seed)
+        self._epoch = 0
+
+    def next_epoch(self) -> PartitionEpoch:
+        """Sample link failures and return the resulting components."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.hosts)
+        for i, a in enumerate(self.hosts):
+            for b in self.hosts[i + 1 :]:
+                if self.rng.random() >= self.link_failure_prob:
+                    graph.add_edge(a, b)
+        groups = [frozenset(c) for c in nx.connected_components(graph)]
+        epoch = PartitionEpoch(index=self._epoch, groups=sorted(groups, key=min))
+        self._epoch += 1
+        return epoch
+
+    def trace(self, epochs: int) -> list[PartitionEpoch]:
+        return [self.next_epoch() for _ in range(epochs)]
+
+
+def apply_epoch(network, epoch: PartitionEpoch) -> None:
+    """Install one epoch's grouping on a simulated network."""
+    if epoch.fully_connected:
+        network.heal()
+    else:
+        network.partition([set(g) for g in epoch.groups])
+
+
+def expected_availability_one_copy(
+    epoch: PartitionEpoch, requester: str, replica_hosts: list[str]
+) -> bool:
+    """Ground truth for E5: a one-copy op succeeds iff >=1 replica in the
+    requester's component."""
+    group = epoch.group_of(requester)
+    return any(host in group for host in replica_hosts)

@@ -1,0 +1,195 @@
+"""Trace-driven workload replay.
+
+Floyd's studies (papers [5], [6]) were trace-driven; this module gives the
+reproduction the same methodology: a plain-text trace format (one operation
+per line, key=value records), a synthesizer that turns the statistical
+generators into traces, and a replayer that applies a trace to a live
+:class:`~repro.sim.FicusSystem` — including partition and heal events, so
+whole experiment scenarios are a data file rather than code.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+
+from repro.errors import FicusError, InvalidArgument
+from repro.util.codec import decode_record, encode_record
+
+#: Operations understood by the replayer.
+OPS = ("write", "read", "mkdir", "unlink", "rmdir", "rename", "symlink", "partition", "heal", "advance")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One trace line."""
+
+    at: float
+    op: str
+    host: str = ""
+    path: str = ""
+    path2: str = ""  # rename destination / symlink target
+    data: bytes = b""
+    groups: tuple[frozenset[str], ...] = ()
+
+    def encode(self) -> str:
+        rec = {"t": f"{self.at:.6f}", "op": self.op}
+        if self.host:
+            rec["host"] = self.host
+        if self.path:
+            rec["path"] = self.path
+        if self.path2:
+            rec["path2"] = self.path2
+        if self.data:
+            rec["data"] = base64.b64encode(self.data).decode("ascii")
+        if self.groups:
+            rec["groups"] = ";".join(",".join(sorted(g)) for g in self.groups)
+        return encode_record(rec)
+
+    @classmethod
+    def decode(cls, line: str) -> "TraceOp":
+        rec = decode_record(line)
+        try:
+            op = rec["op"]
+            if op not in OPS:
+                raise InvalidArgument(f"unknown trace op {op!r}")
+            groups = ()
+            if "groups" in rec:
+                groups = tuple(
+                    frozenset(g.split(",")) for g in rec["groups"].split(";") if g
+                )
+            return cls(
+                at=float(rec["t"]),
+                op=op,
+                host=rec.get("host", ""),
+                path=rec.get("path", ""),
+                path2=rec.get("path2", ""),
+                data=base64.b64decode(rec["data"]) if "data" in rec else b"",
+                groups=groups,
+            )
+        except KeyError as exc:
+            raise InvalidArgument(f"trace line missing field {exc}") from exc
+
+
+def encode_trace(ops: list[TraceOp]) -> str:
+    return "\n".join(op.encode() for op in ops)
+
+
+def decode_trace(text: str) -> list[TraceOp]:
+    ops = [TraceOp.decode(line) for line in text.splitlines() if line.strip()]
+    if any(b.at < a.at for a, b in zip(ops, ops[1:])):
+        raise InvalidArgument("trace timestamps must be non-decreasing")
+    return ops
+
+
+@dataclass
+class ReplayResult:
+    """What happened during one replay."""
+
+    applied: int = 0
+    failed: int = 0
+    reads: int = 0
+    read_bytes: int = 0
+    failures: list[tuple[TraceOp, str]] = field(default_factory=list)
+
+
+def replay_trace(system, ops: list[TraceOp], strict: bool = False) -> ReplayResult:
+    """Apply a trace to a :class:`~repro.sim.FicusSystem`.
+
+    Virtual time advances to each op's timestamp (firing daemons on the
+    way).  With ``strict`` False (the default), operation failures — e.g.
+    a read during a partition — are recorded, not raised: partial
+    operation is the normal state of the world being replayed.
+    """
+    result = ReplayResult()
+    for op in ops:
+        if op.at > system.clock.now():
+            system.run_for(op.at - system.clock.now())
+        try:
+            _apply(system, op, result)
+            result.applied += 1
+        except FicusError as exc:
+            if strict:
+                raise
+            result.failed += 1
+            result.failures.append((op, f"{type(exc).__name__}: {exc}"))
+    return result
+
+
+def _apply(system, op: TraceOp, result: ReplayResult) -> None:
+    if op.op == "partition":
+        system.partition([set(g) for g in op.groups])
+        return
+    if op.op == "heal":
+        system.heal()
+        return
+    if op.op == "advance":
+        return  # time already advanced by the replay loop
+    fs = system.host(op.host).fs()
+    if op.op == "write":
+        fs.write_file(op.path, op.data)
+    elif op.op == "read":
+        data = fs.read_file(op.path)
+        result.reads += 1
+        result.read_bytes += len(data)
+    elif op.op == "mkdir":
+        fs.makedirs(op.path)
+    elif op.op == "unlink":
+        fs.unlink(op.path)
+    elif op.op == "rmdir":
+        fs.rmdir(op.path)
+    elif op.op == "rename":
+        fs.rename(op.path, op.path2)
+    elif op.op == "symlink":
+        fs.symlink(op.path2, op.path)
+
+
+def synthesize_trace(
+    hosts: list[str],
+    duration: float,
+    ops_per_minute: float = 30.0,
+    write_fraction: float = 0.4,
+    partition_prob_per_minute: float = 0.05,
+    seed: int = 0,
+) -> list[TraceOp]:
+    """Generate a random-but-reproducible mixed trace."""
+    import random
+
+    rng = random.Random(seed)
+    ops: list[TraceOp] = []
+    t = 0.0
+    paths: list[str] = []
+    serial = 0
+    partitioned = False
+    while t < duration:
+        t += rng.expovariate(ops_per_minute / 60.0)
+        if t >= duration:
+            break
+        if rng.random() < partition_prob_per_minute / max(1.0, ops_per_minute):
+            if partitioned:
+                ops.append(TraceOp(at=t, op="heal"))
+            else:
+                shuffled = hosts[:]
+                rng.shuffle(shuffled)
+                cut = rng.randint(1, len(shuffled) - 1)
+                ops.append(
+                    TraceOp(
+                        at=t,
+                        op="partition",
+                        groups=(frozenset(shuffled[:cut]), frozenset(shuffled[cut:])),
+                    )
+                )
+            partitioned = not partitioned
+            continue
+        host = rng.choice(hosts)
+        if rng.random() < write_fraction or not paths:
+            serial += 1
+            path = f"/t{serial}"
+            ops.append(TraceOp(at=t, op="write", host=host, path=path,
+                               data=f"payload {serial}".encode()))
+            paths.append(path)
+        else:
+            ops.append(TraceOp(at=t, op="read", host=host, path=rng.choice(paths)))
+    if partitioned:
+        ops.append(TraceOp(at=duration, op="heal"))
+    return ops

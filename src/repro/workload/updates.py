@@ -1,0 +1,93 @@
+"""Update workload generation, including bursts.
+
+Experiment E6 needs bursty updates: "rapid propagation enhances the
+availability of the new version of the file; delayed propagation may
+reduce the overall propagation cost when updates are bursty" (Section
+3.2).  A burst of k updates to one file within the propagation delay
+window should cost one pull, not k.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgument
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One scheduled write."""
+
+    at: float
+    path: str
+    payload: bytes
+
+
+class BurstyUpdateGenerator:
+    """Bursts of writes to shared files, Poisson-spaced bursts."""
+
+    def __init__(
+        self,
+        paths: list[str],
+        burst_size: int = 5,
+        intra_burst_gap: float = 0.1,
+        mean_burst_interval: float = 60.0,
+        seed: int = 0,
+    ):
+        if not paths:
+            raise InvalidArgument("need at least one path")
+        if burst_size < 1:
+            raise InvalidArgument("burst_size must be >= 1")
+        self.paths = list(paths)
+        self.burst_size = burst_size
+        self.intra_burst_gap = intra_burst_gap
+        self.mean_burst_interval = mean_burst_interval
+        self.rng = random.Random(seed)
+
+    def schedule(self, duration: float, start: float = 0.0) -> list[UpdateEvent]:
+        """All update events within ``[start, start + duration)``."""
+        events: list[UpdateEvent] = []
+        t = start
+        serial = 0
+        while True:
+            t += self.rng.expovariate(1.0 / self.mean_burst_interval)
+            if t >= start + duration:
+                break
+            path = self.rng.choice(self.paths)
+            for k in range(self.burst_size):
+                when = t + k * self.intra_burst_gap
+                if when >= start + duration:
+                    break
+                serial += 1
+                events.append(
+                    UpdateEvent(at=when, path=path, payload=f"update-{serial}".encode())
+                )
+        return events
+
+
+class SteadyUpdateGenerator:
+    """Evenly spaced single updates (the no-burst control)."""
+
+    def __init__(self, paths: list[str], interval: float = 10.0, seed: int = 0):
+        if not paths:
+            raise InvalidArgument("need at least one path")
+        self.paths = list(paths)
+        self.interval = interval
+        self.rng = random.Random(seed)
+
+    def schedule(self, duration: float, start: float = 0.0) -> list[UpdateEvent]:
+        events = []
+        serial = 0
+        t = start + self.interval
+        while t < start + duration:
+            serial += 1
+            events.append(
+                UpdateEvent(
+                    at=t,
+                    path=self.rng.choice(self.paths),
+                    payload=f"update-{serial}".encode(),
+                )
+            )
+            t += self.interval
+        return events

@@ -1,0 +1,113 @@
+"""Dedicated tests for the UFS caches (buffer cache + DNLC)."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.storage import BlockDevice
+from repro.ufs import BufferCache, NameCache
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(64, block_size=512)
+
+
+class TestBufferCache:
+    def test_hit_avoids_device(self, device):
+        cache = BufferCache(device, capacity=4)
+        cache.read(1)
+        before = device.counters.reads
+        cache.read(1)
+        assert device.counters.reads == before
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self, device):
+        cache = BufferCache(device, capacity=2)
+        cache.read(1)
+        cache.read(2)
+        cache.read(1)  # 1 becomes most recent
+        cache.read(3)  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_write_through_and_cached(self, device):
+        cache = BufferCache(device, capacity=4)
+        cache.write(5, b"w" * 512)
+        assert device.raw_block(5) == b"w" * 512  # on the device already
+        before = device.counters.reads
+        assert cache.read(5) == b"w" * 512
+        assert device.counters.reads == before  # served from cache
+
+    def test_invalidate_single_block(self, device):
+        cache = BufferCache(device, capacity=4)
+        cache.read(1)
+        cache.invalidate(1)
+        before = device.counters.reads
+        cache.read(1)
+        assert device.counters.reads == before + 1
+
+    def test_zero_capacity_never_caches(self, device):
+        cache = BufferCache(device, capacity=0)
+        cache.read(1)
+        cache.read(1)
+        assert cache.stats.hits == 0
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self, device):
+        with pytest.raises(InvalidArgument):
+            BufferCache(device, capacity=-1)
+
+    def test_hit_rate(self, device):
+        cache = BufferCache(device, capacity=8)
+        cache.read(1)
+        cache.read(1)
+        cache.read(1)
+        cache.read(2)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestNameCache:
+    def test_basic_enter_and_lookup(self):
+        dnlc = NameCache(capacity=4)
+        dnlc.enter(2, "etc", 7)
+        assert dnlc.lookup(2, "etc") == 7
+        assert dnlc.lookup(2, "missing") is None
+        assert dnlc.stats.hits == 1 and dnlc.stats.misses == 1
+
+    def test_lru_eviction(self):
+        dnlc = NameCache(capacity=2)
+        dnlc.enter(1, "a", 10)
+        dnlc.enter(1, "b", 11)
+        dnlc.lookup(1, "a")  # refresh a
+        dnlc.enter(1, "c", 12)  # evicts b
+        assert dnlc.lookup(1, "a") == 10
+        assert dnlc.lookup(1, "b") is None
+        assert dnlc.lookup(1, "c") == 12
+
+    def test_purge_dir_drops_only_that_directory(self):
+        dnlc = NameCache()
+        dnlc.enter(1, "x", 10)
+        dnlc.enter(2, "x", 20)
+        dnlc.purge_dir(1)
+        assert dnlc.lookup(1, "x") is None
+        assert dnlc.lookup(2, "x") == 20
+
+    def test_purge_ino_drops_every_alias(self):
+        dnlc = NameCache()
+        dnlc.enter(1, "orig", 99)
+        dnlc.enter(2, "alias", 99)
+        dnlc.enter(1, "other", 7)
+        dnlc.purge_ino(99)
+        assert dnlc.lookup(1, "orig") is None
+        assert dnlc.lookup(2, "alias") is None
+        assert dnlc.lookup(1, "other") == 7
+
+    def test_remove_single_entry(self):
+        dnlc = NameCache()
+        dnlc.enter(1, "a", 10)
+        dnlc.remove(1, "a")
+        assert dnlc.lookup(1, "a") is None
+
+    def test_zero_capacity(self):
+        dnlc = NameCache(capacity=0)
+        dnlc.enter(1, "a", 10)
+        assert dnlc.lookup(1, "a") is None

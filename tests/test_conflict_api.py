@@ -1,0 +1,61 @@
+"""The owner-facing conflict API on the facade."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.sim import DaemonConfig, FicusSystem
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+@pytest.fixture
+def conflicted_system():
+    system = FicusSystem(["a", "b"], daemon_config=QUIET)
+    system.host("a").fs().write_file("/f", b"base")
+    system.reconcile_everything()
+    system.partition([{"a"}, {"b"}])
+    system.host("a").fs().write_file("/f", b"version A")
+    system.host("b").fs().write_file("/f", b"version B")
+    system.heal()
+    system.reconcile_everything()
+    return system
+
+
+class TestConflictApi:
+    def test_conflicts_listed(self, conflicted_system):
+        host = conflicted_system.host("a")
+        reports = host.fs().conflicts(host.conflict_log)
+        assert len(reports) == 1
+        assert reports[0].name == "f"
+
+    def test_versions_fetched_from_all_replicas(self, conflicted_system):
+        host = conflicted_system.host("a")
+        report = host.conflict_log.unresolved()[0]
+        versions = host.fs().conflict_versions(report)
+        assert set(versions.values()) == {b"version A", b"version B"}
+        assert set(versions) == {"a", "b"}
+
+    def test_resolution_propagates_and_clears(self, conflicted_system):
+        system = conflicted_system
+        host = system.host("a")
+        fs = host.fs()
+        report = host.conflict_log.unresolved()[0]
+        fs.resolve_conflict(report, b"A + B merged", host.conflict_log)
+        system.reconcile_everything()
+        assert system.host("a").fs().read_file("/f") == b"A + B merged"
+        assert system.host("b").fs().read_file("/f") == b"A + B merged"
+        assert not host.conflict_log.unresolved()
+        # the other side's mirror report clears as the resolution arrives
+        system.reconcile_everything()
+        assert not system.host("b").conflict_log.unresolved()
+
+    def test_resolution_requires_local_replica(self, conflicted_system):
+        """A host that stores no replica cannot resolve in place."""
+        system = FicusSystem(["server", "client"], root_volume_hosts=["server"], daemon_config=QUIET)
+        # fabricate a report against the remote-only client view
+        system.host("server").fs().write_file("/f", b"x")
+        host = conflicted_system.host("a")
+        report = host.conflict_log.unresolved()[0]
+        client_fs = system.host("client").fs()
+        with pytest.raises((InvalidArgument, Exception)):
+            client_fs.resolve_conflict(report, b"nope")

@@ -1,0 +1,248 @@
+"""Edge-case sweep across layers: the paths mainline tests don't hit."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    NotSupported,
+)
+from repro.net import Network
+from repro.nfs import NfsClientLayer, NfsServer
+from repro.sim import DaemonConfig, FicusSystem
+from repro.storage import BlockDevice
+from repro.ufs import FileType, Ufs
+from repro.util import VirtualClock
+from repro.vnode import Credential, SetAttrs, UfsLayer
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+class TestVirtualClock:
+    def test_negative_advance_rejected(self):
+        with pytest.raises(InvalidArgument):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+
+    def test_repr(self):
+        assert "3.5" in repr(VirtualClock(3.5))
+
+
+class TestNfsEdges:
+    @pytest.fixture
+    def world(self):
+        net = Network()
+        net.add_host("s")
+        net.add_host("c")
+        layer = UfsLayer(Ufs.mkfs(BlockDevice(2048), num_inodes=128, clock=net.clock))
+        NfsServer(net, "s", layer)
+        return net, layer, NfsClientLayer(net, "c", "s")
+
+    def test_setattr_over_nfs(self, world):
+        _, _, client = world
+        f = client.root().create("f")
+        f.write(0, b"0123456789")
+        f.setattr(SetAttrs(size=4, perm=0o600))
+        attrs = f.getattr()
+        assert attrs.size == 4 and attrs.perm == 0o600
+
+    def test_access_over_nfs(self, world):
+        _, _, client = world
+        f = client.root().create("f", perm=0o600, cred=Credential(uid=5))
+        assert f.access(4, Credential(uid=5))
+        assert not f.access(4, Credential(uid=6))
+
+    def test_nfs_vnode_equality_and_hash(self, world):
+        _, _, client = world
+        client.root().create("f")
+        a = client.root().lookup("f")
+        b = client.root().lookup("f")
+        assert a == b and hash(a) == hash(b)
+
+    def test_name_cache_expires_after_ttl(self, world):
+        net, layer, client = world
+        root = client.root()
+        root.create("f")
+        root.lookup("f")
+        # mutate behind the cache, past the TTL
+        layer.root().remove("f")
+        net.clock.advance(10.0)
+        with pytest.raises(FileNotFound):
+            root.lookup("f")
+
+    def test_lookup_error_not_cached(self, world):
+        _, layer, client = world
+        root = client.root()
+        with pytest.raises(FileNotFound):
+            root.lookup("late")
+        layer.root().create("late").write(0, b"now exists")
+        assert root.lookup("late").read_all() == b"now exists"
+
+    def test_fsync_is_noop_but_accepted(self, world):
+        _, _, client = world
+        f = client.root().create("f")
+        f.fsync()
+
+
+class TestPhysicalEdges:
+    @pytest.fixture
+    def system(self):
+        return FicusSystem(["solo"], daemon_config=QUIET)
+
+    def test_physical_root_readdir_lists_volume_replicas(self, system):
+        host = system.host("solo")
+        entries = host.physical.root().readdir()
+        assert len(entries) == 1
+        assert entries[0].ftype == FileType.DIRECTORY
+
+    def test_physical_root_getattr(self, system):
+        attrs = system.host("solo").physical.root().getattr()
+        assert attrs.ftype == FileType.DIRECTORY
+
+    def test_unknown_volume_replica_lookup(self, system):
+        from repro.util import VolumeId, VolumeReplicaId
+
+        phys = system.host("solo").physical
+        with pytest.raises(FileNotFound):
+            phys.root().lookup(VolumeReplicaId(VolumeId(9, 9), 9).to_hex())
+
+    def test_dir_setattr_size_rejected(self, system):
+        host = system.host("solo")
+        volrep = system.root_locations[0].volrep
+        root = host.physical.root().lookup(volrep.to_hex())
+        with pytest.raises(IsADirectory):
+            root.setattr(SetAttrs(size=0))
+
+    def test_dir_setattr_perm_allowed(self, system):
+        host = system.host("solo")
+        volrep = system.root_locations[0].volrep
+        root = host.physical.root().lookup(volrep.to_hex())
+        root.setattr(SetAttrs(perm=0o700))
+        assert root.getattr().perm == 0o700
+
+    def test_file_vnode_lookup_rejected(self, system):
+        fs = system.host("solo").fs()
+        fs.write_file("/f", b"x")
+        host = system.host("solo")
+        volrep = system.root_locations[0].volrep
+        root = host.physical.root().lookup(volrep.to_hex())
+        with pytest.raises(NotADirectory):
+            root.lookup("f").lookup("child")
+
+    def test_double_volume_replica_creation_rejected(self, system):
+        phys = system.host("solo").physical
+        with pytest.raises(InvalidArgument):
+            phys.create_volume_replica(system.root_locations[0].volrep)
+
+
+class TestLogicalEdges:
+    @pytest.fixture
+    def system(self):
+        return FicusSystem(["a", "b"], daemon_config=QUIET)
+
+    def test_dir_getattr_and_access(self, system):
+        root = system.host("a").root()
+        attrs = root.getattr()
+        assert attrs.ftype == FileType.DIRECTORY
+        assert root.access(4)
+
+    def test_file_setattr_perm(self, system):
+        root = system.host("a").root()
+        f = root.create("f")
+        f.setattr(SetAttrs(perm=0o640))
+        assert f.getattr().perm == 0o640
+
+    def test_file_setattr_size_bumps_vv(self, system):
+        root = system.host("a").root()
+        f = root.create("f")
+        f.write(0, b"0123456789")
+        f.setattr(SetAttrs(size=2))
+        assert f.read_all() == b"01"
+
+    def test_fsync_accepted(self, system):
+        root = system.host("a").root()
+        f = root.create("f")
+        f.write(0, b"x")
+        f.fsync()
+
+    def test_logical_vnode_equality(self, system):
+        root = system.host("a").root()
+        root.create("f")
+        assert root.lookup("f") == root.lookup("f")
+        assert root == system.host("a").root()
+        assert root != system.host("b").root()
+
+    def test_lookup_on_file_rejected(self, system):
+        root = system.host("a").root()
+        root.create("f")
+        with pytest.raises(NotADirectory):
+            root.lookup("f").lookup("child")
+
+
+class TestFacadeEdges:
+    @pytest.fixture
+    def fs(self):
+        return FicusSystem(["solo"], daemon_config=QUIET).host("solo").fs()
+
+    def test_append_creates_missing_file(self, fs):
+        fs.append_file("/new", b"first")
+        assert fs.read_file("/new") == b"first"
+
+    def test_stat_missing_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.stat("/ghost")
+
+    def test_mkdir_under_file_rejected(self, fs):
+        fs.write_file("/f", b"x")
+        with pytest.raises(NotADirectory):
+            fs.mkdir("/f/sub")
+
+    def test_bad_open_mode_rejected(self, fs):
+        with pytest.raises(InvalidArgument):
+            fs.open("/f", "q")
+
+    def test_rename_to_nested_missing_parent(self, fs):
+        fs.write_file("/f", b"x")
+        with pytest.raises(FileNotFound):
+            fs.rename("/f", "/no/such/place")
+
+    def test_double_close_tolerated(self, fs):
+        fs.write_file("/f", b"x")
+        handle = fs.open("/f")
+        handle.close()
+        handle.close()
+
+    def test_context_manager_releases_on_error(self, fs):
+        fs.write_file("/f", b"x")
+        with pytest.raises(RuntimeError):
+            with fs.open("/f", "w") as f:
+                raise RuntimeError("boom")
+        # the lock must have been released
+        fs.open("/f", "w").close()
+
+    def test_walk_tree_of_subdir(self, fs):
+        fs.makedirs("/a/b")
+        fs.write_file("/a/b/f", b"x")
+        assert fs.walk_tree("/a") == ["/a/b", "/a/b/f"]
+
+    def test_link_to_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.link("/d", "/alias")
+
+
+class TestNullLayerEdges:
+    def test_unsupported_op_propagates(self):
+        from repro.vnode import build_null_stack
+
+        base = UfsLayer(Ufs.mkfs(BlockDevice(1024), num_inodes=64))
+        top = build_null_stack(base, 2)
+        f = top.root().create("f")
+        with pytest.raises(NotSupported):
+            f.ioctl("whatever")

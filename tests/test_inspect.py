@@ -1,0 +1,92 @@
+"""Tests for the inspection/dump tools."""
+
+import pytest
+
+from repro.inspect import cluster_summary, diff_replicas, dump_replica
+from repro.sim import DaemonConfig, FicusSystem
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+def store_of(system, host_name):
+    host = system.host(host_name)
+    volrep = next(l.volrep for l in system.root_locations if l.host == host_name)
+    return host.physical.store_for(volrep)
+
+
+class TestDumpReplica:
+    def test_dump_shows_tree_and_versions(self):
+        system = FicusSystem(["a"], daemon_config=QUIET)
+        fs = system.host("a").fs()
+        fs.makedirs("/docs")
+        fs.write_file("/docs/x.txt", b"12345")
+        text = dump_replica(store_of(system, "a"))
+        assert "docs/" in text
+        assert "x.txt (5B" in text
+        assert "vv=" in text
+
+    def test_dump_shows_tombstones_with_acks(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        fs = system.host("a").fs()
+        fs.write_file("/gone", b"x")
+        fs.unlink("/gone")
+        text = dump_replica(store_of(system, "a"))
+        assert "✝ gone" in text and "acks=[1]" in text
+        hidden = dump_replica(store_of(system, "a"), show_tombstones=False)
+        assert "gone" not in hidden
+
+    def test_dump_shows_entry_only_files(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.host("a").fs().write_file("/f", b"x")
+        b = system.host("b")
+        b.recon_daemon.tick()  # entries arrive; maybe contents too
+        text = dump_replica(store_of(system, "b"))
+        assert "f" in text
+
+    def test_dump_shows_graft_points_and_locations(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        volume, locations = system.create_volume(["b"])
+        a = system.host("a")
+        a.logical.create_graft_point(a.root(), "proj", volume, locations)
+        text = dump_replica(store_of(system, "a"))
+        assert "⌘ proj/" in text
+
+
+class TestDiffReplicas:
+    def test_converged_replicas_diff_clean(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.host("a").fs().write_file("/f", b"x")
+        system.reconcile_everything()
+        report = diff_replicas(store_of(system, "a"), store_of(system, "b"))
+        assert report.converged
+
+    def test_divergence_reported(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.partition([{"a"}, {"b"}])
+        system.host("a").fs().write_file("/only-a", b"x")
+        system.host("b").fs().write_file("/only-b", b"y")
+        report = diff_replicas(store_of(system, "a"), store_of(system, "b"))
+        assert report.only_in_a == ["/only-a"]
+        assert report.only_in_b == ["/only-b"]
+        assert not report.converged
+
+    def test_version_skew_reported(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.host("a").fs().write_file("/f", b"v1")
+        system.reconcile_everything()
+        system.partition([{"a"}, {"b"}])
+        system.host("a").fs().write_file("/f", b"v2")
+        report = diff_replicas(store_of(system, "a"), store_of(system, "b"))
+        assert any("/f" in m for m in report.version_mismatches)
+
+
+class TestClusterSummary:
+    def test_summary_covers_all_hosts(self):
+        system = FicusSystem(["a", "b", "c"], daemon_config=QUIET)
+        system.host("a").fs().write_file("/f", b"x")
+        system.host("b").crash()
+        text = cluster_summary(system)
+        assert "3 hosts" in text
+        assert "b [DOWN]" in text
+        assert "a [up]" in text
+        assert "rpcs" in text

@@ -1,0 +1,99 @@
+"""Large-directory behaviour: multi-block directories, many-way merges."""
+
+import pytest
+
+from repro.physical import ficus_fsck
+from repro.sim import DaemonConfig, FicusSystem
+from repro.storage import BlockDevice
+from repro.ufs import ROOT_INO, Ufs, fsck
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+class TestUfsLargeDirectories:
+    def test_directory_spanning_many_blocks(self):
+        fs = Ufs.mkfs(BlockDevice(8192), num_inodes=1024)
+        names = [f"file-with-a-reasonably-long-name-{i:04d}" for i in range(300)]
+        for name in names:
+            fs.create(ROOT_INO, name)
+        assert fs.get_inode(ROOT_INO).size > fs.sb.block_size  # multi-block
+        listing = set(fs.readdir(ROOT_INO)) - {".", ".."}
+        assert listing == set(names)
+        assert fsck(fs).clean
+
+    def test_shrinking_a_large_directory_frees_blocks(self):
+        fs = Ufs.mkfs(BlockDevice(8192), num_inodes=1024)
+        names = [f"n{i:04d}-padding-padding-padding" for i in range(300)]
+        for name in names:
+            fs.create(ROOT_INO, name)
+        grown = fs.get_inode(ROOT_INO).size
+        for name in names:
+            fs.unlink(ROOT_INO, name)
+        assert fs.get_inode(ROOT_INO).size < grown
+        assert fsck(fs).clean
+
+    def test_lookup_correct_across_block_boundaries(self):
+        fs = Ufs.mkfs(BlockDevice(8192), num_inodes=1024)
+        inos = {}
+        for i in range(250):
+            name = f"entry-{i:04d}-{'x' * 30}"
+            inos[name] = fs.create(ROOT_INO, name)
+        for name, ino in inos.items():
+            assert fs.lookup(ROOT_INO, name) == ino
+
+
+class TestFicusLargeDirectories:
+    def test_many_files_replicate(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        fs_a = system.host("a").fs()
+        for i in range(120):
+            fs_a.write_file(f"/doc-{i:03d}", f"contents {i}".encode())
+        system.reconcile_everything()
+        fs_b = system.host("b").fs()
+        assert len(fs_b.listdir("/")) == 120
+        assert fs_b.read_file("/doc-077") == b"contents 77"
+        for host in system.hosts.values():
+            for store in host.physical.stores.values():
+                assert ficus_fsck(store).clean
+
+    def test_mass_collision_merge(self):
+        """50 same-name creates on each side: every file survives with a
+        deterministic name, identically on both replicas."""
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.partition([{"a"}, {"b"}])
+        for i in range(50):
+            system.host("a").fs().write_file(f"/clash-{i:02d}", b"A")
+            system.host("b").fs().write_file(f"/clash-{i:02d}", b"B")
+        system.heal()
+        system.reconcile_everything()
+        names_a = system.host("a").fs().listdir("/")
+        names_b = system.host("b").fs().listdir("/")
+        assert names_a == names_b
+        assert len(names_a) == 100  # every one of the 100 files kept
+        suffixed = [n for n in names_a if "#" in n]
+        assert len(suffixed) == 50
+
+    def test_mass_delete_merge_and_gc(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        fs_a = system.host("a").fs()
+        for i in range(60):
+            fs_a.write_file(f"/f{i:02d}", b"x")
+        system.reconcile_everything()
+        system.partition([{"a"}, {"b"}])
+        for i in range(0, 60, 2):
+            fs_a.unlink(f"/f{i:02d}")
+        system.heal()
+        system.reconcile_everything(rounds=4)
+        for name in ["a", "b"]:
+            listing = system.host(name).fs().listdir("/")
+            assert len(listing) == 30
+            assert all(int(n[1:]) % 2 == 1 for n in listing)
+        # tombstones fully collected after convergence
+        for host in system.hosts.values():
+            for store in host.physical.stores.values():
+                dead = [
+                    e
+                    for e in store.read_entries(store.root_handle())
+                    if not e.live
+                ]
+                assert dead == []

@@ -1,0 +1,225 @@
+"""Tests for the logical layer: single-copy abstraction, replica selection."""
+
+import pytest
+
+from repro.errors import (
+    AllReplicasUnavailable,
+    CrossDevice,
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.logical import READ_ANY, READ_LATEST
+from repro.physical import volume_root_handle
+from repro.sim import DaemonConfig, FicusSystem
+from repro.ufs import FileType
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+@pytest.fixture
+def system():
+    return FicusSystem(["alpha", "beta", "gamma"], daemon_config=QUIET)
+
+
+@pytest.fixture
+def alpha_root(system):
+    return system.host("alpha").root()
+
+
+class TestBasicNamespace:
+    def test_create_and_read(self, alpha_root):
+        f = alpha_root.create("f")
+        f.write(0, b"data")
+        assert alpha_root.lookup("f").read_all() == b"data"
+
+    def test_duplicate_create_rejected(self, alpha_root):
+        alpha_root.create("f")
+        with pytest.raises(FileExists):
+            alpha_root.create("f")
+
+    def test_mkdir_and_nested_files(self, alpha_root):
+        d = alpha_root.mkdir("d")
+        d.create("f").write(0, b"x")
+        assert alpha_root.walk("d/f").read_all() == b"x"
+
+    def test_remove(self, alpha_root):
+        alpha_root.create("f")
+        alpha_root.remove("f")
+        with pytest.raises(FileNotFound):
+            alpha_root.lookup("f")
+
+    def test_remove_directory_rejected(self, alpha_root):
+        alpha_root.mkdir("d")
+        with pytest.raises(IsADirectory):
+            alpha_root.remove("d")
+
+    def test_rmdir_requires_empty(self, alpha_root):
+        d = alpha_root.mkdir("d")
+        d.create("f")
+        with pytest.raises(DirectoryNotEmpty):
+            alpha_root.rmdir("d")
+        d.remove("f")
+        alpha_root.rmdir("d")
+
+    def test_rmdir_of_file_rejected(self, alpha_root):
+        alpha_root.create("f")
+        with pytest.raises(NotADirectory):
+            alpha_root.rmdir("f")
+
+    def test_symlink(self, alpha_root):
+        alpha_root.symlink("lnk", "/a/b")
+        assert alpha_root.lookup("lnk").readlink() == "/a/b"
+
+    def test_readdir_types(self, alpha_root):
+        alpha_root.create("f")
+        alpha_root.mkdir("d")
+        entries = {e.name: e.ftype for e in alpha_root.readdir()}
+        assert entries == {"f": FileType.REGULAR, "d": FileType.DIRECTORY}
+
+    def test_link_gives_second_name(self, alpha_root):
+        f = alpha_root.create("orig")
+        f.write(0, b"shared")
+        alpha_root.link(f, "alias")
+        assert alpha_root.lookup("alias").read_all() == b"shared"
+
+    def test_rename_within_directory(self, alpha_root):
+        alpha_root.create("old").write(0, b"content")
+        alpha_root.rename("old", alpha_root, "new")
+        assert alpha_root.lookup("new").read_all() == b"content"
+        with pytest.raises(FileNotFound):
+            alpha_root.lookup("old")
+
+    def test_rename_across_directories(self, alpha_root):
+        a = alpha_root.mkdir("a")
+        b = alpha_root.mkdir("b")
+        a.create("f").write(0, b"moving")
+        a.rename("f", b, "g")
+        assert b.lookup("g").read_all() == b"moving"
+
+    def test_rename_replaces_file_target(self, alpha_root):
+        alpha_root.create("src").write(0, b"src")
+        alpha_root.create("dst").write(0, b"dst")
+        alpha_root.rename("src", alpha_root, "dst")
+        assert alpha_root.lookup("dst").read_all() == b"src"
+
+    def test_rename_onto_directory_rejected(self, alpha_root):
+        alpha_root.create("f")
+        alpha_root.mkdir("d")
+        with pytest.raises(IsADirectory):
+            alpha_root.rename("f", alpha_root, "d")
+
+    def test_rename_directory_keeps_contents(self, alpha_root):
+        d = alpha_root.mkdir("olddir")
+        d.create("inner").write(0, b"kept")
+        alpha_root.rename("olddir", alpha_root, "newdir")
+        assert alpha_root.walk("newdir/inner").read_all() == b"kept"
+
+
+class TestReplicaSelection:
+    def test_any_host_reads_data_created_elsewhere(self, system):
+        """One-copy availability: beta can read alpha's file through
+        alpha's replica even before its own replica has a copy."""
+        system.host("alpha").root().create("f").write(0, b"remote read")
+        beta_root = system.host("beta").root()
+        # beta's own replica is stale (no recon ran): the latest policy
+        # must find the newest copy among reachable replicas
+        assert beta_root.lookup("f").read_all() == b"remote read"
+
+    def test_latest_policy_prefers_most_recent(self, system):
+        alpha, beta = system.host("alpha"), system.host("beta")
+        alpha.root().create("f").write(0, b"v1")
+        system.reconcile_everything()
+        # update only on beta's replica
+        beta.root().lookup("f").write(0, b"v2 fresher")
+        # alpha's local copy is v1; the latest policy must detect beta's
+        assert alpha.root().lookup("f").read_all() == b"v2 fresher"
+
+    def test_any_policy_settles_for_first_reachable(self):
+        system = FicusSystem(["alpha", "beta"], daemon_config=QUIET, read_policy=READ_ANY)
+        alpha, beta = system.host("alpha"), system.host("beta")
+        alpha.root().create("f").write(0, b"v1")
+        system.reconcile_everything()
+        beta.root().lookup("f").write(0, b"v2")
+        # alpha reads its own (stale) replica under the weak policy
+        assert alpha.root().lookup("f").read_all() == b"v1"
+
+    def test_read_fails_only_when_no_replica_reachable(self, system):
+        alpha = system.host("alpha")
+        alpha.root().create("f").write(0, b"x")
+        system.reconcile_everything()
+        system.partition([{"alpha"}, {"beta"}, {"gamma"}])
+        # each host still reads its own replica: one-copy availability
+        for name in ["alpha", "beta", "gamma"]:
+            assert system.host(name).root().lookup("f").read_all() == b"x"
+        # a file only on alpha, not yet propagated, is unavailable to beta
+        alpha.root().create("fresh").write(0, b"new")
+        with pytest.raises((AllReplicasUnavailable, FileNotFound)):
+            system.host("beta").root().lookup("fresh").read_all()
+
+    def test_update_during_partition_succeeds_locally(self, system):
+        alpha = system.host("alpha")
+        alpha.root().create("f").write(0, b"v0")
+        system.reconcile_everything()
+        system.partition([{"alpha"}, {"beta", "gamma"}])
+        alpha.root().lookup("f").write(0, b"alpha can still write")
+        assert alpha.root().lookup("f").read_all() == b"alpha can still write"
+
+    def test_failover_mid_use(self, system):
+        """A vnode held across a partition change fails over silently."""
+        alpha = system.host("alpha")
+        alpha.root().create("f").write(0, b"stable")
+        system.reconcile_everything()
+        vnode = system.host("beta").root().lookup("f")
+        assert vnode.read_all() == b"stable"
+        system.partition([{"beta", "gamma"}, {"alpha"}])
+        assert vnode.read_all() == b"stable"  # beta replica serves
+
+
+class TestOpenCloseSessions:
+    def test_session_coalesces_version_bumps(self, system):
+        alpha = system.host("alpha")
+        f = alpha.root().create("f")
+        f.open()
+        f.write(0, b"a")
+        f.write(1, b"b")
+        f.close()
+        volrep = system.root_locations[0].volrep
+        store = alpha.physical.store_for(volrep)
+        aux = store.read_file_aux(volume_root_handle(system.root_volume), f.fh)
+        assert aux.vv.total_updates == 1
+
+    def test_close_sends_one_notification(self, system):
+        alpha = system.host("alpha")
+        f = alpha.root().create("f")
+        sent_before = alpha.logical.notifications_sent
+        f.open()
+        f.write(0, b"a")
+        f.write(1, b"b")
+        f.close()
+        # writes inside a session do notify (cheap datagrams), close adds one
+        assert alpha.logical.notifications_sent > sent_before
+
+
+class TestCrossVolumeRestrictions:
+    def test_rename_across_volumes_rejected(self, system):
+        volume, locations = system.create_volume(["beta", "gamma"])
+        alpha = system.host("alpha")
+        root = alpha.root()
+        alpha.logical.create_graft_point(root, "other", volume, locations)
+        other = root.lookup("other")
+        root.create("f")
+        with pytest.raises(CrossDevice):
+            root.rename("f", other, "f")
+
+    def test_link_across_volumes_rejected(self, system):
+        volume, locations = system.create_volume(["beta"])
+        alpha = system.host("alpha")
+        root = alpha.root()
+        alpha.logical.create_graft_point(root, "other", volume, locations)
+        other = root.lookup("other")
+        f = root.create("f")
+        with pytest.raises(CrossDevice):
+            other.link(f, "bad")

@@ -1,0 +1,120 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import HostUnreachable, InvalidArgument
+from repro.net import Network
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    for host in ["a", "b", "c", "d"]:
+        network.add_host(host)
+    return network
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, net):
+        with pytest.raises(InvalidArgument):
+            net.add_host("a")
+
+    def test_unknown_host_rejected(self, net):
+        with pytest.raises(InvalidArgument):
+            net.reachable("a", "ghost")
+
+    def test_fully_connected_by_default(self, net):
+        assert net.reachable("a", "d")
+        assert not net.partitioned
+
+    def test_partition_splits_groups(self, net):
+        net.partition([{"a", "b"}, {"c", "d"}])
+        assert net.reachable("a", "b")
+        assert not net.reachable("a", "c")
+        assert net.partitioned
+
+    def test_unlisted_host_isolated(self, net):
+        net.partition([{"a", "b"}])
+        assert not net.reachable("c", "a")
+        assert not net.reachable("c", "d")
+        assert net.reachable("c", "c")
+
+    def test_overlapping_groups_rejected(self, net):
+        with pytest.raises(InvalidArgument):
+            net.partition([{"a", "b"}, {"b", "c"}])
+
+    def test_heal_restores_connectivity(self, net):
+        net.partition([{"a"}, {"b"}])
+        net.heal()
+        assert net.reachable("a", "b")
+
+    def test_downed_host_unreachable_even_same_group(self, net):
+        net.set_host_up("b", False)
+        assert not net.reachable("a", "b")
+        assert not net.reachable("b", "a")
+        assert not net.reachable("b", "b")
+        net.set_host_up("b", True)
+        assert net.reachable("a", "b")
+
+    def test_reachable_set_filters(self, net):
+        net.partition([{"a", "b"}, {"c", "d"}])
+        assert net.reachable_set("a", ["b", "c", "d", "a"]) == ["b", "a"]
+
+
+class TestRpc:
+    def test_call_dispatches(self, net):
+        net.register_rpc("b", "echo", lambda x: x * 2)
+        assert net.rpc("a", "b", "echo", 21) == 42
+        assert net.stats.rpcs_sent == 1
+
+    def test_call_across_partition_fails(self, net):
+        net.register_rpc("b", "echo", lambda x: x)
+        net.partition([{"a"}, {"b"}])
+        with pytest.raises(HostUnreachable):
+            net.rpc("a", "b", "echo", 1)
+        assert net.stats.rpcs_failed == 1
+
+    def test_call_to_missing_service_fails(self, net):
+        with pytest.raises(HostUnreachable):
+            net.rpc("a", "b", "nothing")
+
+    def test_rpc_advances_clock(self, net):
+        net.register_rpc("b", "noop", lambda: None)
+        before = net.clock.now()
+        net.rpc("a", "b", "noop")
+        assert net.clock.now() > before
+
+    def test_kwargs_forwarded(self, net):
+        net.register_rpc("b", "fmt", lambda x, suffix="": f"{x}{suffix}")
+        assert net.rpc("a", "b", "fmt", "v", suffix="!") == "v!"
+
+
+class TestMulticast:
+    def test_delivery_to_all_reachable(self, net):
+        got = []
+        net.register_datagram_handler("b", lambda src, p: got.append(("b", src, p)))
+        net.register_datagram_handler("c", lambda src, p: got.append(("c", src, p)))
+        delivered = net.multicast("a", ["b", "c"], "new-version")
+        assert delivered == 2
+        assert ("b", "a", "new-version") in got
+        assert ("c", "a", "new-version") in got
+
+    def test_partitioned_recipients_silently_miss(self, net):
+        got = []
+        net.register_datagram_handler("b", lambda src, p: got.append(p))
+        net.register_datagram_handler("c", lambda src, p: got.append(p))
+        net.partition([{"a", "b"}, {"c"}])
+        delivered = net.multicast("a", ["b", "c"], "notify")
+        assert delivered == 1
+        assert got == ["notify"]
+        assert net.stats.datagrams_lost == 1
+
+    def test_multiple_handlers_per_host(self, net):
+        got = []
+        net.register_datagram_handler("b", lambda src, p: got.append(1))
+        net.register_datagram_handler("b", lambda src, p: got.append(2))
+        net.multicast("a", ["b"], None)
+        assert got == [1, 2]
+
+    def test_no_handler_still_counts_delivered(self, net):
+        assert net.multicast("a", ["d"], "x") == 1

@@ -1,0 +1,197 @@
+"""Tests for the NFS transport layer: statelessness, dropped ops, caching."""
+
+import pytest
+
+from repro.errors import FileNotFound, RpcTimeout, StaleFileHandle
+from repro.net import Network
+from repro.nfs import NfsClientConfig, NfsClientLayer, NfsServer
+from repro.storage import BlockDevice
+from repro.ufs import FileType, Ufs
+from repro.vnode import UfsLayer
+
+
+@pytest.fixture
+def world():
+    """A server host exporting a UFS, and a client host mounting it."""
+    net = Network()
+    net.add_host("server")
+    net.add_host("client")
+    ufs_layer = UfsLayer(Ufs.mkfs(BlockDevice(4096), num_inodes=256, clock=net.clock))
+    server = NfsServer(net, "server", ufs_layer)
+    client = NfsClientLayer(net, "client", "server")
+    return net, ufs_layer, server, client
+
+
+class TestRemoteOperations:
+    def test_create_write_read_remote(self, world):
+        _, _, _, client = world
+        root = client.root()
+        f = root.create("remote.txt")
+        f.write(0, b"over the wire")
+        assert root.lookup("remote.txt").read_all() == b"over the wire"
+
+    def test_mkdir_and_walk(self, world):
+        _, _, _, client = world
+        root = client.root()
+        root.mkdir("a").mkdir("b")
+        f = root.walk("a/b").create("f")
+        f.write(0, b"deep")
+        assert client.root().walk("a/b/f").read_all() == b"deep"
+
+    def test_remove_and_rmdir(self, world):
+        _, _, _, client = world
+        root = client.root()
+        root.create("f")
+        root.remove("f")
+        client.flush_caches()
+        with pytest.raises(FileNotFound):
+            client.root().lookup("f")
+
+    def test_rename_remote(self, world):
+        _, _, _, client = world
+        root = client.root()
+        a = root.mkdir("a")
+        b = root.mkdir("b")
+        a.create("f").write(0, b"moved")
+        a.rename("f", b, "g")
+        assert client.root().walk("b/g").read_all() == b"moved"
+
+    def test_link_remote(self, world):
+        _, _, _, client = world
+        root = client.root()
+        f = root.create("f")
+        root.link(f, "alias")
+        assert root.lookup("alias").getattr().nlink == 2
+
+    def test_symlink_readlink_remote(self, world):
+        _, _, _, client = world
+        root = client.root()
+        root.symlink("l", "/t")
+        assert root.lookup("l").readlink() == "/t"
+
+    def test_readdir_remote(self, world):
+        _, _, _, client = world
+        root = client.root()
+        root.create("f")
+        root.mkdir("d")
+        entries = {e.name: e.ftype for e in root.readdir()}
+        assert entries["f"] == FileType.REGULAR
+        assert entries["d"] == FileType.DIRECTORY
+
+    def test_truncate_remote(self, world):
+        _, _, _, client = world
+        f = client.root().create("f")
+        f.write(0, b"0123456789")
+        f.truncate(3)
+        assert f.read_all() == b"012"
+
+    def test_changes_visible_to_local_layer(self, world):
+        """The client writes through to the very same UFS."""
+        _, ufs_layer, _, client = world
+        client.root().create("shared").write(0, b"one fs")
+        assert ufs_layer.root().lookup("shared").read_all() == b"one fs"
+
+
+class TestDroppedOpenClose:
+    def test_open_close_never_reach_server(self, world):
+        """Paper Section 2.2: 'a layer intending to receive an open will
+        never get it if NFS is in between.'"""
+        _, ufs_layer, _, client = world
+        f = client.root().create("f")
+        f.open()
+        f.close()
+        assert "open" not in ufs_layer.counters.by_op
+        assert "close" not in ufs_layer.counters.by_op
+        assert client.counters.by_op["open-dropped"] == 1
+        assert client.counters.by_op["close-dropped"] == 1
+
+
+class TestStatelessness:
+    def test_handles_survive_server_reboot(self, world):
+        _, _, server, client = world
+        f = client.root().create("f")
+        f.write(0, b"before reboot")
+        server.reboot()
+        assert f.read(0, 100) == b"before reboot"
+
+    def test_stale_handle_after_delete_and_reuse(self, world):
+        """A handle to a deleted file must fail ESTALE even if the fileid
+        is recycled for a new file (generation check)."""
+        _, ufs_layer, server, client = world
+        root = client.root()
+        f = root.create("victim")
+        root.remove("victim")
+        server.reboot()
+        client.flush_caches()
+        # recycle the same ino for a fresh file
+        root.create("newcomer")
+        with pytest.raises(StaleFileHandle):
+            f.read(0, 1)
+
+    def test_write_retry_is_idempotent(self, world):
+        """Stateless ops can be retransmitted without harm."""
+        _, _, _, client = world
+        f = client.root().create("f")
+        f.write(0, b"same bytes")
+        f.write(0, b"same bytes")  # retransmission
+        assert f.read_all() == b"same bytes"
+
+
+class TestPartitionBehaviour:
+    def test_unreachable_server_times_out(self, world):
+        net, _, _, client = world
+        f = client.root().create("f")
+        net.partition([{"client"}, {"server"}])
+        with pytest.raises(RpcTimeout):
+            f.read(0, 1)
+
+    def test_recovers_after_heal(self, world):
+        net, _, _, client = world
+        f = client.root().create("f")
+        f.write(0, b"z")
+        net.partition([{"client"}, {"server"}])
+        with pytest.raises(RpcTimeout):
+            f.read(0, 1)
+        net.heal()
+        assert f.read(0, 1) == b"z"
+
+
+class TestClientCaching:
+    def test_attr_cache_serves_stale_within_ttl(self, world):
+        """The paper's complaint: NFS caching 'results in unexpected
+        behavior for layers which are not able to adopt the assumptions
+        inherent in the NFS cache management policies'."""
+        net, ufs_layer, _, client = world
+        f = client.root().create("f")
+        f.write(0, b"v1")
+        size_before = f.getattr().size
+        # mutate behind the client's back via the local layer
+        ufs_layer.root().lookup("f").write(0, b"v1-and-more")
+        assert f.getattr().size == size_before  # still cached (stale!)
+        net.clock.advance(10.0)  # past the TTL
+        assert f.getattr().size == len(b"v1-and-more")
+
+    def test_name_cache_hit_avoids_rpc(self, world):
+        net, _, _, client = world
+        root = client.root()
+        root.create("f")
+        root.lookup("f")
+        sent_before = net.stats.rpcs_sent
+        root.lookup("f")  # cached
+        assert net.stats.rpcs_sent == sent_before
+
+    def test_caches_disabled_by_zero_ttl(self):
+        net = Network()
+        net.add_host("s")
+        net.add_host("c")
+        layer = UfsLayer(Ufs.mkfs(BlockDevice(2048), num_inodes=64, clock=net.clock))
+        NfsServer(net, "s", layer)
+        client = NfsClientLayer(
+            net, "c", "s", config=NfsClientConfig(attr_cache_ttl=0, name_cache_ttl=0)
+        )
+        root = client.root()
+        root.create("f")
+        root.lookup("f")
+        sent_before = net.stats.rpcs_sent
+        root.lookup("f")
+        assert net.stats.rpcs_sent == sent_before + 1  # every lookup is an RPC

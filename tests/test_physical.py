@@ -1,0 +1,447 @@
+"""Tests for the Ficus physical layer."""
+
+import pytest
+
+from repro.errors import (
+    CrashInjected,
+    FileNotFound,
+    InvalidArgument,
+    NameTooLong,
+    NotSupported,
+)
+from repro.net import Network
+from repro.nfs import NfsClientLayer, NfsServer
+from repro.physical import (
+    EntryId,
+    EntryType,
+    FicusPhysicalLayer,
+    ReplicaNotStored,
+    count_name_collisions,
+    effective_entries,
+    max_user_name_length,
+    op_abort_shadow,
+    op_aux,
+    op_byfh,
+    op_close,
+    op_commit,
+    op_insert,
+    op_mergevv,
+    op_open,
+    op_remove,
+    op_setvv,
+    op_shadow,
+)
+from repro.physical.wire import DirectoryEntry, decode_op, encode_op, op_dir
+from repro.storage import BlockDevice
+from repro.ufs import MAX_NAME_LEN, FileType, Ufs, fsck
+from repro.util import FicusFileHandle, VolumeId, VolumeReplicaId
+from repro.vnode import UfsLayer
+from repro.vv import VersionVector
+
+VOL = VolumeId(1, 1)
+VR = VolumeReplicaId(VOL, 1)
+
+
+@pytest.fixture
+def world():
+    device = BlockDevice(8192)
+    ufs = UfsLayer(Ufs.mkfs(device, num_inodes=512))
+    phys = FicusPhysicalLayer(ufs, "hostA")
+    store = phys.create_volume_replica(VR)
+    root = phys.root().lookup(VR.to_hex())
+    return device, ufs, phys, store, root
+
+
+def insert_file(store, root, name, contents=b""):
+    fh = FicusFileHandle(VOL, store.new_file_id())
+    vnode = root.create(op_insert(store.new_entry_id(), name, fh, EntryType.FILE))
+    if contents:
+        vnode.write(0, contents)
+    return fh, vnode
+
+
+def insert_dir(store, parent, name):
+    fh = FicusFileHandle(VOL, store.new_file_id())
+    return fh, parent.create(op_insert(store.new_entry_id(), name, fh, EntryType.DIRECTORY))
+
+
+class TestBasicOperations:
+    def test_create_and_read(self, world):
+        _, _, _, store, root = world
+        insert_file(store, root, "f", b"data")
+        assert root.lookup("f").read_all() == b"data"
+
+    def test_write_bumps_version_vector(self, world):
+        _, _, _, store, root = world
+        fh, vnode = insert_file(store, root, "f")
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector()
+        vnode.write(0, b"x")
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
+        vnode.write(0, b"y")
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 2})
+
+    def test_truncate_bumps_version_vector(self, world):
+        _, _, _, store, root = world
+        fh, vnode = insert_file(store, root, "f", b"0123456789")
+        before = store.read_file_aux(store.root_handle(), fh).vv
+        vnode.truncate(3)
+        assert store.read_file_aux(store.root_handle(), fh).vv.strictly_dominates(before)
+
+    def test_nested_directories(self, world):
+        _, _, _, store, root = world
+        dfh, d = insert_dir(store, root, "a")
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        d.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE)).write(0, b"deep")
+        assert root.lookup("a").lookup("f").read_all() == b"deep"
+
+    def test_symlink(self, world):
+        _, _, _, store, root = world
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        lnk = root.create(op_insert(store.new_entry_id(), "l", fh, EntryType.SYMLINK))
+        lnk.write(0, b"/target/path")
+        assert root.lookup("l").readlink() == "/target/path"
+        assert root.lookup("l").getattr().ftype == FileType.SYMLINK
+
+    def test_remove_tombstones_entry(self, world):
+        _, _, _, store, root = world
+        fh, _ = insert_file(store, root, "f", b"x")
+        eid = store.read_entries(store.root_handle())[0].eid
+        root.remove(op_remove(eid))
+        with pytest.raises(FileNotFound):
+            root.lookup("f")
+        tombs = [e for e in store.read_entries(store.root_handle()) if not e.live]
+        assert len(tombs) == 1
+
+    def test_remove_frees_file_storage(self, world):
+        _, ufs, _, store, root = world
+        fh, _ = insert_file(store, root, "f", b"big" * 1000)
+        eid = store.read_entries(store.root_handle())[0].eid
+        free_before = ufs.fs.free_block_count()
+        root.remove(op_remove(eid))
+        assert ufs.fs.free_block_count() > free_before
+        assert fsck(ufs.fs).clean
+
+    def test_insert_idempotent_by_entry_id(self, world):
+        _, _, _, store, root = world
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        eid = store.new_entry_id()
+        root.create(op_insert(eid, "f", fh, EntryType.FILE))
+        root.create(op_insert(eid, "f", fh, EntryType.FILE))  # RPC retry
+        assert len(store.read_entries(store.root_handle())) == 1
+
+    def test_remove_idempotent(self, world):
+        _, _, _, store, root = world
+        insert_file(store, root, "f")
+        eid = store.read_entries(store.root_handle())[0].eid
+        root.remove(op_remove(eid))
+        root.remove(op_remove(eid))  # retry: no error, still dead
+        assert not store.read_entries(store.root_handle())[0].live
+
+    def test_plain_create_rejected(self, world):
+        _, _, _, _, root = world
+        with pytest.raises(InvalidArgument):
+            root.create("plain-name")
+
+    def test_rename_not_supported(self, world):
+        _, _, _, store, root = world
+        insert_file(store, root, "f")
+        with pytest.raises(NotSupported):
+            root.rename("f", root, "g")
+
+    def test_dir_write_rejected(self, world):
+        _, _, _, _, root = world
+        with pytest.raises(InvalidArgument):
+            root.write(0, b"raw bytes")
+
+    def test_readdir_hides_tombstones_and_metadata(self, world):
+        _, _, _, store, root = world
+        insert_file(store, root, "keep")
+        insert_file(store, root, "kill")
+        eid = next(e.eid for e in store.read_entries(store.root_handle()) if e.name == "kill")
+        root.remove(op_remove(eid))
+        names = [e.name for e in root.readdir()]
+        assert names == ["keep"]
+
+
+class TestMultipleNames:
+    def test_hard_link_within_directory(self, world):
+        _, _, _, store, root = world
+        fh, vnode = insert_file(store, root, "orig", b"shared")
+        root.create(
+            op_insert(store.new_entry_id(), "alias", fh, EntryType.FILE, link_from=store.root_handle())
+        )
+        assert root.lookup("alias").read_all() == b"shared"
+        vnode.write(0, b"SHARED")
+        assert root.lookup("alias").read_all() == b"SHARED"
+
+    def test_hard_link_across_directories(self, world):
+        _, _, _, store, root = world
+        dfh, d = insert_dir(store, root, "d")
+        fh, vnode = insert_file(store, root, "orig", b"x")
+        d.create(op_insert(store.new_entry_id(), "other", fh, EntryType.FILE, link_from=store.root_handle()))
+        vnode.write(0, b"y")
+        assert root.lookup("d").lookup("other").read_all() == b"y"
+        # version vector is shared through the link (aux is hard-linked)
+        assert store.read_file_aux(dfh, fh).vv == store.read_file_aux(store.root_handle(), fh).vv
+
+    def test_directory_with_two_names(self, world):
+        """Ficus directories form a DAG: 'unlike Unix, Ficus directories
+        may have more than one name' (paper Section 2.5)."""
+        _, _, _, store, root = world
+        dfh, d = insert_dir(store, root, "name1")
+        root.create(op_insert(store.new_entry_id(), "name2", dfh, EntryType.DIRECTORY))
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        d.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE)).write(0, b"dag")
+        assert root.lookup("name1").lookup("f").read_all() == b"dag"
+        assert root.lookup("name2").lookup("f").read_all() == b"dag"
+        assert store.read_dir_aux(dfh).refs == 2
+
+    def test_removing_one_dir_name_keeps_storage(self, world):
+        _, _, _, store, root = world
+        dfh, d = insert_dir(store, root, "name1")
+        root.create(op_insert(store.new_entry_id(), "name2", dfh, EntryType.DIRECTORY))
+        eid = next(e.eid for e in store.read_entries(store.root_handle()) if e.name == "name1")
+        root.remove(op_remove(eid))
+        assert root.lookup("name2").getattr().ftype == FileType.DIRECTORY
+        assert store.read_dir_aux(dfh).refs == 1
+
+    def test_removing_last_dir_name_reclaims_empty_dir(self, world):
+        _, _, _, store, root = world
+        dfh, _ = insert_dir(store, root, "d")
+        eid = store.read_entries(store.root_handle())[0].eid
+        root.remove(op_remove(eid))
+        assert not store.has_directory(dfh)
+
+
+class TestNameCollisionRepair:
+    def _entry(self, eid_rep, eid_seq, name, unique, status="live"):
+        return DirectoryEntry(
+            eid=EntryId(eid_rep, eid_seq),
+            name=name,
+            fh=FicusFileHandle(VOL, __import__("repro.util", fromlist=["FileId"]).FileId(1, unique)),
+            etype=EntryType.FILE,
+            status=status,
+        )
+
+    def test_no_collision_plain_names(self):
+        entries = [self._entry(1, 1, "a", 1), self._entry(1, 2, "b", 2)]
+        assert set(effective_entries(entries)) == {"a", "b"}
+        assert count_name_collisions(entries) == 0
+
+    def test_collision_gets_deterministic_suffix(self):
+        entries = [self._entry(2, 5, "a", 1), self._entry(1, 3, "a", 2)]
+        view = effective_entries(entries)
+        # lowest eid (1:3) keeps the plain name
+        assert view["a"].eid == EntryId(1, 3)
+        assert "a#2:5" in view
+        assert count_name_collisions(entries) == 1
+
+    def test_repair_is_order_independent(self):
+        """Both replicas must compute the same repaired view regardless of
+        entry order in the directory file."""
+        entries = [self._entry(2, 5, "a", 1), self._entry(1, 3, "a", 2), self._entry(3, 1, "a", 3)]
+        forward = effective_entries(entries)
+        backward = effective_entries(list(reversed(entries)))
+        assert forward.keys() == backward.keys()
+        assert {k: v.eid for k, v in forward.items()} == {k: v.eid for k, v in backward.items()}
+
+    def test_tombstones_do_not_collide(self):
+        entries = [self._entry(1, 1, "a", 1, status="dead"), self._entry(2, 2, "a", 2)]
+        view = effective_entries(entries)
+        assert view["a"].eid == EntryId(2, 2)
+        assert len(view) == 1
+
+
+class TestOpenCloseSmuggling:
+    def test_session_coalesces_updates(self, world):
+        """One open/close session = one version-vector update, however many
+        writes happen inside (the information NFS drops, recovered)."""
+        _, _, phys, store, root = world
+        fh, vnode = insert_file(store, root, "f")
+        root.lookup(op_open(fh))
+        vnode.write(0, b"a")
+        vnode.write(1, b"b")
+        vnode.write(2, b"c")
+        root.lookup(op_close(fh))
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
+        assert phys.session_coalesced_updates == 3
+
+    def test_nested_sessions_bump_once(self, world):
+        _, _, phys, store, root = world
+        fh, vnode = insert_file(store, root, "f")
+        root.lookup(op_open(fh))
+        root.lookup(op_open(fh))
+        vnode.write(0, b"x")
+        root.lookup(op_close(fh))
+        assert phys.has_open_session(store, fh)
+        root.lookup(op_close(fh))
+        assert not phys.has_open_session(store, fh)
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
+
+    def test_clean_session_no_bump(self, world):
+        _, _, _, store, root = world
+        fh, _ = insert_file(store, root, "f")
+        root.lookup(op_open(fh))
+        root.lookup(op_close(fh))
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector()
+
+    def test_local_open_close_vnode_calls_also_work(self, world):
+        """When no NFS hop intervenes the plain vnode open/close arrive."""
+        _, _, _, store, root = world
+        fh, vnode = insert_file(store, root, "f")
+        vnode.open()
+        vnode.write(0, b"xyz")
+        vnode.write(3, b"pqr")
+        vnode.close()
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
+
+
+class TestShadowCommit:
+    def test_shadow_then_commit_replaces_atomically(self, world):
+        _, _, _, store, root = world
+        fh, _ = insert_file(store, root, "f", b"old version")
+        shadow = root.lookup(op_shadow(fh))
+        shadow.write(0, b"new version")
+        vv = VersionVector({2: 9})
+        root.lookup(op_commit(fh, vv))
+        assert root.lookup("f").read_all() == b"new version"
+        assert store.read_file_aux(store.root_handle(), fh).vv == vv
+
+    def test_abort_discards_shadow(self, world):
+        _, _, _, store, root = world
+        fh, _ = insert_file(store, root, "f", b"original")
+        root.lookup(op_shadow(fh)).write(0, b"half-done")
+        root.lookup(op_abort_shadow(fh))
+        assert root.lookup("f").read_all() == b"original"
+        with pytest.raises(FileNotFound):
+            store.shadow_vnode(store.root_handle(), fh)
+
+    def test_crash_before_commit_preserves_original(self, world):
+        """'If a crash occurs before the shadow substitution, the original
+        replica is retained during recovery and the shadow discarded.'"""
+        device, ufs, phys, store, root = world
+        fh, _ = insert_file(store, root, "f", b"the original survives")
+        shadow = root.lookup(op_shadow(fh))
+        shadow.write(0, b"partial new conten")
+        device.plan_crash_after_writes(0)
+        with pytest.raises(CrashInjected):
+            root.lookup(op_commit(fh, VersionVector({1: 9})))
+        device.recover()
+        # recovery: scavenge orphan shadows, original intact
+        dropped = store.scavenge_shadows(store.root_handle())
+        assert dropped == 1
+        assert root.lookup("f").read_all() == b"the original survives"
+        assert fsck(ufs.fs).clean
+
+    def test_setvv_overwrites_version(self, world):
+        _, _, _, store, root = world
+        fh, vnode = insert_file(store, root, "f", b"x")
+        vv = VersionVector({1: 5, 2: 5})
+        root.lookup(op_setvv(fh, vv))
+        assert store.read_file_aux(store.root_handle(), fh).vv == vv
+
+    def test_mergevv_merges_directory_version(self, world):
+        _, _, _, store, root = world
+        insert_file(store, root, "f")  # bumps dir vv to {1:1}
+        root.lookup(op_mergevv(VersionVector({7: 3})))
+        assert store.read_dir_aux(store.root_handle()).vv == VersionVector({1: 1, 7: 3})
+
+
+class TestEncodedOps:
+    def test_round_trip_arbitrary_names(self):
+        op = encode_op("insert", "1:2", "weird |name= \\here")
+        kind, fields = decode_op(op)
+        assert kind == "insert"
+        assert fields[1] == "weird |name= \\here"
+
+    def test_user_name_budget_about_200(self):
+        """Paper footnote 2: 'the reduction in the maximum length of a file
+        name component from 255 to about 200'."""
+        budget = max_user_name_length()
+        assert 150 <= budget <= 210
+
+    def test_oversize_encoded_op_rejected(self):
+        with pytest.raises(NameTooLong):
+            encode_op("insert", "x" * MAX_NAME_LEN)
+
+    def test_unknown_encoded_lookup_rejected(self, world):
+        _, _, _, _, root = world
+        with pytest.raises(NotSupported):
+            root.lookup(encode_op("frobnicate"))
+
+    def test_insert_of_encoded_looking_name_rejected(self, world):
+        _, _, _, store, root = world
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        with pytest.raises(InvalidArgument):
+            root.create(op_insert(store.new_entry_id(), "@@sneaky", fh, EntryType.FILE))
+
+
+class TestPartialReplicas:
+    def test_entry_without_storage_raises_replica_not_stored(self, world):
+        """Reconciliation-applied inserts publish the entry before the
+        contents arrive; lookup must say 'not stored', not 'no such file'."""
+        _, _, _, store, root = world
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        root.create(
+            op_insert(store.new_entry_id(), "ghost", fh, EntryType.FILE, vv=VersionVector({2: 1}))
+        )
+        with pytest.raises(ReplicaNotStored):
+            root.lookup("ghost")
+        assert "ghost" in [e.name for e in root.readdir()]
+
+
+class TestPhysicalOverNfs:
+    """The logical layer reaches a remote physical layer through NFS; every
+    physical-layer operation must survive the hop (paper Section 2.2)."""
+
+    @pytest.fixture
+    def remote_root(self, world):
+        _, _, phys, store, _ = world
+        net = Network()
+        net.add_host("server")
+        net.add_host("client")
+        NfsServer(net, "server", phys)
+        client = NfsClientLayer(net, "client", "server")
+        return store, client.root().lookup(VR.to_hex())
+
+    def test_insert_and_read_over_nfs(self, remote_root):
+        store, root = remote_root
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        f = root.create(op_insert(store.new_entry_id(), "remote", fh, EntryType.FILE))
+        f.write(0, b"via nfs")
+        assert root.lookup("remote").read_all() == b"via nfs"
+
+    def test_open_close_smuggled_through_lookup_survives_nfs(self, remote_root):
+        """E10: the encoded open/close travels as a lookup string that NFS
+        passes 'without interpretation or interference'."""
+        store, root = remote_root
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        f = root.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE))
+        root.lookup(op_open(fh))
+        f.write(0, b"a")
+        f.write(1, b"b")
+        root.lookup(op_close(fh))
+        assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
+
+    def test_shadow_commit_over_nfs(self, remote_root):
+        store, root = remote_root
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        root.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE)).write(0, b"v1")
+        root.lookup(op_shadow(fh)).write(0, b"v2")
+        root.lookup(op_commit(fh, VersionVector({1: 2})))
+        assert root.lookup("f").read_all() == b"v2"
+
+    def test_aux_readable_over_nfs(self, remote_root):
+        store, root = remote_root
+        fh = FicusFileHandle(VOL, store.new_file_id())
+        root.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE)).write(0, b"x")
+        from repro.physical import AuxAttributes
+
+        aux = AuxAttributes.from_bytes(root.lookup(op_aux(fh)).read_all())
+        assert aux.vv == VersionVector({1: 1})
+
+    def test_dir_by_handle_over_nfs(self, remote_root):
+        store, root = remote_root
+        dfh = FicusFileHandle(VOL, store.new_file_id())
+        root.create(op_insert(store.new_entry_id(), "d", dfh, EntryType.DIRECTORY))
+        assert root.lookup(op_dir(dfh)).getattr().ftype == FileType.DIRECTORY

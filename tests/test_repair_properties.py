@@ -1,0 +1,94 @@
+"""Property tests for the deterministic name-collision repair.
+
+The repair runs independently at every replica with no messages, so its
+correctness rests on pure-function properties: permutation invariance,
+completeness (every live entry gets exactly one name), and stability
+(adding tombstones never changes live names).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.physical import count_name_collisions, effective_entries
+from repro.physical.wire import DirectoryEntry, EntryId, EntryType
+from repro.util import FicusFileHandle, FileId, VolumeId
+
+VOL = VolumeId(1, 1)
+
+
+@st.composite
+def entry_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    entries = []
+    used_eids = set()
+    for i in range(n):
+        rep = draw(st.integers(min_value=1, max_value=3))
+        seq = draw(st.integers(min_value=1, max_value=50))
+        if (rep, seq) in used_eids:
+            continue
+        used_eids.add((rep, seq))
+        entries.append(
+            DirectoryEntry(
+                eid=EntryId(rep, seq),
+                name=draw(st.sampled_from(["a", "b", "c", "d"])),
+                fh=FicusFileHandle(VolumeId(1, 1), FileId(rep, i + 1)),
+                etype=draw(st.sampled_from([EntryType.FILE, EntryType.DIRECTORY])),
+                status=draw(st.sampled_from(["live", "dead"])),
+            )
+        )
+    return entries
+
+
+class TestEffectiveEntriesProperties:
+    @given(entry_lists(), st.randoms())
+    def test_permutation_invariant(self, entries, rng):
+        """Every replica stores entries in its own order; the repaired
+        view must not depend on that order."""
+        shuffled = list(entries)
+        rng.shuffle(shuffled)
+        a = {name: e.eid for name, e in effective_entries(entries).items()}
+        b = {name: e.eid for name, e in effective_entries(shuffled).items()}
+        assert a == b
+
+    @given(entry_lists())
+    def test_every_live_entry_named_exactly_once(self, entries):
+        view = effective_entries(entries)
+        live = [e for e in entries if e.live]
+        assert len(view) == len(live)
+        assert {e.eid for e in view.values()} == {e.eid for e in live}
+
+    @given(entry_lists())
+    def test_plain_names_all_present(self, entries):
+        """Each colliding group keeps its plain name for exactly one
+        member; the rest are suffixed with their entry id."""
+        view = effective_entries(entries)
+        live_names = {e.name for e in entries if e.live}
+        for name in live_names:
+            assert name in view
+        for shown_name, entry in view.items():
+            assert shown_name == entry.name or shown_name.startswith(entry.name + "#")
+
+    @given(entry_lists())
+    def test_tombstones_never_affect_live_names(self, entries):
+        without_dead = [e for e in entries if e.live]
+        a = {name: e.eid for name, e in effective_entries(entries).items()}
+        b = {name: e.eid for name, e in effective_entries(without_dead).items()}
+        assert a == b
+
+    @given(entry_lists())
+    def test_collision_count_matches_suffixed_names(self, entries):
+        view = effective_entries(entries)
+        suffixed = [name for name in view if "#" in name and name not in
+                    {e.name for e in entries}]
+        assert count_name_collisions(entries) == len(suffixed)
+
+    @given(entry_lists())
+    def test_lowest_eid_keeps_the_plain_name(self, entries):
+        view = effective_entries(entries)
+        by_name = {}
+        for e in entries:
+            if e.live:
+                by_name.setdefault(e.name, []).append(e)
+        for name, group in by_name.items():
+            winner = min(group, key=lambda e: e.eid)
+            assert view[name].eid == winner.eid

@@ -1,0 +1,174 @@
+"""Tests for the simulation harness: event loop, daemons, cluster."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.sim import DaemonConfig, EventLoop, FicusSystem
+from repro.util import VirtualClock
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        clock = VirtualClock()
+        loop = EventLoop(clock)
+        fired = []
+        loop.schedule(5.0, lambda: fired.append("late"))
+        loop.schedule(1.0, lambda: fired.append("early"))
+        loop.run_until(10.0)
+        assert fired == ["early", "late"]
+        assert clock.now() == 10.0
+
+    def test_ties_fire_in_insertion_order(self):
+        loop = EventLoop(VirtualClock())
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(1.0, lambda: fired.append(2))
+        loop.run_for(2.0)
+        assert fired == [1, 2]
+
+    def test_run_until_leaves_future_events(self):
+        loop = EventLoop(VirtualClock())
+        fired = []
+        loop.schedule(5.0, lambda: fired.append("x"))
+        loop.run_until(3.0)
+        assert not fired and loop.pending == 1
+        loop.run_until(6.0)
+        assert fired == ["x"]
+
+    def test_clock_advances_to_event_time(self):
+        clock = VirtualClock()
+        loop = EventLoop(clock)
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(clock.now()))
+        loop.run_for(5.0)
+        assert seen == [2.5]
+
+    def test_periodic_scheduling(self):
+        loop = EventLoop(VirtualClock())
+        count = []
+        cancel = loop.schedule_every(1.0, lambda: count.append(1))
+        loop.run_for(5.5)
+        assert len(count) == 5
+        cancel()
+        loop.run_for(5.0)
+        assert len(count) == 5
+
+    def test_events_scheduled_by_events(self):
+        loop = EventLoop(VirtualClock())
+        fired = []
+
+        def chain():
+            fired.append(loop.clock.now())
+            if len(fired) < 3:
+                loop.schedule(1.0, chain)
+
+        loop.schedule(1.0, chain)
+        loop.run_for(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop(VirtualClock())
+        with pytest.raises(InvalidArgument):
+            loop.schedule(-1.0, lambda: None)
+        with pytest.raises(InvalidArgument):
+            loop.schedule_every(0.0, lambda: None)
+
+
+class TestPropagationDaemon:
+    def test_notification_then_pull(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.host("a").root().create("f").write(0, b"payload")
+        assert system.host("b").physical.new_version_cache_size > 0
+        system.host("b").propagation_daemon.tick()
+        assert system.host("b").physical.new_version_cache_size == 0
+        assert system.host("b").root().readdir()[0].name == "f"
+
+    def test_min_age_delays_propagation(self):
+        config = DaemonConfig(
+            propagation_period=None, recon_period=None, graft_prune_period=None,
+            propagation_min_age=30.0,
+        )
+        system = FicusSystem(["a", "b"], daemon_config=config)
+        system.host("a").root().create("f").write(0, b"x")
+        b = system.host("b")
+        b.propagation_daemon.tick()
+        assert b.physical.new_version_cache_size == 1  # too fresh to pull
+        system.clock.advance(31.0)
+        b.propagation_daemon.tick()
+        assert b.physical.new_version_cache_size == 0
+
+    def test_burst_coalesced_by_delay(self):
+        """Delayed propagation turns a k-write burst into one pull."""
+        config = DaemonConfig(
+            propagation_period=None, recon_period=None, graft_prune_period=None,
+            propagation_min_age=10.0,
+        )
+        system = FicusSystem(["a", "b"], daemon_config=config)
+        f = system.host("a").root().create("f")
+        b = system.host("b")
+        b.propagation_daemon.tick()  # absorb the create notification
+        for i in range(5):  # a burst of five writes
+            f.write(i, b"x")
+            system.clock.advance(0.1)
+        system.clock.advance(11.0)
+        before = b.propagation_daemon.stats.pulls_succeeded
+        b.propagation_daemon.tick()
+        assert b.propagation_daemon.stats.pulls_succeeded - before <= 1
+
+    def test_unreachable_source_retried_later(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.host("a").root().create("f").write(0, b"x")
+        system.partition([{"a"}, {"b"}])
+        b = system.host("b")
+        b.propagation_daemon.tick()
+        assert b.physical.new_version_cache_size == 1  # still pending
+        system.heal()
+        b.propagation_daemon.tick()
+        assert b.physical.new_version_cache_size == 0
+
+
+class TestReconciliationDaemon:
+    def test_ring_rotation_covers_all_peers(self):
+        system = FicusSystem(["a", "b", "c"], daemon_config=QUIET)
+        system.host("a").root().create("f").write(0, b"x")
+        # b reconciles against its ring peers over successive ticks
+        b = system.host("b")
+        b.recon_daemon.tick()
+        b.recon_daemon.tick()
+        assert b.recon_daemon.stats.runs == 2
+        assert b.root().lookup("f").read_all() == b"x"
+
+    def test_partition_logged_not_fatal(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.partition([{"a"}, {"b"}])
+        b = system.host("b")
+        results = b.recon_daemon.tick()
+        assert all(r.aborted_by_partition for r in results)
+
+
+class TestFicusSystemScheduling:
+    def test_daemons_run_automatically(self):
+        system = FicusSystem(["a", "b"], daemon_config=DaemonConfig(
+            propagation_period=5.0, recon_period=30.0, graft_prune_period=None,
+        ))
+        system.host("a").root().create("f").write(0, b"auto")
+        system.run_for(61.0)
+        assert system.host("b").root().lookup("f").read_all() == b"auto"
+
+    def test_selective_root_volume_placement(self):
+        system = FicusSystem(["a", "b", "c"], root_volume_hosts=["a", "b"], daemon_config=QUIET)
+        assert len(system.root_locations) == 2
+        # host c stores no replica but can still use the file system
+        system.host("c").root().create("from-c").write(0, b"remote-only host")
+        assert system.host("a").root().lookup("from-c").read_all() == b"remote-only host"
+
+    def test_empty_host_list_rejected(self):
+        with pytest.raises(InvalidArgument):
+            FicusSystem([])
+
+    def test_disk_contents_differ_per_host(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        system.host("a").root().create("f").write(0, b"x" * 10000)
+        assert system.host("a").device.blocks_in_use != system.host("b").device.blocks_in_use

@@ -1,0 +1,126 @@
+"""Stateful property testing of the replication core.
+
+A hypothesis rule machine drives two Ficus hosts through arbitrary
+interleavings of file operations, partitions, heals, reconciliation
+passes, and propagation ticks — checking after every step that the
+structural invariants hold, and at teardown that a full reconciliation
+converges both replicas to identical trees.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.errors import FicusError
+from repro.physical import ficus_fsck
+from repro.sim import DaemonConfig, FicusSystem
+from repro.ufs import fsck
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+names = st.sampled_from([f"n{i}" for i in range(6)])
+host_names = st.sampled_from(["a", "b"])
+payloads = st.binary(max_size=256)
+
+
+class ReconMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        self.partitioned = False
+
+    # -- namespace operations at either host --
+
+    @rule(host=host_names, name=names, data=payloads)
+    def write(self, host, name, data):
+        try:
+            self.system.host(host).fs().write_file("/" + name, data)
+        except FicusError:
+            pass
+
+    @rule(host=host_names, name=names)
+    def unlink(self, host, name):
+        try:
+            self.system.host(host).fs().unlink("/" + name)
+        except FicusError:
+            pass
+
+    @rule(host=host_names, name=names)
+    def mkdir(self, host, name):
+        try:
+            self.system.host(host).fs().mkdir("/" + name)
+        except FicusError:
+            pass
+
+    @rule(host=host_names, src=names, dst=names)
+    def rename(self, host, src, dst):
+        if src == dst:
+            return
+        try:
+            self.system.host(host).fs().rename("/" + src, "/" + dst)
+        except FicusError:
+            pass
+
+    @rule(host=host_names, name=names, data=payloads)
+    def write_nested(self, host, name, data):
+        try:
+            fs = self.system.host(host).fs()
+            fs.makedirs("/sub")
+            fs.write_file("/sub/" + name, data)
+        except FicusError:
+            pass
+
+    # -- the environment --
+
+    @rule()
+    def toggle_partition(self):
+        if self.partitioned:
+            self.system.heal()
+        else:
+            self.system.partition([{"a"}, {"b"}])
+        self.partitioned = not self.partitioned
+
+    @rule(host=host_names)
+    def recon_tick(self, host):
+        self.system.host(host).recon_daemon.tick()
+
+    @rule(host=host_names)
+    def propagation_tick(self, host):
+        self.system.host(host).propagation_daemon.tick()
+
+    @rule(host=host_names)
+    def crash_restart(self, host):
+        self.system.host(host).crash()
+        self.system.host(host).restart(self.system)
+
+    # -- invariants checked after every rule --
+
+    @invariant()
+    def stores_structurally_sound(self):
+        for name in ["a", "b"]:
+            host = self.system.host(name)
+            for store in host.physical.stores.values():
+                report = ficus_fsck(store)
+                assert report.clean, f"{name}: {report.problems}"
+            assert fsck(host.ufs).clean
+
+    def teardown(self):
+        # final convergence check: heal, reconcile, compare trees
+        self.system.heal()
+        self.system.reconcile_everything(rounds=4)
+        for host in self.system.hosts.values():
+            host.propagation_daemon.tick()
+        self.system.reconcile_everything(rounds=2)
+        tree_a = sorted(self.system.host("a").fs().walk_tree())
+        tree_b = sorted(self.system.host("b").fs().walk_tree())
+        assert tree_a == tree_b, f"diverged:\n a={tree_a}\n b={tree_b}"
+        super().teardown()
+
+
+TestReconMachine = ReconMachine.TestCase
+TestReconMachine.settings = settings(
+    max_examples=12,
+    stateful_step_count=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

@@ -1,0 +1,114 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro.errors import CrashInjected, InvalidArgument, IOError_
+from repro.storage import BlockDevice, IoCounters
+
+
+@pytest.fixture
+def dev():
+    return BlockDevice(num_blocks=64, block_size=512)
+
+
+class TestBasicIo:
+    def test_unwritten_blocks_read_zero(self, dev):
+        assert dev.read_block(5) == bytes(512)
+
+    def test_write_then_read(self, dev):
+        data = b"x" * 512
+        dev.write_block(3, data)
+        assert dev.read_block(3) == data
+
+    def test_write_wrong_size_rejected(self, dev):
+        with pytest.raises(InvalidArgument):
+            dev.write_block(0, b"short")
+
+    def test_out_of_range_rejected(self, dev):
+        with pytest.raises(InvalidArgument):
+            dev.read_block(64)
+        with pytest.raises(InvalidArgument):
+            dev.write_block(-1, bytes(512))
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(InvalidArgument):
+            BlockDevice(0)
+        with pytest.raises(InvalidArgument):
+            BlockDevice(4, block_size=0)
+
+
+class TestCounters:
+    def test_reads_and_writes_counted(self, dev):
+        dev.write_block(0, bytes(512))
+        dev.read_block(0)
+        dev.read_block(1)
+        assert dev.counters.reads == 2
+        assert dev.counters.writes == 1
+        assert dev.counters.total == 3
+
+    def test_delta_since_snapshot(self, dev):
+        dev.read_block(0)
+        snap = dev.counters.snapshot()
+        dev.read_block(1)
+        dev.write_block(2, bytes(512))
+        delta = dev.counters.delta_since(snap)
+        assert (delta.reads, delta.writes) == (1, 1)
+
+    def test_counters_str(self):
+        assert str(IoCounters(3, 4)) == "3r/4w"
+
+
+class TestFootprint:
+    def test_zero_write_frees_block(self, dev):
+        dev.write_block(0, b"y" * 512)
+        assert dev.blocks_in_use == 1
+        dev.write_block(0, bytes(512))
+        assert dev.blocks_in_use == 0
+
+    def test_raw_block_is_uncounted(self, dev):
+        dev.write_block(0, b"z" * 512)
+        before = dev.counters.total
+        assert dev.raw_block(0) == b"z" * 512
+        assert dev.counters.total == before
+
+
+class TestFailureInjection:
+    def test_hard_fail_blocks_io(self, dev):
+        dev.fail()
+        with pytest.raises(IOError_):
+            dev.read_block(0)
+        with pytest.raises(IOError_):
+            dev.write_block(0, bytes(512))
+
+    def test_recover_restores_io_and_data(self, dev):
+        dev.write_block(1, b"a" * 512)
+        dev.fail()
+        dev.recover()
+        assert dev.read_block(1) == b"a" * 512
+
+    def test_crash_after_n_writes(self, dev):
+        dev.plan_crash_after_writes(2)
+        dev.write_block(0, b"1" * 512)
+        dev.write_block(1, b"2" * 512)
+        with pytest.raises(CrashInjected):
+            dev.write_block(2, b"3" * 512)
+        # crash leaves earlier writes durable, the failed write absent
+        dev.recover()
+        assert dev.read_block(0) == b"1" * 512
+        assert dev.read_block(1) == b"2" * 512
+        assert dev.read_block(2) == bytes(512)
+
+    def test_crash_plan_zero_crashes_immediately(self, dev):
+        dev.plan_crash_after_writes(0)
+        with pytest.raises(CrashInjected):
+            dev.write_block(0, bytes(512))
+
+    def test_clear_crash_plan(self, dev):
+        dev.plan_crash_after_writes(0)
+        dev.clear_crash_plan()
+        dev.write_block(0, b"k" * 512)  # should not raise
+
+    def test_reads_still_work_before_crash_trips(self, dev):
+        dev.plan_crash_after_writes(5)
+        dev.read_block(0)  # reads never trip the write-based plan
+        assert not dev.failed

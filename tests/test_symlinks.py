@@ -1,0 +1,80 @@
+"""Symlink resolution through the path facade."""
+
+import pytest
+
+from repro.errors import FileNotFound, InvalidArgument
+from repro.sim import DaemonConfig, FicusSystem
+from repro.ufs import FileType
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+@pytest.fixture
+def fs():
+    return FicusSystem(["solo"], daemon_config=QUIET).host("solo").fs()
+
+
+class TestFollowing:
+    def test_absolute_symlink_followed(self, fs):
+        fs.makedirs("/real/dir")
+        fs.write_file("/real/dir/file", b"via link")
+        fs.symlink("/real/dir", "/shortcut")
+        assert fs.read_file("/shortcut/file") == b"via link"
+
+    def test_relative_symlink_followed(self, fs):
+        fs.makedirs("/a/b")
+        fs.write_file("/a/target", b"sibling")
+        fs.symlink("target", "/a/lnk")  # relative to /a
+        assert fs.read_file("/a/lnk") == b"sibling"
+
+    def test_final_component_followed_for_reads(self, fs):
+        fs.write_file("/real", b"data")
+        fs.symlink("/real", "/alias")
+        assert fs.read_file("/alias") == b"data"
+        assert fs.stat("/alias").is_file
+
+    def test_lstat_does_not_follow(self, fs):
+        fs.write_file("/real", b"data")
+        fs.symlink("/real", "/alias")
+        assert fs.lstat("/alias").ftype == FileType.SYMLINK
+        assert fs.stat("/alias").ftype == FileType.REGULAR
+
+    def test_readlink_does_not_follow(self, fs):
+        fs.write_file("/real", b"x")
+        fs.symlink("/real", "/alias")
+        assert fs.readlink("/alias") == "/real"
+
+    def test_chained_symlinks(self, fs):
+        fs.write_file("/end", b"final")
+        fs.symlink("/end", "/hop2")
+        fs.symlink("/hop2", "/hop1")
+        assert fs.read_file("/hop1") == b"final"
+
+    def test_symlink_loop_detected(self, fs):
+        fs.symlink("/b", "/a")
+        fs.symlink("/a", "/b")
+        with pytest.raises(InvalidArgument):
+            fs.read_file("/a")
+
+    def test_dangling_symlink(self, fs):
+        fs.symlink("/nowhere", "/dangling")
+        with pytest.raises(FileNotFound):
+            fs.read_file("/dangling")
+        # but lstat of the link itself works
+        assert fs.lstat("/dangling").ftype == FileType.SYMLINK
+
+    def test_write_through_symlinked_directory(self, fs):
+        fs.makedirs("/real")
+        fs.symlink("/real", "/lnk")
+        fs.write_file("/lnk/created-via-link", b"y")
+        assert fs.read_file("/real/created-via-link") == b"y"
+
+    def test_symlinks_replicate(self):
+        system = FicusSystem(["a", "b"], daemon_config=QUIET)
+        fs_a, fs_b = system.host("a").fs(), system.host("b").fs()
+        fs_a.write_file("/real", b"z")
+        fs_a.symlink("/real", "/lnk")
+        system.reconcile_everything()
+        system.partition([{"a"}, {"b"}])
+        assert fs_b.readlink("/lnk") == "/real"
+        assert fs_b.read_file("/lnk") == b"z"

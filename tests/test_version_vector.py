@@ -1,0 +1,160 @@
+"""Unit and property tests for version vectors.
+
+The property tests pin down the algebra the reconciliation protocol relies
+on: compare is a partial order, merge is a least upper bound, and an update
+at any replica strictly advances that replica's history.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgument
+from repro.vv import Ordering, VersionVector
+
+vectors = st.dictionaries(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=4),
+    max_size=6,
+).map(VersionVector)
+
+
+class TestBasics:
+    def test_empty_vector(self):
+        vv = VersionVector()
+        assert vv[3] == 0
+        assert len(vv) == 0
+        assert vv.total_updates == 0
+
+    def test_zero_entries_normalized(self):
+        assert VersionVector({1: 0, 2: 3}) == VersionVector({2: 3})
+        assert hash(VersionVector({1: 0})) == hash(VersionVector())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidArgument):
+            VersionVector({1: -1})
+
+    def test_bump(self):
+        vv = VersionVector().bump(1).bump(1).bump(2)
+        assert vv[1] == 2 and vv[2] == 1
+
+    def test_bump_negative_rejected(self):
+        with pytest.raises(InvalidArgument):
+            VersionVector().bump(1, by=-1)
+
+    def test_mapping_protocol(self):
+        vv = VersionVector({1: 2, 3: 4})
+        assert set(vv) == {1, 3}
+        assert 1 in vv and 2 not in vv
+        assert dict(vv) == {1: 2, 3: 4}
+
+
+class TestCompare:
+    def test_equal(self):
+        a = VersionVector({1: 2})
+        assert a.compare(VersionVector({1: 2})) is Ordering.EQUAL
+
+    def test_dominates_after_update(self):
+        a = VersionVector({1: 2})
+        b = a.bump(1)
+        assert b.compare(a) is Ordering.DOMINATES
+        assert a.compare(b) is Ordering.DOMINATED
+
+    def test_concurrent(self):
+        """The classic partition scenario: both sides update independently."""
+        base = VersionVector({1: 1, 2: 1})
+        left = base.bump(1)
+        right = base.bump(2)
+        assert left.compare(right) is Ordering.CONCURRENT
+        assert right.compare(left) is Ordering.CONCURRENT
+
+    def test_dominates_helpers(self):
+        a = VersionVector({1: 1})
+        b = a.bump(1)
+        assert b.dominates(a) and b.strictly_dominates(a)
+        assert a.dominates(a) and not a.strictly_dominates(a)
+        assert not a.concurrent_with(b)
+
+
+class TestMerge:
+    def test_merge_is_pointwise_max(self):
+        a = VersionVector({1: 3, 2: 1})
+        b = VersionVector({1: 1, 3: 2})
+        assert dict(a.merge(b)) == {1: 3, 2: 1, 3: 2}
+
+    def test_merge_resolves_concurrency(self):
+        base = VersionVector({1: 1})
+        left, right = base.bump(1), base.bump(2)
+        merged = left.merge(right)
+        assert merged.dominates(left) and merged.dominates(right)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        vv = VersionVector({5: 7, 1: 2})
+        assert VersionVector.decode(vv.encode()) == vv
+
+    def test_empty_round_trip(self):
+        assert VersionVector.decode(VersionVector().encode()) == VersionVector()
+
+    def test_bad_text_rejected(self):
+        with pytest.raises(InvalidArgument):
+            VersionVector.decode("nonsense")
+
+    @given(vectors)
+    def test_round_trip_property(self, vv):
+        assert VersionVector.decode(vv.encode()) == vv
+
+
+class TestAlgebraProperties:
+    @given(vectors)
+    def test_compare_reflexive(self, a):
+        assert a.compare(a) is Ordering.EQUAL
+
+    @given(vectors, vectors)
+    def test_compare_antisymmetric_pairing(self, a, b):
+        """a vs b and b vs a always agree as mirror images."""
+        mirror = {
+            Ordering.EQUAL: Ordering.EQUAL,
+            Ordering.DOMINATES: Ordering.DOMINATED,
+            Ordering.DOMINATED: Ordering.DOMINATES,
+            Ordering.CONCURRENT: Ordering.CONCURRENT,
+        }
+        assert b.compare(a) is mirror[a.compare(b)]
+
+    @given(vectors, vectors, vectors)
+    def test_dominance_transitive(self, a, b, c):
+        if a.dominates(b) and b.dominates(c):
+            assert a.dominates(c)
+
+    @given(vectors, vectors)
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(vectors, vectors, vectors)
+    def test_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(vectors)
+    def test_merge_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(vectors, vectors)
+    def test_merge_is_upper_bound(self, a, b):
+        m = a.merge(b)
+        assert m.dominates(a) and m.dominates(b)
+
+    @given(vectors, vectors, vectors)
+    def test_merge_is_least_upper_bound(self, a, b, c):
+        """Any common upper bound dominates the merge."""
+        if c.dominates(a) and c.dominates(b):
+            assert c.dominates(a.merge(b))
+
+    @given(vectors, st.integers(min_value=0, max_value=5))
+    def test_bump_strictly_advances(self, a, rid):
+        assert a.bump(rid).strictly_dominates(a)
+
+    @given(vectors, vectors)
+    def test_equal_means_same_value(self, a, b):
+        if a.compare(b) is Ordering.EQUAL:
+            assert a == b

@@ -1,0 +1,186 @@
+"""Tests for the vnode framework: UFS layer, null layers, transparency."""
+
+import pytest
+
+from repro.errors import FileNotFound, NotSupported, PermissionDenied
+from repro.storage import BlockDevice
+from repro.ufs import FileType, Ufs, fsck
+from repro.vnode import (
+    Credential,
+    NullLayer,
+    SetAttrs,
+    UfsLayer,
+    Vnode,
+    build_null_stack,
+)
+
+
+@pytest.fixture
+def ufs_layer():
+    return UfsLayer(Ufs.mkfs(BlockDevice(4096), num_inodes=256))
+
+
+@pytest.fixture
+def root(ufs_layer):
+    return ufs_layer.root()
+
+
+class TestUfsLayer:
+    def test_create_write_read(self, root):
+        f = root.create("f.txt")
+        f.write(0, b"via vnodes")
+        assert f.read(0, 100) == b"via vnodes"
+        assert f.read_all() == b"via vnodes"
+
+    def test_lookup_and_walk(self, root):
+        a = root.mkdir("a")
+        b = a.mkdir("b")
+        f = b.create("f")
+        assert root.walk("a/b/f").getattr().fileid == f.getattr().fileid
+
+    def test_readdir_types(self, root):
+        root.create("file")
+        root.mkdir("dir")
+        root.symlink("lnk", "/target")
+        entries = {e.name: e.ftype for e in root.readdir()}
+        assert entries["file"] == FileType.REGULAR
+        assert entries["dir"] == FileType.DIRECTORY
+        assert entries["lnk"] == FileType.SYMLINK
+
+    def test_remove_and_rmdir(self, root):
+        root.create("f")
+        root.mkdir("d")
+        root.remove("f")
+        root.rmdir("d")
+        with pytest.raises(FileNotFound):
+            root.lookup("f")
+
+    def test_rename_via_vnodes(self, root):
+        a = root.mkdir("a")
+        b = root.mkdir("b")
+        a.create("f")
+        a.rename("f", b, "g")
+        assert b.lookup("g").getattr().ftype == FileType.REGULAR
+
+    def test_link_via_vnodes(self, root):
+        f = root.create("f")
+        root.link(f, "alias")
+        assert root.lookup("alias").getattr().fileid == f.getattr().fileid
+        assert f.getattr().nlink == 2
+
+    def test_setattr_truncate(self, root):
+        f = root.create("f")
+        f.write(0, b"0123456789")
+        f.setattr(SetAttrs(size=4))
+        assert f.read_all() == b"0123"
+
+    def test_setattr_perm_uid(self, root):
+        f = root.create("f")
+        f.setattr(SetAttrs(perm=0o600, uid=42))
+        attrs = f.getattr()
+        assert attrs.perm == 0o600 and attrs.uid == 42
+
+    def test_access_owner_vs_other(self, root):
+        f = root.create("f", perm=0o640, cred=Credential(uid=7))
+        assert f.access(4, Credential(uid=7))  # owner read
+        assert not f.access(2, Credential(uid=9))  # other write
+        assert f.access(2, Credential(uid=0))  # root always
+
+    def test_symlink_readlink(self, root):
+        lnk = root.symlink("l", "/a/b")
+        assert lnk.readlink() == "/a/b"
+
+    def test_vnode_equality(self, ufs_layer):
+        r1 = ufs_layer.root()
+        r2 = ufs_layer.root()
+        assert r1 == r2 and hash(r1) == hash(r2)
+
+    def test_vnode_for_rejects_dead_ino(self, ufs_layer, root):
+        f = root.create("f")
+        ino = f.getattr().fileid
+        root.remove("f")
+        with pytest.raises(FileNotFound):
+            ufs_layer.vnode_for(ino)
+
+    def test_counters_track_operations(self, ufs_layer, root):
+        root.create("f")
+        root.lookup("f")
+        assert ufs_layer.counters.by_op["create"] == 1
+        assert ufs_layer.counters.by_op["lookup"] == 1
+
+
+class TestNullLayer:
+    def test_passthrough_preserves_behaviour(self, ufs_layer):
+        """Transparent insertion: the same op script gives identical results
+        through 0 and N null layers (paper's central transparency claim)."""
+        top = build_null_stack(ufs_layer, 5)
+        root = top.root()
+        d = root.mkdir("d")
+        f = d.create("f")
+        f.write(0, b"stacked")
+        assert root.walk("d/f").read_all() == b"stacked"
+        assert fsck(ufs_layer.fs).clean
+
+    def test_each_layer_counts_crossings(self, ufs_layer):
+        n1 = NullLayer(ufs_layer, "n1")
+        n2 = NullLayer(n1, "n2")
+        root = n2.root()
+        root.create("f")
+        assert n1.counters.by_op["create"] == 1
+        assert n2.counters.by_op["create"] == 1
+        assert ufs_layer.counters.by_op["create"] == 1
+
+    def test_vnode_args_unwrapped_across_layers(self, ufs_layer):
+        """rename/link take vnode arguments; wrappers must be peeled."""
+        top = build_null_stack(ufs_layer, 3)
+        root = top.root()
+        a = root.mkdir("a")
+        b = root.mkdir("b")
+        a.create("f")
+        a.rename("f", b, "g")  # b is a PassthroughVnode 3 deep
+        assert b.lookup("g") is not None
+        f2 = root.create("orig")
+        root.link(f2, "alias")
+        assert root.lookup("alias").getattr().nlink == 2
+
+    def test_errors_pass_through_unchanged(self, ufs_layer):
+        top = build_null_stack(ufs_layer, 4)
+        with pytest.raises(FileNotFound):
+            top.root().lookup("missing")
+
+    def test_deep_stack_still_correct(self, ufs_layer):
+        top = build_null_stack(ufs_layer, 32)
+        f = top.root().create("deep")
+        f.write(0, b"x" * 10000)
+        assert top.root().lookup("deep").read_all() == b"x" * 10000
+
+
+class TestVnodeDefaults:
+    def test_unimplemented_ops_raise_notsupported(self):
+        class Bare(Vnode):
+            pass
+
+        bare = Bare()
+        for op in ["open", "close", "readlink", "sync", "inactive"]:
+            with pytest.raises(NotSupported):
+                getattr(bare, op)()
+
+    def test_operations_list_is_about_two_dozen(self):
+        """Paper: 'a set of about two dozen services'."""
+        assert 20 <= len(Vnode.OPERATIONS) <= 28
+
+
+class TestCrossLayerSafety:
+    def test_cross_layer_link_rejected(self):
+        l1 = UfsLayer(Ufs.mkfs(BlockDevice(1024), num_inodes=64))
+        l2 = UfsLayer(Ufs.mkfs(BlockDevice(1024), num_inodes=64))
+        f = l1.root().create("f")
+        with pytest.raises(PermissionDenied):
+            l2.root().link(f, "bad")
+
+    def test_cross_layer_rename_rejected(self):
+        l1 = UfsLayer(Ufs.mkfs(BlockDevice(1024), num_inodes=64))
+        l2 = UfsLayer(Ufs.mkfs(BlockDevice(1024), num_inodes=64))
+        l1.root().create("f")
+        with pytest.raises(PermissionDenied):
+            l1.root().rename("f", l2.root(), "g")

@@ -10,7 +10,6 @@ grafted), demand-driven after pruning, and requires no global tables —
 locating a volume costs reading one graft point, not a broadcast.
 """
 
-import pytest
 
 from repro.sim import DaemonConfig, FicusSystem
 
@@ -88,7 +87,6 @@ class TestShape:
 def test_bench_first_access_grafts(benchmark):
     system, hub = build_forest(2)
     fs = hub.fs()
-    volume_state = list(hub.logical.grafter._grafts)
 
     def run():
         for vol in list(hub.logical.grafter._grafts):

@@ -8,9 +8,6 @@ results.  The timing comparison shows what each added layer costs.
 
 import pytest
 
-from repro.logical import PHYSICAL_SERVICE
-from repro.net import Network
-from repro.nfs import NfsServer
 from repro.sim import DaemonConfig, FicusSystem
 from repro.storage import BlockDevice
 from repro.ufs import Ufs

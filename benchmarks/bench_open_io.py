@@ -14,7 +14,6 @@ delta == 0.  Inodes are isolated one-per-block so that one inode fetch is
 one disk I/O — the unit the paper counts in.
 """
 
-import pytest
 
 from repro.sim import DaemonConfig, FicusSystem, HostConfig
 from repro.storage import BlockDevice

@@ -6,7 +6,6 @@ and reported (never merged); divergent replicas converge.  The benchmark
 half measures reconciliation cost as a function of divergence size.
 """
 
-import random
 
 import pytest
 
@@ -17,7 +16,6 @@ QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_per
 
 def diverge(system, creates_per_side: int, shared_conflicts: int, seed: int = 5):
     """Partition a two-host system and make both sides busy."""
-    rng = random.Random(seed)
     fs_a = system.host("a").fs()
     fs_b = system.host("b").fs()
     for i in range(shared_conflicts):

@@ -1,0 +1,136 @@
+"""Telemetry: export snapshot and instrumentation overhead.
+
+Two questions:
+
+1. What does one standard cross-host workload look like through the new
+   telemetry subsystem?  ``telemetry_snapshot()`` answers with the full
+   export (span/trace totals, every metric, every event count) — this is
+   what ``report_all.py`` serializes into ``BENCH_telemetry.json``.
+2. What does instrumentation cost?  With a disabled hub every span is the
+   shared no-op singleton and every instrument a shared null, so the
+   steady-state write path should be indistinguishable from the
+   pre-telemetry code (<5% is the acceptance bound; the pytest benchmarks
+   below measure both sides).
+"""
+
+import time
+
+from repro.sim import DaemonConfig, FicusSystem
+from repro.telemetry import Telemetry
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+def run_workload(telemetry: Telemetry | None = None) -> FicusSystem:
+    """The standard two-host scenario: update, partition, heal, pull."""
+    system = FicusSystem(["west", "east"], telemetry=telemetry)
+    west = system.host("west").fs()
+    west.write_file("/a.txt", b"before the partition")
+    system.run_for(30.0)
+    system.partition([{"west"}, {"east"}])
+    west.write_file("/a.txt", b"updated during the partition")
+    west.write_file("/b.txt", b"created during the partition")
+    system.heal()
+    system.run_for(120.0)
+    system.reconcile_everything()
+    return system
+
+
+def telemetry_snapshot() -> dict:
+    """The BENCH_telemetry.json payload: one instrumented workload, exported."""
+    system = run_workload(telemetry=Telemetry())
+    hub = system.telemetry
+    tracer = hub.tracer
+    spans = list(tracer.finished)
+    return {
+        "workload": "two-host update/partition/heal/pull (virtual time)",
+        "spans": {
+            "finished": len(spans),
+            "traces": len(tracer.trace_ids()),
+            "dropped": tracer.dropped,
+            "by_layer": _count_by(spans, "layer"),
+            "by_host": _count_by(spans, "host"),
+        },
+        "metrics": hub.metrics.snapshot(),
+        "events": dict(sorted(hub.events.counts.items())),
+        "events_evicted": hub.events.evicted,
+    }
+
+
+def _count_by(spans, attr: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for span in spans:
+        key = getattr(span, attr) or "-"
+        out[key] = out.get(key, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def _steady_state_fs():
+    """A warmed single-host fs, optionally instrumented."""
+    def build(telemetry: Telemetry | None):
+        system = FicusSystem(["solo"], daemon_config=QUIET, telemetry=telemetry)
+        fs = system.host("solo").fs()
+        fs.write_file("/f", b"warm")
+        return fs
+
+    return build
+
+
+def measure_overhead(ops: int = 200, repeats: int = 3) -> tuple[float, float]:
+    """(disabled_seconds_per_op, enabled_seconds_per_op) for a write+read."""
+    build = _steady_state_fs()
+    results = []
+    for telemetry in (None, Telemetry(max_spans=10 * ops)):
+        fs = build(telemetry)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for i in range(ops):
+                fs.write_file("/f", b"x" * 64)
+                fs.read_file("/f")
+            best = min(best, (time.perf_counter() - start) / ops)
+        results.append(best)
+    return results[0], results[1]
+
+
+class TestShape:
+    def test_snapshot_covers_every_signal(self):
+        snap = telemetry_snapshot()
+        assert snap["spans"]["finished"] > 0
+        assert {"west", "east"} <= set(snap["spans"]["by_host"])
+        assert {"logical", "physical", "nfs-client", "nfs-server"} <= set(
+            snap["spans"]["by_layer"]
+        )
+        assert snap["metrics"]["logical.notifications_sent"]["value"] >= 1
+        assert snap["events"].get("notification.sent", 0) >= 1
+
+    def test_disabled_hub_leaves_no_residue(self):
+        system = run_workload(telemetry=None)
+        assert len(system.telemetry.metrics) == 0
+        assert len(system.telemetry.tracer.finished) == 0
+
+
+def test_bench_write_read_telemetry_off(benchmark):
+    fs = _steady_state_fs()(None)
+
+    def op():
+        fs.write_file("/f", b"x" * 64)
+        return fs.read_file("/f")
+
+    benchmark(op)
+
+
+def test_bench_write_read_telemetry_on(benchmark):
+    fs = _steady_state_fs()(Telemetry(max_spans=1000))
+
+    def op():
+        fs.write_file("/f", b"x" * 64)
+        return fs.read_file("/f")
+
+    benchmark(op)
+
+
+if __name__ == "__main__":
+    off, on = measure_overhead()
+    print(f"steady-state write+read: telemetry off {off * 1e6:.1f} us/op, "
+          f"on {on * 1e6:.1f} us/op ({(on - off) / off:+.1%})")

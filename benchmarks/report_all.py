@@ -8,6 +8,7 @@ use.  Pure stdout, no pytest required:
     python benchmarks/report_all.py
 """
 
+import json
 import sys
 from pathlib import Path
 
@@ -15,6 +16,9 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from bench_layers import STACKS, op_script  # noqa: E402
 from bench_open_io import PAPER_EXTRA_IOS, ficus_open_reads, ufs_open_reads  # noqa: E402
+
+#: Where the telemetry export lands: the repository root.
+TELEMETRY_JSON = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 
 
 def e1_layers() -> None:
@@ -184,6 +188,26 @@ def a1_to_a4_ablations() -> None:
     print(f"[A4] 20 appends: {with_session} writes in a session vs {without} bare")
 
 
+def e14_telemetry() -> None:
+    from bench_telemetry import measure_overhead, telemetry_snapshot
+
+    snap = telemetry_snapshot()
+    off, on = measure_overhead(ops=100)
+    snap["overhead"] = {
+        "disabled_us_per_op": off * 1e6,
+        "enabled_us_per_op": on * 1e6,
+        "relative": (on - off) / off if off else 0.0,
+    }
+    TELEMETRY_JSON.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    spans = snap["spans"]
+    print(
+        f"[E14] telemetry: {spans['finished']} spans / {spans['traces']} traces, "
+        f"{len(snap['metrics'])} metrics, {sum(snap['events'].values())} events; "
+        f"overhead {snap['overhead']['relative']:+.1%} "
+        f"-> {TELEMETRY_JSON.name}"
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -201,6 +225,7 @@ def main() -> None:
         e11_locality,
         e13_scale,
         a1_to_a4_ablations,
+        e14_telemetry,
     ):
         section()
         print()

@@ -13,14 +13,19 @@ Reproduces the paper's core scenario end to end:
 5. the resolution propagates everywhere.
 
 Run:  python examples/partitioned_update.py
+      python examples/partitioned_update.py --trace   # + telemetry dump
 """
+
+import sys
 
 from repro.recon import resolve_file_conflict
 from repro.sim import FicusSystem
+from repro.telemetry import Telemetry, export
 
 
-def main() -> None:
-    system = FicusSystem(["west", "east", "mobile"])
+def main(trace: bool = False) -> None:
+    telemetry = Telemetry() if trace else None
+    system = FicusSystem(["west", "east", "mobile"], telemetry=telemetry)
     west, east = system.host("west").fs(), system.host("east").fs()
 
     print("== shared state before the partition ==")
@@ -83,6 +88,12 @@ def main() -> None:
     print("east now reads:", east.read_file("/shared.txt"))
     print("unresolved conflicts:", system.total_conflicts())
 
+    if telemetry is not None:
+        export.write_chrome_trace("partitioned_update_trace.json", telemetry.tracer.finished)
+        print("\n== telemetry (--trace) ==")
+        print(export.summary(telemetry))
+        print("wrote partitioned_update_trace.json (open in chrome://tracing)")
+
 
 if __name__ == "__main__":
-    main()
+    main(trace="--trace" in sys.argv[1:])

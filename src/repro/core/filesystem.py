@@ -236,6 +236,15 @@ class FicusFileSystem:
         """
         if not any(m in mode for m in "rwa"):
             raise InvalidArgument(f"bad mode {mode!r}")
+        tracer = self.logical.telemetry.tracer
+        if not tracer.enabled:
+            return self._open(path, mode)
+        with tracer.span(
+            "fs.open", layer="fs", host=self.logical.host_addr, path=path, mode=mode
+        ):
+            return self._open(path, mode)
+
+    def _open(self, path: str, mode: str) -> FicusFile:
         try:
             node = self.resolve(path, follow=True)
         except FileNotFound:
@@ -258,16 +267,35 @@ class FicusFileSystem:
         return FicusFile(self, node, mode, self.cred)
 
     def read_file(self, path: str) -> bytes:
-        with self.open(path, "r") as f:
-            return f.read()
+        tracer = self.logical.telemetry.tracer
+        if not tracer.enabled:
+            with self.open(path, "r") as f:
+                return f.read()
+        with tracer.span("fs.read_file", layer="fs", host=self.logical.host_addr, path=path):
+            with self.open(path, "r") as f:
+                return f.read()
 
     def write_file(self, path: str, data: bytes) -> None:
-        with self.open(path, "w") as f:
-            f.write(data)
+        # the whole open -> write -> close(update notify) session becomes
+        # one trace tree rooted here
+        tracer = self.logical.telemetry.tracer
+        if not tracer.enabled:
+            with self.open(path, "w") as f:
+                f.write(data)
+            return
+        with tracer.span("fs.write_file", layer="fs", host=self.logical.host_addr, path=path):
+            with self.open(path, "w") as f:
+                f.write(data)
 
     def append_file(self, path: str, data: bytes) -> None:
-        with self.open(path, "a") as f:
-            f.write(data)
+        tracer = self.logical.telemetry.tracer
+        if not tracer.enabled:
+            with self.open(path, "a") as f:
+                f.write(data)
+            return
+        with tracer.span("fs.append_file", layer="fs", host=self.logical.host_addr, path=path):
+            with self.open(path, "a") as f:
+                f.write(data)
 
     # -- namespace ---------------------------------------------------------------
 
@@ -365,7 +393,6 @@ class FicusFileSystem:
 
             raise AllReplicasUnavailable("no reachable replica stores the conflicted file")
         observed = [r.vv for r in replicas] + [report.local_vv, report.remote_vv]
-        target = replicas[0]
         # the resolve primitive needs direct store access, so pick a
         # replica this host's physical layer owns when possible
         local_physical = self.logical.fabric.local_physical

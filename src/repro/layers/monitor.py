@@ -11,8 +11,10 @@ noticing.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.telemetry import MetricsRegistry
 from repro.vnode.interface import (
     ROOT_CRED,
     Credential,
@@ -43,8 +45,18 @@ class MonitorLayer(NullLayer):
 
     layer_name = "monitor"
 
-    def __init__(self, lower: FileSystemLayer, name: str = "monitor"):
+    def __init__(
+        self,
+        lower: FileSystemLayer,
+        name: str = "monitor",
+        clock: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         super().__init__(lower, name=name)
+        #: timing source; injectable so simulated deployments can profile
+        #: in virtual time (and tests can supply a fake clock)
+        self.clock = clock or time.perf_counter
+        self.registry = registry
         self.profile: dict[str, OpProfile] = {}
 
     def wrap(self, lower: Vnode) -> "MonitorVnode":
@@ -58,6 +70,15 @@ class MonitorLayer(NullLayer):
             prof.errors += 1
         prof.bytes_in += n_in
         prof.bytes_out += n_out
+        registry = self.registry
+        if registry is not None:
+            prefix = f"monitor.{self.layer_name}.{op}"
+            registry.counter(f"{prefix}.calls").inc()
+            if error:
+                registry.counter(f"{prefix}.errors").inc()
+            registry.histogram(f"{prefix}.seconds").observe(seconds)
+            if n_in or n_out:
+                registry.counter(f"{prefix}.bytes").inc(n_in + n_out)
 
     def report(self) -> str:
         """Human-readable profile table."""
@@ -82,14 +103,15 @@ class MonitorVnode(PassthroughVnode):
         self.layer: MonitorLayer = layer
 
     def _timed(self, op: str, thunk, n_in: int = 0):
-        start = time.perf_counter()
+        clock = self.layer.clock
+        start = clock()
         try:
             result = thunk()
         except Exception:
-            self.layer.record(op, time.perf_counter() - start, error=True, n_in=n_in)
+            self.layer.record(op, clock() - start, error=True, n_in=n_in)
             raise
         n_out = len(result) if isinstance(result, (bytes, str)) else 0
-        self.layer.record(op, time.perf_counter() - start, error=False, n_in=n_in, n_out=n_out)
+        self.layer.record(op, clock() - start, error=False, n_in=n_in, n_out=n_out)
         return result
 
     # data-bearing operations get byte accounting; the rest just timing
@@ -98,16 +120,14 @@ class MonitorVnode(PassthroughVnode):
         return self._timed("read", lambda: self.lower.read(offset, length, cred))
 
     def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
-        def thunk():
-            return self.lower.write(offset, data, cred)
-
-        start = time.perf_counter()
+        clock = self.layer.clock
+        start = clock()
         try:
-            written = thunk()
+            written = self.lower.write(offset, data, cred)
         except Exception:
-            self.layer.record("write", time.perf_counter() - start, error=True, n_in=len(data))
+            self.layer.record("write", clock() - start, error=True, n_in=len(data))
             raise
-        self.layer.record("write", time.perf_counter() - start, error=False, n_in=written)
+        self.layer.record("write", clock() - start, error=False, n_in=written)
         return written
 
     def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:

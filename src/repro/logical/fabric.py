@@ -15,6 +15,7 @@ from repro.net import Network
 from repro.nfs import NfsClientConfig, NfsClientLayer
 from repro.physical import FicusPhysicalLayer
 from repro.physical.wire import op_dir
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.util import FicusFileHandle, VolumeReplicaId
 from repro.vnode.interface import Vnode
 
@@ -31,11 +32,13 @@ class Fabric:
         host_addr: str,
         local_physical: FicusPhysicalLayer | None = None,
         nfs_config: NfsClientConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.network = network
         self.host_addr = host_addr
         self.local_physical = local_physical
         self.nfs_config = nfs_config
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._mounts: dict[str, NfsClientLayer] = {}
 
     def is_local(self, host: str) -> bool:
@@ -51,6 +54,7 @@ class Fabric:
                 host,
                 service=PHYSICAL_SERVICE,
                 config=self.nfs_config,
+                telemetry=self.telemetry,
             )
             self._mounts[host] = mount
         return mount

@@ -33,6 +33,7 @@ from repro.physical import (
     decode_directory,
     volume_root_handle,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.physical.wire import op_aux, op_close, op_open
 from repro.util import FicusFileHandle, VolumeId
 from repro.vnode.interface import FileSystemLayer, Vnode, read_whole
@@ -74,6 +75,7 @@ class FicusLogicalLayer(FileSystemLayer):
         graft_table: GraftTable,
         root_volume: VolumeId,
         read_policy: str = READ_LATEST,
+        telemetry: Telemetry | None = None,
     ):
         super().__init__()
         if read_policy not in (READ_LATEST, READ_ANY):
@@ -84,7 +86,8 @@ class FicusLogicalLayer(FileSystemLayer):
         self.graft_table = graft_table
         self.root_volume = root_volume
         self.read_policy = read_policy
-        self.grafter = Grafter(network, host_addr)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.grafter = Grafter(network, host_addr, telemetry=self.telemetry)
         self.locks = LockManager()
         #: volume -> known replica locations (root volume seeded from the
         #: graft table; others learned by autografting).
@@ -285,9 +288,29 @@ class FicusLogicalLayer(FileSystemLayer):
         }
         if not others:
             return 0
-        payload = notification_payload(acting.volrep, parent_fh, fh, acting.host, objkind)
+        # the notification carries the live trace context so the receiving
+        # host's eventual daemon pull joins this update's trace tree
+        ctx = self.telemetry.tracer.current_context()
+        payload = notification_payload(
+            acting.volrep,
+            parent_fh,
+            fh,
+            acting.host,
+            objkind,
+            trace=ctx.to_wire() if ctx is not None else None,
+        )
         delivered = self.network.multicast(self.host_addr, sorted(others), payload)
         self.notifications_sent += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("logical.notifications_sent").inc()
+            self.telemetry.events.emit(
+                "notification.sent",
+                host=self.host_addr,
+                fh=fh.logical.to_hex(),
+                objkind=objkind,
+                targets=len(others),
+                delivered=delivered,
+            )
         return delivered
 
     # -- open/close sessions ---------------------------------------------------------

@@ -108,6 +108,15 @@ class LogicalDirVnode(Vnode):
 
     def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
         self.layer.counters.bump("lookup")
+        # enabled-check before building span arguments: this is a hot path
+        # and the disabled fast path must cost only a branch
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._lookup_impl(name)
+        with tracer.span("logical.lookup", layer="logical", host=self.layer.host_addr):
+            return self._lookup_impl(name)
+
+    def _lookup_impl(self, name: str) -> Vnode:
         view = self._view()
         entry = view.get(name)
         if entry is None or entry.etype == EntryType.LOCATION:
@@ -130,6 +139,15 @@ class LogicalDirVnode(Vnode):
 
     def _insert_new(self, name: str, etype: EntryType, data: str = "") -> Vnode:
         """Create a brand-new object: the chosen replica mints its ids."""
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._insert_new_impl(name, etype, data)
+        with tracer.span(
+            "logical.insert", layer="logical", host=self.layer.host_addr, etype=etype.value
+        ):
+            return self._insert_new_impl(name, etype, data)
+
+    def _insert_new_impl(self, name: str, etype: EntryType, data: str) -> Vnode:
         replica = self.layer.select_update_replica(self.volume, self.fh)
         existing = effective_entries(decode_directory(read_whole(replica.dir_vnode)))
         if name in existing:
@@ -149,6 +167,14 @@ class LogicalDirVnode(Vnode):
 
     def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("remove")
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            self._remove_impl(name)
+            return
+        with tracer.span("logical.remove", layer="logical", host=self.layer.host_addr):
+            self._remove_impl(name)
+
+    def _remove_impl(self, name: str) -> None:
         replica = self.layer.select_update_replica(self.volume, self.fh)
         entry = self._find_entry_at(replica, name)
         if entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
@@ -317,11 +343,21 @@ class LogicalFileVnode(Vnode):
 
     def open(self, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("open")
-        self.layer.open_file(self.volume, self.parent_fh, self.fh)
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            self.layer.open_file(self.volume, self.parent_fh, self.fh)
+            return
+        with tracer.span("logical.open", layer="logical", host=self.layer.host_addr):
+            self.layer.open_file(self.volume, self.parent_fh, self.fh)
 
     def close(self, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("close")
-        self.layer.close_file(self.volume, self.parent_fh, self.fh)
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            self.layer.close_file(self.volume, self.parent_fh, self.fh)
+            return
+        with tracer.span("logical.close", layer="logical", host=self.layer.host_addr):
+            self.layer.close_file(self.volume, self.parent_fh, self.fh)
 
     def inactive(self) -> None:
         self.layer.counters.bump("inactive")
@@ -330,7 +366,11 @@ class LogicalFileVnode(Vnode):
 
     def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
         self.layer.counters.bump("read")
-        return self._retry_stale(lambda: self._read_child().read(offset, length, cred))
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._retry_stale(lambda: self._read_child().read(offset, length, cred))
+        with tracer.span("logical.read", layer="logical", host=self.layer.host_addr):
+            return self._retry_stale(lambda: self._read_child().read(offset, length, cred))
 
     def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
         self.layer.counters.bump("write")
@@ -341,13 +381,28 @@ class LogicalFileVnode(Vnode):
             self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
             return written
 
-        return self._retry_stale(attempt)
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._retry_stale(attempt)
+        with tracer.span(
+            "logical.write", layer="logical", host=self.layer.host_addr, bytes=len(data)
+        ):
+            return self._retry_stale(attempt)
 
     def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("truncate")
-        view = self._update_view()
-        view.dir_vnode.lookup(op_byfh(self.fh)).truncate(size, cred)
-        self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
+
+        def impl() -> None:
+            view = self._update_view()
+            view.dir_vnode.lookup(op_byfh(self.fh)).truncate(size, cred)
+            self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
+
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            impl()
+            return
+        with tracer.span("logical.truncate", layer="logical", host=self.layer.host_addr):
+            impl()
 
     def fsync(self, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("fsync")

@@ -1,5 +1,5 @@
 """Simulated network with partitions, RPC, and multicast datagrams."""
 
-from repro.net.network import Network, NetworkStats
+from repro.net.network import Network, NetworkStats, PeerStats
 
-__all__ = ["Network", "NetworkStats"]
+__all__ = ["Network", "NetworkStats", "PeerStats"]

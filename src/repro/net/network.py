@@ -23,6 +23,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import HostUnreachable, InvalidArgument
+from repro.telemetry import NULL_TELEMETRY, MetricsRegistry, Telemetry
 from repro.util import VirtualClock
 
 RpcHandler = Callable[..., object]
@@ -30,14 +31,96 @@ DatagramHandler = Callable[[str, object], None]
 
 
 @dataclass
+class PeerStats:
+    """Per (src, dst) RPC accounting: latency and byte volumes."""
+
+    rpcs: int = 0
+    failures: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    latency_seconds: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_seconds / self.rpcs if self.rpcs else 0.0
+
+
+def _payload_bytes(values: Iterable[object]) -> int:
+    """Approximate wire volume: the bytes-valued arguments only (handles
+    and small scalars are noise next to read/write payloads)."""
+    return sum(len(v) for v in values if isinstance(v, (bytes, bytearray)))
+
+
+@dataclass
 class NetworkStats:
-    """Traffic accounting for benchmarks."""
+    """Traffic accounting for benchmarks.
+
+    The five aggregate counters remain plain ints (cheap, always on);
+    per-peer detail lands in :attr:`per_peer`, and when the network is
+    built with telemetry the same updates mirror into the central
+    :class:`~repro.telemetry.MetricsRegistry` under ``net.*`` names.
+    """
 
     rpcs_sent: int = 0
     rpcs_failed: int = 0
     datagrams_sent: int = 0
     datagrams_delivered: int = 0
     datagrams_lost: int = 0
+    per_peer: dict[tuple[str, str], PeerStats] = field(default_factory=dict, repr=False)
+    _registry: MetricsRegistry | None = field(default=None, repr=False)
+
+    def register(self, registry: MetricsRegistry) -> None:
+        """Mirror all subsequent updates into ``registry``."""
+        self._registry = registry
+
+    def peer(self, src: str, dst: str) -> PeerStats:
+        stats = self.per_peer.get((src, dst))
+        if stats is None:
+            stats = self.per_peer[(src, dst)] = PeerStats()
+        return stats
+
+    def record_rpc(
+        self,
+        src: str,
+        dst: str,
+        *,
+        ok: bool,
+        latency: float = 0.0,
+        bytes_out: int = 0,
+        bytes_in: int = 0,
+    ) -> None:
+        self.rpcs_sent += 1
+        peer = self.peer(src, dst)
+        peer.rpcs += 1
+        peer.bytes_sent += bytes_out
+        peer.bytes_received += bytes_in
+        peer.latency_seconds += latency
+        if not ok:
+            self.rpcs_failed += 1
+            peer.failures += 1
+        registry = self._registry
+        if registry is not None:
+            registry.counter("net.rpcs_sent").inc()
+            if not ok:
+                registry.counter("net.rpcs_failed").inc()
+            if bytes_out:
+                registry.counter("net.rpc_bytes_sent").inc(bytes_out)
+            if bytes_in:
+                registry.counter("net.rpc_bytes_received").inc(bytes_in)
+            registry.histogram("net.rpc_latency_seconds").observe(latency)
+
+    def record_datagram(self, delivered: bool) -> None:
+        self.datagrams_sent += 1
+        if delivered:
+            self.datagrams_delivered += 1
+        else:
+            self.datagrams_lost += 1
+        registry = self._registry
+        if registry is not None:
+            registry.counter("net.datagrams_sent").inc()
+            registry.counter(
+                "net.datagrams_delivered" if delivered else "net.datagrams_lost"
+            ).inc()
 
     def snapshot(self) -> "NetworkStats":
         return NetworkStats(
@@ -59,10 +142,18 @@ class _HostState:
 class Network:
     """The simulated internetwork connecting Ficus hosts."""
 
-    def __init__(self, clock: VirtualClock | None = None, rpc_latency: float = 0.001):
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        rpc_latency: float = 0.001,
+        telemetry: Telemetry | None = None,
+    ):
         self.clock = clock or VirtualClock()
         self.rpc_latency = rpc_latency
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.stats = NetworkStats()
+        if self.telemetry.enabled:
+            self.stats.register(self.telemetry.metrics)
         self._hosts: dict[str, _HostState] = {}
         #: Current partition: list of disjoint host groups.  Empty list
         #: means fully connected.
@@ -113,9 +204,14 @@ class Network:
                 seen.add(host)
             frozen.append(fz)
         self._groups = frozen
+        self.telemetry.events.emit(
+            "net.partition", groups=[sorted(g) for g in frozen]
+        )
 
     def heal(self) -> None:
         """Remove all partitions: everyone can talk again."""
+        if self._groups:
+            self.telemetry.events.emit("net.heal")
         self._groups = []
 
     @property
@@ -150,16 +246,33 @@ class Network:
 
     def rpc(self, src: str, dst: str, service: str, *args: object, **kwargs: object) -> object:
         """Synchronous call; raises HostUnreachable across a partition."""
-        self.stats.rpcs_sent += 1
+        bytes_out = _payload_bytes(args)
         if not self.reachable(src, dst):
-            self.stats.rpcs_failed += 1
+            self.stats.record_rpc(src, dst, ok=False, bytes_out=bytes_out)
             raise HostUnreachable(f"{src} -> {dst}: unreachable")
         handler = self._host(dst).rpc_services.get(service)
         if handler is None:
-            self.stats.rpcs_failed += 1
+            self.stats.record_rpc(src, dst, ok=False, bytes_out=bytes_out)
             raise HostUnreachable(f"{dst} exports no service {service!r}")
         self.clock.advance(self.rpc_latency)
-        return handler(*args, **kwargs)
+        # application errors surfacing through the handler are still a
+        # delivered RPC at the transport level — count them as sent
+        try:
+            result = handler(*args, **kwargs)
+        except Exception:
+            self.stats.record_rpc(
+                src, dst, ok=True, latency=self.rpc_latency, bytes_out=bytes_out
+            )
+            raise
+        self.stats.record_rpc(
+            src,
+            dst,
+            ok=True,
+            latency=self.rpc_latency,
+            bytes_out=bytes_out,
+            bytes_in=len(result) if isinstance(result, (bytes, bytearray)) else 0,
+        )
+        return result
 
     # -- multicast datagrams (update notification) ---------------------------------
 
@@ -175,12 +288,12 @@ class Network:
         """
         delivered = 0
         for dst in dsts:
-            self.stats.datagrams_sent += 1
             if not self.reachable(src, dst):
-                self.stats.datagrams_lost += 1
+                self.stats.record_datagram(delivered=False)
+                self.telemetry.events.emit("notification.lost", host=src, dst=dst)
                 continue
             for handler in self._host(dst).datagram_handlers:
                 handler(src, payload)
-            self.stats.datagrams_delivered += 1
+            self.stats.record_datagram(delivered=True)
             delivered += 1
         return delivered

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 
 from repro.errors import RpcTimeout, StaleFileHandle
 from repro.net import Network
-from repro.nfs.protocol import LookupReply, NfsHandle
+from repro.nfs.protocol import TRACE_FIELD, LookupReply, NfsHandle
+from repro.telemetry import NULL_SPAN, NULL_TELEMETRY, Telemetry
 from repro.ufs.inode import FileAttributes, FileType
 from repro.util import VirtualClock
 from repro.vnode.interface import (
@@ -60,6 +61,7 @@ class NfsClientLayer(FileSystemLayer):
         server_addr: str,
         service: str = "nfs",
         config: NfsClientConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         super().__init__()
         self.network = network
@@ -67,6 +69,7 @@ class NfsClientLayer(FileSystemLayer):
         self.server_addr = server_addr
         self.service = service
         self.config = config or NfsClientConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._attr_cache: dict[NfsHandle, tuple[float, FileAttributes]] = {}
         self._name_cache: dict[tuple[NfsHandle, str], tuple[float, LookupReply]] = {}
 
@@ -77,12 +80,37 @@ class NfsClientLayer(FileSystemLayer):
     # -- RPC plumbing ------------------------------------------------------
 
     def call(self, op: str, *args: object) -> object:
-        """Issue one NFS RPC with retransmission."""
+        """Issue one NFS RPC with retransmission.
+
+        With tracing enabled, the whole call (including retransmissions)
+        is one ``nfs-client`` span, and that span's context rides to the
+        server in the :data:`~repro.nfs.protocol.TRACE_FIELD` keyword — the
+        explicit protocol hop that stitches client and server trees.
+        """
+        tracer = self.telemetry.tracer
+        if not tracer.enabled:
+            return self._call_with_retries(op, args, {}, NULL_SPAN)
+        with tracer.span(f"nfs.{op}", layer="nfs-client", host=self.client_addr) as span:
+            span.set_tag("server", self.server_addr)
+            kwargs: dict[str, object] = {TRACE_FIELD: span.context.to_wire()}
+            return self._call_with_retries(op, args, kwargs, span)
+
+    def _call_with_retries(
+        self,
+        op: str,
+        args: tuple[object, ...],
+        kwargs: dict[str, object],
+        span,
+    ) -> object:
         last_error: Exception | None = None
-        for _ in range(self.config.retries + 1):
+        for attempt in range(self.config.retries + 1):
             try:
                 return self.network.rpc(
-                    self.client_addr, self.server_addr, f"{self.service}.{op}", *args
+                    self.client_addr,
+                    self.server_addr,
+                    f"{self.service}.{op}",
+                    *args,
+                    **kwargs,
                 )
             except RpcTimeout as exc:
                 last_error = exc
@@ -94,6 +122,9 @@ class NfsClientLayer(FileSystemLayer):
                     last_error = exc
                     continue
                 raise
+            finally:
+                if attempt:
+                    span.set_tag("retries", attempt)
         raise RpcTimeout(f"{op}: server {self.server_addr} unreachable") from last_error
 
     # -- caches ------------------------------------------------------------------

@@ -19,6 +19,13 @@ from repro.ufs.inode import FileAttributes
 #: must smuggle open/close through ``lookup`` (paper Section 2.3).
 DROPPED_OPERATIONS = ("open", "close")
 
+#: Optional RPC keyword carrying a serialized telemetry trace context
+#: (:meth:`repro.telemetry.TraceContext.to_wire`).  The server strips it
+#: before dispatching, so a client with tracing enabled interoperates with
+#: any server; when the server also traces, its span is parented on the
+#: deserialized context — this is how one trace tree crosses the NFS hop.
+TRACE_FIELD = "_trace"
+
 
 @dataclass(frozen=True)
 class NfsHandle:

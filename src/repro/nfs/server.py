@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from repro.errors import StaleFileHandle
 from repro.net import Network
-from repro.nfs.protocol import LookupReply, NfsHandle, ReaddirEntry
+from repro.nfs.protocol import TRACE_FIELD, LookupReply, NfsHandle, ReaddirEntry
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TraceContext
 from repro.ufs.inode import FileAttributes
 from repro.vnode.interface import ROOT_CRED, Credential, FileSystemLayer, SetAttrs, Vnode
 
@@ -34,11 +35,13 @@ class NfsServer:
         addr: str,
         exported: FileSystemLayer,
         service: str = "nfs",
+        telemetry: Telemetry | None = None,
     ):
         self.network = network
         self.addr = addr
         self.exported = exported
         self.service = service
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._vnode_cache: dict[int, Vnode] = {}
         for op in (
             "root",
@@ -58,7 +61,27 @@ class NfsServer:
             "symlink",
             "readlink",
         ):
-            network.register_rpc(addr, f"{service}.{op}", getattr(self, f"_op_{op}"))
+            network.register_rpc(addr, f"{service}.{op}", self._make_handler(op))
+
+    def _make_handler(self, op: str):
+        """Wrap one RPC op: strip the trace protocol field, and when this
+        server traces, parent a server-side span on the wire context."""
+        inner = getattr(self, f"_op_{op}")
+
+        def handler(*args: object, **kwargs: object) -> object:
+            wire = kwargs.pop(TRACE_FIELD, None)
+            telemetry = self.telemetry
+            if wire is None or not telemetry.enabled:
+                return inner(*args, **kwargs)
+            with telemetry.tracer.span(
+                f"nfs.{op}",
+                layer="nfs-server",
+                host=self.addr,
+                parent=TraceContext.from_wire(wire),
+            ):
+                return inner(*args, **kwargs)
+
+        return handler
 
     # -- handle management -----------------------------------------------
 

@@ -32,7 +32,6 @@ from repro.physical.wire import (
     FAUX_NAME,
     FDIR_NAME,
     SHADOW_SUFFIX,
-    AuxAttributes,
     EntryType,
 )
 from repro.util import FicusFileHandle

@@ -25,6 +25,7 @@ from repro.physical.vnodes import (
     PhysicalRootVnode,
 )
 from repro.physical.wire import EntryType
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TraceContext
 from repro.util import FicusFileHandle, VirtualClock, VolumeReplicaId
 from repro.vnode.interface import FileSystemLayer, Vnode
 
@@ -48,6 +49,9 @@ class NewVersionNote:
     noted_at: float
     #: "file" (pull contents) or "dir" (replay entry ops via recon)
     objkind: str = "file"
+    #: trace context of the update that sent the notification, so the
+    #: daemon's eventual pull span joins the originating trace tree
+    trace_ctx: TraceContext | None = None
 
 
 @dataclass
@@ -64,15 +68,20 @@ def notification_payload(
     fh: FicusFileHandle,
     src_addr: str,
     objkind: str = "file",
-) -> dict[str, str]:
+    trace: dict[str, str] | None = None,
+) -> dict[str, object]:
     """Wire form of an update-notification datagram.
 
     ``objkind`` distinguishes file-content updates (propagated by atomic
     copy) from directory updates (propagated by replaying entry operations
     through directory reconciliation — "simply copying directory contents
     is incorrect", Section 3.2).
+
+    ``trace`` optionally carries the sender's serialized trace context
+    (:meth:`repro.telemetry.TraceContext.to_wire`) so the receiving host
+    can parent its eventual propagation pull on the originating update.
     """
-    return {
+    payload: dict[str, object] = {
         "kind": "new-version",
         "volrep": volrep.to_hex(),
         "parent": parent_fh.logical.to_hex(),
@@ -80,6 +89,9 @@ def notification_payload(
         "src": src_addr,
         "objkind": objkind,
     }
+    if trace is not None:
+        payload["trace"] = trace
+    return payload
 
 
 class FicusPhysicalLayer(FileSystemLayer):
@@ -93,6 +105,7 @@ class FicusPhysicalLayer(FileSystemLayer):
         host_addr: str,
         network: Network | None = None,
         clock: VirtualClock | None = None,
+        telemetry: Telemetry | None = None,
     ):
         super().__init__()
         self.lower_layer = lower
@@ -100,6 +113,7 @@ class FicusPhysicalLayer(FileSystemLayer):
         self.host_addr = host_addr
         self.network = network
         self.clock = clock or (network.clock if network is not None else VirtualClock())
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.stores: dict[VolumeReplicaId, ReplicaStore] = {}
         self._policies: dict[VolumeReplicaId, StoragePolicy] = {}
         self._sessions: dict[tuple[int, FicusFileHandle], _Session] = {}
@@ -117,7 +131,7 @@ class FicusPhysicalLayer(FileSystemLayer):
         """Initialize storage for a new volume replica on this host."""
         if volrep in self.stores:
             raise InvalidArgument(f"{volrep} already hosted on {self.host_addr}")
-        store = ReplicaStore.create(self.lower_root, volrep)
+        store = ReplicaStore.create(self.lower_root, volrep, metrics=self._metrics_or_none())
         self.stores[volrep] = store
         return store
 
@@ -125,9 +139,14 @@ class FicusPhysicalLayer(FileSystemLayer):
         """Attach to existing storage (host restart)."""
         if volrep in self.stores:
             return self.stores[volrep]
-        store = ReplicaStore.attach(self.lower_root, volrep)
+        store = ReplicaStore.attach(self.lower_root, volrep, metrics=self._metrics_or_none())
         self.stores[volrep] = store
         return store
+
+    def _metrics_or_none(self):
+        """Stores take a registry only when it records; None keeps their
+        counting helper a single branch on the disabled path."""
+        return self.telemetry.metrics if self.telemetry.enabled else None
 
     def store_for(self, volrep: VolumeReplicaId) -> ReplicaStore:
         try:
@@ -251,6 +270,7 @@ class FicusPhysicalLayer(FileSystemLayer):
             sender_volrep = VolumeReplicaId.from_hex(volrep_field)
         except InvalidArgument:
             return
+        trace_ctx = TraceContext.from_wire(payload.get("trace"))
         for volrep in self.stores:
             if volrep.volume == sender_volrep.volume:
                 key = NewVersionKey(volrep=volrep, parent_fh=parent, fh=fh)
@@ -266,7 +286,17 @@ class FicusPhysicalLayer(FileSystemLayer):
                     src_volrep=sender_volrep,
                     noted_at=self.clock.now(),
                     objkind=objkind,
+                    trace_ctx=trace_ctx,
                 )
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("physical.notifications_received").inc()
+                    self.telemetry.events.emit(
+                        "notification.received",
+                        host=self.host_addr,
+                        src=src_addr,
+                        fh=fh.logical.to_hex(),
+                        objkind=objkind,
+                    )
 
     def pending_new_versions(self) -> list[NewVersionNote]:
         """What the propagation daemon consults."""

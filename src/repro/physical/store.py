@@ -31,6 +31,7 @@ directory, a consequence of concurrent renames) needs no extra mechanism.
 from __future__ import annotations
 
 from repro.errors import FileNotFound, InvalidArgument
+from repro.telemetry import MetricsRegistry
 from repro.physical.wire import (
     AUX_SUFFIX,
     FAUX_NAME,
@@ -68,16 +69,31 @@ def volume_root_handle(volume: VolumeId) -> FicusFileHandle:
 class ReplicaStore:
     """Reads and writes one volume replica's on-disk structures."""
 
-    def __init__(self, lower_root: Vnode, volrep: VolumeReplicaId):
+    def __init__(
+        self,
+        lower_root: Vnode,
+        volrep: VolumeReplicaId,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.lower_root = lower_root
         self.volrep = volrep
+        self._metrics = metrics
         self._base = lower_root.lookup(volrep.to_hex())
         self._nodes = self._base.lookup("nodes")
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
 
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def create(cls, lower_root: Vnode, volrep: VolumeReplicaId) -> "ReplicaStore":
+    def create(
+        cls,
+        lower_root: Vnode,
+        volrep: VolumeReplicaId,
+        metrics: MetricsRegistry | None = None,
+    ) -> "ReplicaStore":
         """Initialize storage for a brand-new volume replica."""
         base = lower_root.mkdir(volrep.to_hex())
         meta = base.create(META_NAME)
@@ -92,15 +108,20 @@ class ReplicaStore:
             ).encode("utf-8"),
         )
         base.mkdir("nodes")
-        store = cls(lower_root, volrep)
+        store = cls(lower_root, volrep, metrics=metrics)
         root_fh = volume_root_handle(volrep.volume)
         store.create_directory_storage(root_fh, EntryType.DIRECTORY)
         return store
 
     @classmethod
-    def attach(cls, lower_root: Vnode, volrep: VolumeReplicaId) -> "ReplicaStore":
+    def attach(
+        cls,
+        lower_root: Vnode,
+        volrep: VolumeReplicaId,
+        metrics: MetricsRegistry | None = None,
+    ) -> "ReplicaStore":
         """Open existing volume-replica storage (e.g. after host restart)."""
-        return cls(lower_root, volrep)
+        return cls(lower_root, volrep, metrics=metrics)
 
     @classmethod
     def exists(cls, lower_root: Vnode, volrep: VolumeReplicaId) -> bool:
@@ -290,6 +311,7 @@ class ReplicaStore:
         except FileNotFound:
             if not create:
                 raise
+            self._count("store.shadows_created")
             return unix_dir.create(key)
 
     def commit_shadow(
@@ -308,6 +330,7 @@ class ReplicaStore:
         aux = self.read_file_aux(parent, fh)
         aux.vv = vv
         self.write_file_aux(parent, fh, aux)
+        self._count("store.shadow_commits")
 
     def abort_shadow(self, parent: FicusFileHandle, fh: FicusFileHandle) -> None:
         """Discard an uncommitted shadow ("the shadow discarded")."""
@@ -324,6 +347,8 @@ class ReplicaStore:
             if entry.name.endswith(SHADOW_SUFFIX):
                 unix_dir.remove(entry.name)
                 dropped += 1
+        if dropped:
+            self._count("store.shadows_scavenged", dropped)
         return dropped
 
     # -- directory enumeration (for reconciliation sweeps) -----------------------

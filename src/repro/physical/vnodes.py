@@ -25,7 +25,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import (
-    FileExists,
     FileNotFound,
     InvalidArgument,
     IsADirectory,
@@ -215,8 +214,18 @@ class PhysicalDirVnode(Vnode):
 
     def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
         self.layer.counters.bump("lookup")
-        if is_encoded_op(name):
-            return self._encoded_lookup(name)
+        encoded = is_encoded_op(name)
+        # enabled-check before building span arguments: lookup is the
+        # hottest vnode operation and must stay free when not tracing
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._encoded_lookup(name) if encoded else self._plain_lookup(name)
+        with tracer.span(
+            "physical.lookup", layer="physical", host=self.layer.host_addr, encoded=encoded
+        ):
+            return self._encoded_lookup(name) if encoded else self._plain_lookup(name)
+
+    def _plain_lookup(self, name: str) -> Vnode:
         view = effective_entries(self.entries())
         entry = view.get(name)
         if entry is None:
@@ -292,6 +301,13 @@ class PhysicalDirVnode(Vnode):
         op, fields = decode_op(name)
         if op != "insert":
             raise NotSupported(f"create cannot carry operation {op!r}")
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._create_decoded(fields)
+        with tracer.span("physical.insert", layer="physical", host=self.layer.host_addr):
+            return self._create_decoded(fields)
+
+    def _create_decoded(self, fields: list[str]) -> Vnode:
         # The applying replica mints ids the requester left blank — id
         # issuance stays with the volume replica (paper Section 4.2) even
         # when the request crossed an NFS hop.
@@ -410,7 +426,12 @@ class PhysicalDirVnode(Vnode):
         op, fields = decode_op(name)
         if op != "remove":
             raise NotSupported(f"remove cannot carry operation {op!r}")
-        self.apply_remove(EntryId.decode(fields[0]), from_recon=bool(fields[1]))
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            self.apply_remove(EntryId.decode(fields[0]), from_recon=bool(fields[1]))
+            return
+        with tracer.span("physical.remove", layer="physical", host=self.layer.host_addr):
+            self.apply_remove(EntryId.decode(fields[0]), from_recon=bool(fields[1]))
 
     def apply_remove(self, eid: EntryId, from_recon: bool = False) -> None:
         """Tombstone one entry and garbage-collect its backing storage.
@@ -557,18 +578,37 @@ class PhysicalFileVnode(Vnode):
 
     def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
         self.layer.counters.bump("read")
-        return self._contents().read(offset, length, cred)
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._contents().read(offset, length, cred)
+        with tracer.span("physical.read", layer="physical", host=self.layer.host_addr):
+            return self._contents().read(offset, length, cred)
 
     def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
         self.layer.counters.bump("write")
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            return self._write_impl(offset, data, cred)
+        with tracer.span(
+            "physical.write", layer="physical", host=self.layer.host_addr, bytes=len(data)
+        ):
+            return self._write_impl(offset, data, cred)
+
+    def _write_impl(self, offset: int, data: bytes, cred: Credential) -> int:
         written = self._contents().write(offset, data, cred)
         self.layer.note_update(self.store, self.parent_fh, self.fh)
         return written
 
     def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("truncate")
-        self._contents().truncate(size, cred)
-        self.layer.note_update(self.store, self.parent_fh, self.fh)
+        tracer = self.layer.telemetry.tracer
+        if not tracer.enabled:
+            self._contents().truncate(size, cred)
+            self.layer.note_update(self.store, self.parent_fh, self.fh)
+            return
+        with tracer.span("physical.truncate", layer="physical", host=self.layer.host_addr):
+            self._contents().truncate(size, cred)
+            self.layer.note_update(self.store, self.parent_fh, self.fh)
 
     def fsync(self, cred: Credential = ROOT_CRED) -> None:
         self.layer.counters.bump("fsync")

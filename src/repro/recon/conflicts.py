@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.util import FicusFileHandle, VolumeId
 from repro.vv import VersionVector
 
@@ -42,8 +43,9 @@ class ConflictReport:
 class ConflictLog:
     """Per-host accumulator of conflict reports (deduplicated)."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
         self._reports: list[ConflictReport] = []
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def report(self, conflict: ConflictReport) -> bool:
         """Add a report unless an unresolved equivalent is already logged.
@@ -61,6 +63,15 @@ class ConflictLog:
             ):
                 return False
         self._reports.append(conflict)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("recon.conflicts_reported").inc()
+            self.telemetry.events.emit(
+                "conflict.detected",
+                conflict_kind=conflict.kind.value,
+                name=conflict.name,
+                fh=conflict.fh.logical.to_hex(),
+                remote_host=conflict.remote_host,
+            )
         return True
 
     def unresolved(self) -> list[ConflictReport]:

@@ -20,6 +20,7 @@ from repro.recon import ConflictLog
 from repro.sim.daemons import GraftPruneDaemon, PropagationDaemon, ReconciliationDaemon
 from repro.sim.events import EventLoop
 from repro.storage import BlockDevice
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.ufs import Ufs
 from repro.util import IdAllocator, VirtualClock, VolumeId, VolumeReplicaId
 from repro.vnode import UfsLayer
@@ -60,10 +61,12 @@ class FicusHost:
         clock: VirtualClock,
         allocator_id: int,
         config: HostConfig,
+        telemetry: Telemetry | None = None,
     ):
         self.name = name
         self.network = network
         self.clock = clock
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.allocator = IdAllocator(allocator_id)
         self.device = BlockDevice(config.disk_blocks, name=f"{name}-disk")
         self.ufs = Ufs.mkfs(
@@ -75,12 +78,16 @@ class FicusHost:
             inode_size=self.device.block_size if config.isolate_inodes else None,
         )
         self.ufs_layer = UfsLayer(self.ufs)
-        self.physical = FicusPhysicalLayer(self.ufs_layer, name, network=network, clock=clock)
-        self.nfs_server = NfsServer(network, name, self.physical, service=PHYSICAL_SERVICE)
+        self.physical = FicusPhysicalLayer(
+            self.ufs_layer, name, network=network, clock=clock, telemetry=self.telemetry
+        )
+        self.nfs_server = NfsServer(
+            network, name, self.physical, service=PHYSICAL_SERVICE, telemetry=self.telemetry
+        )
         self.graft_table = GraftTable()
-        self.fabric = Fabric(network, name, self.physical)
+        self.fabric = Fabric(network, name, self.physical, telemetry=self.telemetry)
         self.logical: FicusLogicalLayer | None = None  # wired by FicusSystem
-        self.conflict_log = ConflictLog()
+        self.conflict_log = ConflictLog(telemetry=self.telemetry)
         self.propagation_daemon: PropagationDaemon | None = None
         self.recon_daemon: ReconciliationDaemon | None = None
         self.graft_prune_daemon: GraftPruneDaemon | None = None
@@ -113,7 +120,11 @@ class FicusHost:
         self.ufs = self.ufs.remount()
         self.ufs_layer = UfsLayer(self.ufs)
         self.physical = FicusPhysicalLayer(
-            self.ufs_layer, self.name, network=self.network, clock=self.clock
+            self.ufs_layer,
+            self.name,
+            network=self.network,
+            clock=self.clock,
+            telemetry=self.telemetry,
         )
         for volrep in hosted:
             store = self.physical.attach_volume_replica(volrep)
@@ -121,7 +132,7 @@ class FicusHost:
                 store.scavenge_shadows(dir_fh)
         self.nfs_server.exported = self.physical
         self.nfs_server.reboot()
-        self.fabric = Fabric(self.network, self.name, self.physical)
+        self.fabric = Fabric(self.network, self.name, self.physical, telemetry=self.telemetry)
         self.logical = FicusLogicalLayer(
             self.network,
             self.name,
@@ -129,6 +140,7 @@ class FicusHost:
             self.graft_table,
             self.logical.root_volume,
             read_policy=self.logical.read_policy,
+            telemetry=self.telemetry,
         )
         self.propagation_daemon.physical = self.physical
         self.propagation_daemon.fabric = self.fabric
@@ -151,11 +163,16 @@ class FicusSystem:
         host_config: HostConfig | None = None,
         daemon_config: DaemonConfig | None = None,
         read_policy: str = READ_LATEST,
+        telemetry: Telemetry | None = None,
     ):
         if not host_names:
             raise InvalidArgument("need at least one host")
         self.clock = VirtualClock()
-        self.network = Network(clock=self.clock)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        # all timestamps (spans, events) come from the shared virtual clock
+        # so a replayed experiment yields byte-identical telemetry
+        self.telemetry.bind_clock(self.clock.now)
+        self.network = Network(clock=self.clock, telemetry=self.telemetry)
         self.loop = EventLoop(self.clock)
         self.host_config = host_config or HostConfig()
         self.daemon_config = daemon_config or DaemonConfig()
@@ -163,7 +180,12 @@ class FicusSystem:
         for index, name in enumerate(host_names, start=1):
             self.network.add_host(name)
             self.hosts[name] = FicusHost(
-                name, self.network, self.clock, allocator_id=index, config=self.host_config
+                name,
+                self.network,
+                self.clock,
+                allocator_id=index,
+                config=self.host_config,
+                telemetry=self.telemetry,
             )
 
         # the root volume, replicated where asked (default: everywhere)
@@ -181,6 +203,7 @@ class FicusSystem:
                 host.graft_table,
                 self.root_volume,
                 read_policy=read_policy,
+                telemetry=self.telemetry,
             )
             self._wire_daemons(host)
 

@@ -71,6 +71,35 @@ class PropagationDaemon:
 
     def _service(self, note: NewVersionNote) -> int:
         self.stats.pulls_attempted += 1
+        telemetry = self.physical.telemetry
+        bytes_before = self.stats.bytes_copied
+        # the span is parented on the trace context the update notification
+        # carried, so this asynchronous pull joins the originating trace tree
+        with telemetry.tracer.span(
+            "propagation.pull",
+            layer="daemon",
+            host=self.physical.host_addr,
+            parent=note.trace_ctx,
+        ) as span:
+            span.set_tag("objkind", note.objkind)
+            span.set_tag("src", note.src_addr)
+            outcome, pulled = self._attempt(note)
+            span.set_tag("outcome", outcome)
+        telemetry.metrics.counter("propagation.pulls_attempted").inc()
+        telemetry.metrics.counter(f"propagation.{outcome}").inc()
+        copied = self.stats.bytes_copied - bytes_before
+        if copied:
+            telemetry.metrics.counter("propagation.bytes_copied").inc(copied)
+        telemetry.events.emit(
+            "propagation.pull",
+            host=self.physical.host_addr,
+            outcome=outcome,
+            objkind=note.objkind,
+            src=note.src_addr,
+        )
+        return pulled
+
+    def _attempt(self, note: NewVersionNote) -> tuple[str, int]:
         try:
             remote_root = self.fabric.volume_root(note.src_addr, note.src_volrep)
             remote_dir = remote_root.lookup(op_dir(note.key.parent_fh))
@@ -79,26 +108,26 @@ class PropagationDaemon:
             result = push_notify_pull(self.physical, note, remote_dir)
         except HostUnreachable:
             self.stats.unreachable += 1
-            return 0
+            return ("unreachable", 0)
         except FicusError:
             self.stats.unreachable += 1
-            return 0
+            return ("unreachable", 0)
         if result.outcome is PullOutcome.PULLED:
             self.stats.pulls_succeeded += 1
             self.stats.bytes_copied += result.bytes_copied
-            return 1
+            return ("pulled", 1)
         if result.outcome is PullOutcome.UP_TO_DATE:
             self.stats.already_current += 1
-            return 0
+            return ("up_to_date", 0)
         if result.outcome is PullOutcome.CONFLICT:
             # leave it to the reconciliation protocol to report
             self.stats.conflicts_deferred += 1
             self.physical.clear_new_version(note.key)
-            return 0
+            return ("conflict_deferred", 0)
         self.stats.unreachable += 1
-        return 0
+        return ("unreachable", 0)
 
-    def _service_directory(self, note: NewVersionNote, remote_dir) -> int:
+    def _service_directory(self, note: NewVersionNote, remote_dir) -> tuple[str, int]:
         """Directory updates are 'replayed', not copied: run the directory
         reconciliation algorithm against the notifying replica, then pull
         any files whose new versions the merge revealed."""
@@ -109,11 +138,11 @@ class PropagationDaemon:
         dir_fh = note.key.parent_fh
         if not store.has_directory(dir_fh):
             # parent itself unknown yet: wait for subtree reconciliation
-            return 0
+            return ("deferred", 0)
         result = reconcile_directory(self.physical, store, dir_fh, remote_dir)
         if result.unreachable:
             self.stats.unreachable += 1
-            return 0
+            return ("unreachable", 0)
         pulled = 0
         policy = self.physical.policy_for(note.key.volrep)
         for file_entry in result.child_files:
@@ -128,7 +157,8 @@ class PropagationDaemon:
         self.stats.pulls_succeeded += 1 if (pulled or result.changed) else 0
         if not pulled and not result.changed:
             self.stats.already_current += 1
-        return pulled
+            return ("up_to_date", 0)
+        return ("pulled", pulled)
 
 
 @dataclass
@@ -192,12 +222,31 @@ class ReconciliationDaemon:
     def reconcile_with(
         self, volrep: VolumeReplicaId, peer: ReplicaLocation
     ) -> SubtreeReconResult:
+        telemetry = self.physical.telemetry
+        with telemetry.tracer.span(
+            "recon.run", layer="daemon", host=self.physical.host_addr
+        ) as span:
+            span.set_tag("peer", peer.host)
+            result = self._reconcile_with(volrep, peer, span)
+        telemetry.metrics.counter("recon.runs").inc()
+        if result.aborted_by_partition:
+            telemetry.metrics.counter("recon.aborted_by_partition").inc()
+        if result.files_pulled:
+            telemetry.metrics.counter("recon.files_pulled").inc(result.files_pulled)
+        if result.file_conflicts:
+            telemetry.metrics.counter("recon.file_conflicts").inc(result.file_conflicts)
+        return result
+
+    def _reconcile_with(
+        self, volrep: VolumeReplicaId, peer: ReplicaLocation, span
+    ) -> SubtreeReconResult:
         try:
             remote_root = self.fabric.volume_root(peer.host, peer.volrep)
         except FicusError:
             result = SubtreeReconResult(aborted_by_partition=True)
             self.stats.runs += 1
             self.stats.results.append(result)
+            span.set_tag("aborted", True)
             return result
         all_replicas = self.volume_replica_ids(volrep)
         result = reconcile_subtree(
@@ -218,6 +267,7 @@ class ReconciliationDaemon:
         self.tombstones_purged += gc.tombstones_purged + result.tombstones_purged_by_inference
         self.stats.runs += 1
         self.stats.results.append(result)
+        span.set_tag("files_pulled", result.files_pulled)
         return result
 
 

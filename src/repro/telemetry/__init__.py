@@ -1,0 +1,97 @@
+"""Cross-layer telemetry: trace spans, metrics registry, structured events.
+
+One :class:`Telemetry` hub serves a whole deployment; every layer holds a
+reference (defaulting to the shared disabled :data:`NULL_TELEMETRY`) and
+instruments itself through it.  Enable by constructing the system with an
+enabled hub::
+
+    from repro.sim import FicusSystem
+    from repro.telemetry import Telemetry
+
+    system = FicusSystem(["west", "east"], telemetry=Telemetry())
+    ...
+    print(export.summary(system.telemetry))
+
+Timestamps come from whichever clock the hub is bound to; the simulator
+binds its :class:`~repro.util.VirtualClock`, so traces replay
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.telemetry.events import EventLog, TelemetryEvent
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import NULL_SPAN, Span, TraceContext, Tracer
+
+
+class Telemetry:
+    """The per-deployment hub bundling tracer, metrics, and event log."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+        max_spans: int = 100_000,
+        event_capacity: int = 1024,
+    ):
+        self.enabled = enabled
+        clock_fn = clock or time.perf_counter
+        self.tracer = Tracer(clock=clock_fn, enabled=enabled, max_spans=max_spans)
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.events = EventLog(capacity=event_capacity, clock=clock_fn, enabled=enabled)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Drive all timestamps from ``clock`` (e.g. a VirtualClock's now)."""
+        if not self.enabled:
+            return  # keep the shared disabled hub inert
+        self.tracer._clock = clock
+        self.events._clock = clock
+
+    def reset(self) -> None:
+        """Drop recorded data; registered instrument *names* survive."""
+        self.tracer.reset()
+        self.events.clear()
+        for name in self.metrics.names():
+            instrument = self.metrics.get(name)
+            if isinstance(instrument, Histogram):
+                instrument.bucket_counts = [0] * (len(instrument.buckets) + 1)
+                instrument.count = 0
+                instrument.total = 0.0
+            elif instrument is not None:
+                instrument.value = 0
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, spans={len(self.tracer.finished)})"
+
+
+#: Shared default for components built without a hub.  Permanently
+#: disabled: every instrument it hands out is a no-op, so uninstrumented
+#: deployments pay (nearly) nothing.  Never enable it — construct a fresh
+#: Telemetry instead.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "Span",
+    "Telemetry",
+    "TelemetryEvent",
+    "TraceContext",
+    "Tracer",
+]

@@ -1,0 +1,82 @@
+"""Bounded structured event log: the semantically interesting moments.
+
+Spans measure *how long*; events record *what happened*: an update
+notification sent or lost, a pull outcome, a conflict detected, a graft
+bound or pruned, a partition or heal.  These are exactly the occurrences
+the paper's prose narrates (Sections 2.5, 3.2, 4.4) and that experiments
+otherwise reconstruct from scattered stats fields.
+
+The log is a ring: at ``capacity`` the oldest record is evicted and
+counted, so per-kind totals stay exact even after eviction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TelemetryEvent:
+    """One structured occurrence."""
+
+    ts: float
+    kind: str
+    host: str
+    fields: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {"ts": self.ts, "kind": self.kind, "host": self.host}
+        if self.fields:
+            out.update(self.fields)
+        return out
+
+
+class EventLog:
+    """Bounded, deterministic event recorder."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._clock: Callable[[], float] = clock or time.perf_counter
+        self._records: deque[TelemetryEvent] = deque(maxlen=capacity)
+        #: exact per-kind emission totals, unaffected by eviction
+        self.counts: dict[str, int] = {}
+        self.evicted = 0
+
+    def emit(self, kind: str, host: str = "", **fields: object) -> None:
+        if not self.enabled:
+            return
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if len(self._records) == self.capacity:
+            self.evicted += 1
+        self._records.append(TelemetryEvent(self._clock(), kind, host, fields))
+
+    def records(self, kind: str | None = None) -> list[TelemetryEvent]:
+        if kind is None:
+            return list(self._records)
+        return [e for e in self._records if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> str:
+        """Per-kind counts, eviction-aware, as a small text table."""
+        lines = [f"{'event kind':<28} | {'count':>7}"]
+        for kind in sorted(self.counts):
+            lines.append(f"{kind:<28} | {self.counts[kind]:>7}")
+        if self.evicted:
+            lines.append(f"({self.evicted} old records evicted; counts are exact)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.counts.clear()
+        self.evicted = 0

@@ -1,0 +1,217 @@
+"""A central metrics registry: counters, gauges, fixed-bucket histograms.
+
+Before this module every component kept a private stats dataclass
+(``NetworkStats``, ``PropagationStats``, ``OpProfile``...) and exporting a
+measurement meant hand-copying fields.  The registry gives them one naming
+scheme and one snapshot, which is what ``benchmarks/report_all.py``
+serializes into ``BENCH_telemetry.json``.
+
+A registry constructed with ``enabled=False`` hands out shared no-op
+instruments and never stores an entry, so a disabled system provably
+allocates nothing (tests assert ``len(registry) == 0``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import InvalidArgument
+
+#: Default histogram buckets: log-spaced latency bounds in seconds, wide
+#: enough for both virtual-clock RPC latencies and wall-clock profiles.
+DEFAULT_BUCKETS = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, cache sizes)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: observation counts per upper bound.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the final
+    slot counts overflows.  Bounds are fixed at creation, so merging and
+    exporting never re-bins.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise InvalidArgument(f"histogram buckets must be ascending, got {buckets!r}")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidArgument(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            if running >= rank:
+                return bound
+        return self.buckets[-1]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6g})"
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one deployment."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, expected_kind: str):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if existing.kind != expected_kind:
+                raise InvalidArgument(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested {expected_kind}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._get_or_create(name, lambda: Histogram(name, buckets), "histogram")
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Every instrument, serialized — the export format."""
+        return {name: inst.to_dict() for name, inst in sorted(self._instruments.items())}
+
+    def reset(self) -> None:
+        self._instruments.clear()

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.errors import AllReplicasUnavailable, InvalidArgument
 from repro.net import Network
 from repro.physical.wire import DirectoryEntry, EntryType
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.util import VolumeId, VolumeReplicaId
 
 #: Name prefix of a location entry inside a graft point.
@@ -103,10 +104,17 @@ class GraftTable:
 class Grafter:
     """The autograft cache of one logical layer."""
 
-    def __init__(self, network: Network, host_addr: str, prefer_local: bool = True):
+    def __init__(
+        self,
+        network: Network,
+        host_addr: str,
+        prefer_local: bool = True,
+        telemetry: Telemetry | None = None,
+    ):
         self.network = network
         self.host_addr = host_addr
         self.prefer_local = prefer_local
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._grafts: dict[VolumeId, GraftState] = {}
         self.grafts_performed = 0
         self.grafts_pruned = 0
@@ -147,12 +155,25 @@ class Grafter:
                 state.touch(now)
                 self._grafts[volume] = state
                 self.grafts_performed += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("graft.performed").inc()
+                    self.telemetry.events.emit(
+                        "graft.bind",
+                        host=self.host_addr,
+                        volume=volume.to_hex(),
+                        bound=candidate.host,
+                    )
                 return state
         raise AllReplicasUnavailable(f"no reachable replica of {volume}")
 
     def ungraft(self, volume: VolumeId) -> None:
         if self._grafts.pop(volume, None) is not None:
             self.grafts_pruned += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("graft.pruned").inc()
+                self.telemetry.events.emit(
+                    "graft.prune", host=self.host_addr, volume=volume.to_hex()
+                )
 
     def prune(self, idle_timeout: float) -> int:
         """Quietly drop grafts unused for ``idle_timeout`` seconds."""
@@ -164,6 +185,11 @@ class Grafter:
         ]
         for volume in stale:
             del self._grafts[volume]
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("graft.pruned").inc()
+                self.telemetry.events.emit(
+                    "graft.prune", host=self.host_addr, volume=volume.to_hex()
+                )
         self.grafts_pruned += len(stale)
         return len(stale)
 

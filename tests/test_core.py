@@ -10,7 +10,6 @@ from repro.errors import (
     PermissionDenied,
 )
 from repro.sim import DaemonConfig, FicusSystem
-from repro.ufs import FileType
 
 QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
 

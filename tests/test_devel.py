@@ -1,6 +1,5 @@
 """Tests for the Section-5 development methodology helpers."""
 
-import pytest
 
 from repro.devel import build_switchable, externalize, measure_crossing_penalty
 from repro.net import Network

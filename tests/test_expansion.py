@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim import DaemonConfig, FicusSystem
-from repro.volume import ReplicaLocation
 
 QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
 

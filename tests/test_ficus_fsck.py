@@ -3,7 +3,6 @@ oracle after complex operation sequences."""
 
 import random
 
-import pytest
 
 from repro.errors import FicusError
 from repro.physical import ficus_fsck

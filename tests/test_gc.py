@@ -1,8 +1,7 @@
 """Tests for two-phase tombstone garbage collection."""
 
-import pytest
 
-from repro.recon import collect_volume_replica, reconcile_subtree
+from repro.recon import collect_volume_replica
 from repro.sim import DaemonConfig, FicusSystem
 
 QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)

@@ -154,7 +154,7 @@ class TestAutografting:
         )
         system.partition([{"alpha", "gamma"}, {"beta"}])
         alpha.logical.grafter.ungraft(volume)
-        p = root.lookup("p")  # must find gamma through the new entry
+        root.lookup("p")  # must find gamma through the new entry
         assert alpha.logical.grafter.current(volume).bound.host == "gamma"
 
     def test_nested_volumes_form_a_dag(self, system):

@@ -1,6 +1,5 @@
 """Tests for the inspection/dump tools."""
 
-import pytest
 
 from repro.inspect import cluster_summary, diff_replicas, dump_replica
 from repro.sim import DaemonConfig, FicusSystem

@@ -6,7 +6,6 @@ public API over multi-host clusters with partitions, daemons, and healing.
 
 import random
 
-import pytest
 
 from repro.sim import DaemonConfig, FicusSystem
 

@@ -1,6 +1,5 @@
 """Large-directory behaviour: multi-block directories, many-way merges."""
 
-import pytest
 
 from repro.physical import ficus_fsck
 from repro.sim import DaemonConfig, FicusSystem

@@ -11,7 +11,7 @@ from repro.errors import (
     IsADirectory,
     NotADirectory,
 )
-from repro.logical import READ_ANY, READ_LATEST
+from repro.logical import READ_ANY
 from repro.physical import volume_root_handle
 from repro.sim import DaemonConfig, FicusSystem
 from repro.ufs import FileType

@@ -21,7 +21,6 @@ from repro.physical import (
     max_user_name_length,
     op_abort_shadow,
     op_aux,
-    op_byfh,
     op_close,
     op_commit,
     op_insert,

@@ -7,10 +7,9 @@
   reconciliation happens to run in.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.errors import FicusError
 from repro.sim import DaemonConfig, FicusSystem

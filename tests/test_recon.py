@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.physical import volume_root_handle
 from repro.recon import (
     ConflictKind,
     PullOutcome,

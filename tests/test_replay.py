@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import AllReplicasUnavailable, InvalidArgument
+from repro.errors import InvalidArgument
 from repro.sim import DaemonConfig, FicusSystem
 from repro.workload import (
     TraceOp,

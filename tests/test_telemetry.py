@@ -1,0 +1,322 @@
+"""Telemetry subsystem: tracing, metrics, events, and cross-host propagation.
+
+The headline assertion mirrors the paper's layering claim (Section 1,
+"performance monitoring" as a stackable service): one cross-host update —
+open, write, notify, pull — must yield a *single* trace tree whose spans
+live in the logical, NFS, and physical layers on at least two hosts.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.sim import DaemonConfig, FicusSystem
+from repro.telemetry import (
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    TraceContext,
+    Tracer,
+)
+from repro.telemetry.export import chrome_trace_json, spans_to_jsonl, summary
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestTracer:
+    def test_nesting_via_active_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", layer="logical", host="a") as outer:
+            with tracer.span("inner", layer="physical", host="a") as inner:
+                assert inner.span.parent_id == outer.span.span_id
+                assert inner.span.trace_id == outer.span.trace_id
+        outer_span, inner_span = tracer.roots(outer.span.trace_id)[0], inner.span
+        assert tracer.children_of(outer_span) == [inner_span]
+
+    def test_siblings_share_a_parent_not_each_other(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.span.parent_id == root.span.span_id
+        assert second.span.parent_id == root.span.span_id
+        assert len(tracer.children_of(root.span)) == 2
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert len(tracer.trace_ids()) == 2
+
+    def test_explicit_parent_beats_the_stack(self):
+        """A deserialized wire context must win over local nesting — that
+        is what joins an RPC server span to the *caller's* trace."""
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("remote-origin") as origin:
+            wire_ctx = origin.context
+        with tracer.span("unrelated-local"):
+            with tracer.span("server-side", parent=wire_ctx) as joined:
+                assert joined.span.trace_id == wire_ctx.trace_id
+                assert joined.span.parent_id == wire_ctx.span_id
+
+    def test_exception_marks_error_and_unwinds(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        failing = next(s for s in tracer.finished if s.name == "failing")
+        assert failing.status == "error"
+        assert failing.tags["error"] == "ValueError"
+        assert tracer.active_depth == 0
+
+    def test_retention_is_bounded(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=10)
+        for i in range(25):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.finished) == 10
+        assert tracer.dropped == 15
+        assert tracer.finished[0].name == "s15"  # oldest evicted first
+
+    def test_timestamps_come_from_the_bound_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("timed") as sp:
+            pass
+        assert sp.span.start == 1.0
+        assert sp.span.end == 2.0
+        assert sp.span.duration == 1.0
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id=0xDEAD, span_id=0xBEEF)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_wire_form_is_strings_only(self):
+        wire = TraceContext(1, 2).to_wire()
+        assert all(isinstance(v, str) for v in wire.values())
+
+    @pytest.mark.parametrize(
+        "payload",
+        [None, "junk", 42, {}, {"trace_id": "xyz-not-hex"}, {"trace_id": "1"}, {"span_id": "2"}],
+    )
+    def test_malformed_wire_never_raises(self, payload):
+        assert TraceContext.from_wire(payload) is None
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        registry.gauge("g").add(-0.5)
+        assert registry.get("c").value == 5
+        assert registry.get("g").value == 2.0
+
+    def test_histogram_bucketing(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for value in [0.0005, 0.001, 0.002, 0.05, 0.09, 99.0]:
+            h.observe(value)
+        # bucket_counts[i] counts observations <= buckets[i]; last = overflow
+        assert h.bucket_counts == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.quantile(0.5) == 0.01
+        assert h.quantile(1.0) == 0.1  # overflow clamps to the top bound
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(InvalidArgument):
+            Histogram("bad", buckets=(0.1, 0.01))
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(InvalidArgument):
+            registry.gauge("x")
+
+    def test_snapshot_is_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(0.5)
+        assert json.loads(json.dumps(registry.snapshot()))["a"]["value"] == 1
+
+    def test_disabled_registry_registers_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(100)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.0)
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("notification.sent", host="a", targets=2)
+        log.emit("propagation.pull", host="b", outcome="pulled")
+        assert len(log) == 2
+        assert log.records("propagation.pull")[0].fields["outcome"] == "pulled"
+
+    def test_bounded_with_exact_counts(self):
+        log = EventLog(capacity=5, clock=FakeClock())
+        for i in range(12):
+            log.emit("tick", host="a", i=i)
+        assert len(log) == 5
+        assert log.evicted == 7
+        assert log.counts["tick"] == 12  # eviction never loses the total
+        assert [e.fields["i"] for e in log.records()] == [7, 8, 9, 10, 11]
+
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(enabled=False, clock=FakeClock())
+        log.emit("anything", host="a")
+        assert len(log) == 0
+        assert log.counts == {}
+
+
+QUICK = DaemonConfig(propagation_period=5.0, recon_period=None, graft_prune_period=None)
+
+
+def _cross_host_workload() -> FicusSystem:
+    system = FicusSystem(["west", "east"], telemetry=Telemetry(), daemon_config=QUICK)
+    system.host("west").fs().write_file("/f.txt", b"cross-host payload")
+    system.run_for(60.0)  # let the notification land and east's daemon pull
+    return system
+
+
+class TestCrossHostTrace:
+    """The acceptance criterion: one update -> one tree over >=2 hosts."""
+
+    def test_single_trace_tree_spans_layers_and_hosts(self):
+        system = _cross_host_workload()
+        tracer = system.telemetry.tracer
+        root = next(s for s in tracer.finished if s.name == "fs.write_file")
+        spans = tracer.spans(root.trace_id)
+        names = {s.name for s in spans}
+        layers = {s.layer for s in spans}
+        hosts = {s.host for s in spans}
+        assert "propagation.pull" in names  # the async continuation joined
+        assert {"fs", "logical", "physical", "nfs-client", "nfs-server", "daemon"} <= layers
+        assert {"west", "east"} <= hosts
+        # east's pull fetched from west over NFS *within the same trace*
+        assert any(s.layer == "nfs-client" and s.host == "east" for s in spans)
+        assert any(s.layer == "nfs-server" and s.host == "west" for s in spans)
+
+    def test_the_trace_is_a_well_formed_tree(self):
+        system = _cross_host_workload()
+        tracer = system.telemetry.tracer
+        root = next(s for s in tracer.finished if s.name == "fs.write_file")
+        spans = tracer.spans(root.trace_id)
+        ids = {s.span_id for s in spans}
+        orphans = [s for s in spans if s.parent_id is not None and s.parent_id not in ids]
+        assert not orphans  # every parent reference resolves inside the trace
+        assert [s for s in spans if s.parent_id is None] == [root]
+
+    def test_pull_span_parented_across_the_datagram(self):
+        system = _cross_host_workload()
+        tracer = system.telemetry.tracer
+        pull = next(s for s in tracer.finished if s.name == "propagation.pull")
+        parent = next(s for s in tracer.finished if s.span_id == pull.parent_id)
+        assert parent.host == "west"  # joined to the *originating* host's span
+        assert pull.host == "east"
+        assert pull.tags["outcome"] == "pulled"
+
+    def test_events_and_metrics_recorded_alongside(self):
+        system = _cross_host_workload()
+        events = system.telemetry.events
+        assert events.counts.get("notification.sent", 0) >= 1
+        assert events.counts.get("notification.received", 0) >= 1
+        assert events.counts.get("propagation.pull", 0) >= 1
+        metrics = system.telemetry.metrics
+        assert metrics.get("logical.notifications_sent").value >= 1
+        assert metrics.get("propagation.pulled").value >= 1
+
+    def test_chrome_trace_export_is_valid_json_with_both_hosts(self):
+        system = _cross_host_workload()
+        doc = json.loads(chrome_trace_json(system.telemetry.tracer.finished))
+        process_names = {
+            e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert {"west", "east"} <= process_names
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete and all(e["dur"] >= 0 for e in complete)
+
+    def test_jsonl_and_summary_exports(self):
+        system = _cross_host_workload()
+        lines = spans_to_jsonl(system.telemetry.tracer.finished).splitlines()
+        assert all("name" in json.loads(line) for line in lines)
+        digest = summary(system.telemetry)
+        assert "spans:" in digest and "events:" in digest
+
+
+class TestDisabledOverhead:
+    """A system built without a hub must leave no telemetry footprint."""
+
+    def test_default_system_shares_the_inert_null_hub(self):
+        system = FicusSystem(["solo"], daemon_config=QUICK)
+        assert system.telemetry is NULL_TELEMETRY
+        fs = system.host("solo").fs()
+        fs.write_file("/f", b"x")
+        fs.read_file("/f")
+        system.run_for(30.0)
+        assert len(NULL_TELEMETRY.tracer.finished) == 0
+        assert len(NULL_TELEMETRY.metrics) == 0
+        assert len(NULL_TELEMETRY.events) == 0
+        assert NULL_TELEMETRY.events.counts == {}
+
+    def test_disabled_tracer_returns_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        sp = tracer.span("anything", layer="logical", host="a")
+        assert sp is NULL_SPAN
+        assert sp.context is None
+        with sp as inner:
+            inner.set_tag("k", "v")  # must be a silent no-op
+        assert tracer.current_context() is None
+
+    def test_null_hub_clock_binding_is_inert(self):
+        """bind_clock on the disabled hub must not capture per-system
+        clocks — the singleton outlives every FicusSystem."""
+        before = NULL_TELEMETRY.tracer._clock
+        FicusSystem(["a"])
+        assert NULL_TELEMETRY.tracer._clock is before
+
+
+class TestTelemetryHub:
+    def test_reset_keeps_instrument_names(self):
+        hub = Telemetry()
+        hub.metrics.counter("kept").inc(3)
+        hub.metrics.histogram("h").observe(0.5)
+        with hub.tracer.span("s"):
+            pass
+        hub.events.emit("e", host="a")
+        hub.reset()
+        assert hub.metrics.get("kept").value == 0
+        assert hub.metrics.get("h").count == 0
+        assert "kept" in hub.metrics
+        assert len(hub.tracer.finished) == 0
+        assert len(hub.events) == 0
+
+    def test_bind_clock_rebinds_tracer_and_events(self):
+        hub = Telemetry()
+        clock = FakeClock()
+        hub.bind_clock(clock)
+        with hub.tracer.span("s"):
+            pass
+        hub.events.emit("e", host="a")
+        assert hub.tracer.finished[0].start == 1.0
+        assert hub.events.records()[0].ts == 3.0

@@ -1,23 +1,23 @@
-"""E10 (Section 2.3): smuggling operations through the lookup service.
+"""E10 (Section 2.3): Ficus operations across an unmodified NFS hop.
 
-"We overloaded the lookup service by encoding an open/close request as a
-null-terminated ASCII string of sufficient length to be passed on by NFS
-without interpretation or interference."  Footnote 2: "The reduction in
-the maximum length of a file name component from 255 to about 200 does
-not seem to be a significant loss: we've never seen a component of even
-length 40."
+The paper smuggled open/close through the lookup service as encoded name
+strings because NFS would pass a name "without interpretation or
+interference".  This repo has since promoted open/close to first-class
+``session_open``/``session_close`` vnode operations carried natively by
+the RPC protocol; only the directory-mutation ops (insert/remove/shadow/
+commit/...) still ride the lookup encoding.
 
-Shape tests: the encoded open/close traverses a real NFS hop and has its
+Shape tests: session boundaries traverse a real NFS hop and have their
 effect at the far physical layer; plain vnode open/close does NOT; the
-encoding overhead leaves roughly 200 characters of user name.
+remaining insert encoding still leaves a user-name budget of well over
+150 characters (paper: "255 to about 200").
 """
 
 import pytest
 
-from repro.physical import max_user_name_length, op_close, op_open
+from repro.physical import max_user_name_length
 from repro.sim import DaemonConfig, FicusSystem
 from repro.ufs import MAX_NAME_LEN
-from repro.util import FicusFileHandle, VolumeId, FileId
 from repro.vv import VersionVector
 
 QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
@@ -31,8 +31,8 @@ def remote_world():
 
 class TestShape:
     def test_open_close_effective_across_nfs(self):
-        """Through the smuggled lookup, a 3-write session on a REMOTE
-        replica still counts as one update."""
+        """Through the session ops, a 3-write session on a REMOTE replica
+        still counts as one update."""
         system, server, client = remote_world()
         fs = client.fs()
         with fs.open("/f", "w") as f:
@@ -45,7 +45,7 @@ class TestShape:
         assert store.read_file_aux(store.root_handle(), fh).vv.total_updates == 1
 
     def test_plain_vnode_open_is_dropped_by_nfs(self):
-        """The problem the encoding solves: a plain open on an NFS client
+        """The problem session ops solve: a plain open on an NFS client
         vnode never reaches the server's physical layer."""
         system, server, client = remote_world()
         nfs_mount = client.fabric.nfs_mount("server")
@@ -56,16 +56,11 @@ class TestShape:
 
     def test_name_budget_about_200(self, capsys):
         budget = max_user_name_length()
-        open_budget = MAX_NAME_LEN - len(
-            op_open(FicusFileHandle(VolumeId(2**32 - 1, 2**32 - 1), FileId(2**32 - 1, 2**32 - 1)))
-        )
         with capsys.disabled():
             print(
                 f"\n[E10] name component budget: UFS limit={MAX_NAME_LEN}, "
-                f"after open/close encoding={open_budget}, after insert encoding={budget} "
-                "(paper: 255 -> about 200)"
+                f"after insert encoding={budget} (paper: 255 -> about 200)"
             )
-        assert 195 <= open_budget <= 215
         assert budget >= 150
 
     def test_long_user_names_survive_up_to_budget(self):
@@ -97,12 +92,12 @@ class TestShape:
         remote_root = client.fabric.volume_root("server", volrep)
         from repro.physical import op_commit, op_shadow
 
-        remote_root.lookup(op_shadow(fh)).write(0, b"v2 via smuggled commit")
+        remote_root.lookup(op_shadow(fh)).write(0, b"v2 via lookup-encoded commit")
         remote_root.lookup(op_commit(fh, VersionVector({1: 5})))
-        assert fs.read_file("/f") == b"v2 via smuggled commit"
+        assert fs.read_file("/f") == b"v2 via lookup-encoded commit"
 
 
-def test_bench_smuggled_open_close_roundtrip(benchmark):
+def test_bench_session_open_close_roundtrip(benchmark):
     system, server, client = remote_world()
     fs = client.fs()
     fs.write_file("/f", b"x")
@@ -112,14 +107,14 @@ def test_bench_smuggled_open_close_roundtrip(benchmark):
     fh = next(e.fh for e in store.read_entries(store.root_handle()) if e.name == "f")
 
     def run():
-        remote_root.lookup(op_open(fh))
-        remote_root.lookup(op_close(fh))
+        remote_root.session_open(fh)
+        remote_root.session_close(fh)
 
     benchmark(run)
 
 
 def test_bench_session_write_vs_bare_writes(benchmark):
-    """Cost of a 5-write session (incl. the two smuggled lookups)."""
+    """Cost of a 5-write session (incl. the two session RPCs)."""
     system, server, client = remote_world()
     fs = client.fs()
     fs.write_file("/f", b"x")

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate the full evaluation in one command.
 
-Prints every experiment table from EXPERIMENTS.md (E1–E13 and the A1–A4
+Prints every experiment table from EXPERIMENTS.md (E1–E15 and the A1–A4
 ablations) by invoking the same measurement code the pytest benchmarks
 use.  Pure stdout, no pytest required:
 
@@ -19,6 +19,9 @@ from bench_open_io import PAPER_EXTRA_IOS, ficus_open_reads, ufs_open_reads  # n
 
 #: Where the telemetry export lands: the repository root.
 TELEMETRY_JSON = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+#: Where the attribute-plane / version-vector-cache export lands.
+ATTR_CACHE_JSON = Path(__file__).resolve().parent.parent / "BENCH_attr_cache.json"
 
 
 def e1_layers() -> None:
@@ -57,7 +60,8 @@ def e3_e4_open_io() -> None:
     ficus_cold, ficus_warm = ficus_open_reads()
     print(
         f"[E3] cold open: UFS={ufs_cold} reads, Ficus={ficus_cold} reads, "
-        f"extra={ficus_cold - ufs_cold} (paper: {PAPER_EXTRA_IOS})"
+        f"extra={ficus_cold - ufs_cold} (paper: {PAPER_EXTRA_IOS}, "
+        f"+2 batched dir aux, amortized by the attr cache)"
     )
     print(f"[E4] warm open: UFS={ufs_warm} reads, Ficus={ficus_warm} reads (paper: 0 extra)")
 
@@ -124,15 +128,13 @@ def e9_grafting() -> None:
 
 
 def e10_overload() -> None:
-    from repro.physical import max_user_name_length, op_open
+    from repro.physical import max_user_name_length
     from repro.ufs import MAX_NAME_LEN
-    from repro.util import FicusFileHandle, FileId, VolumeId
 
-    worst = FicusFileHandle(VolumeId(2**32 - 1, 2**32 - 1), FileId(2**32 - 1, 2**32 - 1))
-    open_budget = MAX_NAME_LEN - len(op_open(worst))
     print(
-        f"[E10] name budget: {MAX_NAME_LEN} -> {open_budget} after open/close encoding "
-        f"(paper: 'about 200'); {max_user_name_length()} after insert encoding"
+        f"[E10] name budget: {MAX_NAME_LEN} -> {max_user_name_length()} after "
+        f"insert encoding (paper: 'about 200'); session open/close are "
+        f"first-class NFS ops, not lookup-encoded"
     )
 
 
@@ -208,6 +210,20 @@ def e14_telemetry() -> None:
     )
 
 
+def e15_attr_cache() -> None:
+    from bench_attr_cache import attr_cache_snapshot
+
+    snap = attr_cache_snapshot()
+    ATTR_CACHE_JSON.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    print(
+        f"[E15] attribute plane: cold selection {snap['cold']['rpcs']} RPCs "
+        f"({snap['cold']['rpcs_per_remote_replica']:.1f}/remote replica, "
+        f"un-batched would be {snap['unbatched_equivalent_rpcs']}), "
+        f"warm {snap['warm']['rpcs']} RPCs "
+        f"-> {ATTR_CACHE_JSON.name}"
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -226,6 +242,7 @@ def main() -> None:
         e13_scale,
         a1_to_a4_ablations,
         e14_telemetry,
+        e15_attr_cache,
     ):
         section()
         print()

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.errors import FileNotFound, InvalidArgument, IsADirectory, NotADirectory
 from repro.logical import FicusLogicalLayer, LogicalDirVnode, LogicalFileVnode
 from repro.ufs.inode import FileAttributes, FileType
-from repro.vnode.interface import ROOT_CRED, Credential, Vnode
+from repro.vnode.interface import ROOT_CTX, OpContext, Vnode
 
 
 def _split(path: str) -> list[str]:
@@ -56,11 +56,11 @@ class StatResult:
 class FicusFile:
     """An open Ficus file: one update session, closed via context manager."""
 
-    def __init__(self, fs: "FicusFileSystem", vnode: LogicalFileVnode, mode: str, cred: Credential):
+    def __init__(self, fs: "FicusFileSystem", vnode: LogicalFileVnode, mode: str, ctx: OpContext):
         self._fs = fs
         self._vnode = vnode
         self._mode = mode
-        self._cred = cred
+        self._ctx = ctx
         self._offset = 0
         self._closed = False
         # every open handle is its own lock owner, so two writers on one
@@ -73,11 +73,11 @@ class FicusFile:
         else:
             fs.logical.locks.acquire_shared(vnode.fh, self._owner)
         try:
-            vnode.open(cred)
+            vnode.open(ctx)
             if "w" in mode:
-                vnode.truncate(0, cred)
+                vnode.truncate(0, ctx)
             if "a" in mode:
-                self._offset = vnode.getattr(cred).size
+                self._offset = vnode.getattr(ctx).size
         except Exception:
             # never leak the advisory lock if the open itself fails
             if writable:
@@ -91,7 +91,7 @@ class FicusFile:
     def read(self, size: int | None = None) -> bytes:
         self._check_open()
         if size is not None:
-            data = self._vnode.read(self._offset, max(0, size), self._cred)
+            data = self._vnode.read(self._offset, max(0, size), self._ctx)
             self._offset += len(data)
             return data
         # read to EOF by chunking rather than trusting getattr().size:
@@ -100,7 +100,7 @@ class FicusFile:
         pieces = []
         chunk = 1 << 20
         while True:
-            data = self._vnode.read(self._offset, chunk, self._cred)
+            data = self._vnode.read(self._offset, chunk, self._ctx)
             if not data:
                 break
             pieces.append(data)
@@ -113,7 +113,7 @@ class FicusFile:
         self._check_open()
         if not self._writable:
             raise InvalidArgument("file not opened for writing")
-        written = self._vnode.write(self._offset, data, self._cred)
+        written = self._vnode.write(self._offset, data, self._ctx)
         self._offset += written
         return written
 
@@ -130,13 +130,13 @@ class FicusFile:
         self._check_open()
         if not self._writable:
             raise InvalidArgument("file not opened for writing")
-        self._vnode.truncate(size, self._cred)
+        self._vnode.truncate(size, self._ctx)
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        self._vnode.close(self._cred)
+        self._vnode.close(self._ctx)
         if self._writable:
             self._fs.logical.locks.release_exclusive(self._vnode.fh, self._owner)
         else:
@@ -156,9 +156,9 @@ class FicusFile:
 class FicusFileSystem:
     """Path-based access to one host's view of the Ficus name space."""
 
-    def __init__(self, logical: FicusLogicalLayer, cred: Credential = ROOT_CRED, client_id: str | None = None):
+    def __init__(self, logical: FicusLogicalLayer, ctx: OpContext = ROOT_CTX, client_id: str | None = None):
         self.logical = logical
-        self.cred = cred
+        self.ctx = ctx
         self.client_id = client_id or f"client@{logical.host_addr}"
         self._handle_serial = 0
 
@@ -188,7 +188,7 @@ class FicusFileSystem:
 
         node: Vnode = self.logical.root()
         for index, part in enumerate(parts):
-            node = node.lookup(part, self.cred)
+            node = node.lookup(part, self.ctx)
             last = index == len(parts) - 1
             is_symlink = (
                 isinstance(node, LogicalFileVnode) and node.etype == EntryType.SYMLINK
@@ -196,7 +196,7 @@ class FicusFileSystem:
             if is_symlink and (follow or not last):
                 if budget <= 0:
                     raise InvalidArgument("too many levels of symbolic links")
-                target = node.readlink(self.cred)
+                target = node.readlink(self.ctx)
                 remainder = parts[index + 1 :]
                 target_parts = _split(target)
                 if not target.startswith("/"):
@@ -252,7 +252,7 @@ class FicusFileSystem:
                 raise
             parent, name = self._resolve_parent(path)
             try:
-                existing = parent.lookup(name, self.cred)
+                existing = parent.lookup(name, self.ctx)
             except FileNotFound:
                 existing = None
             if existing is not None:
@@ -260,11 +260,11 @@ class FicusFileSystem:
                 # symlink.  (Unix would create the target; we keep the
                 # simpler rule and refuse.)
                 raise FileNotFound(f"{path!r} is a dangling symbolic link") from None
-            node = parent.create(name, cred=self.cred)
+            node = parent.create(name, ctx=self.ctx)
         if isinstance(node, LogicalDirVnode):
             raise IsADirectory(f"{path!r} is a directory")
         assert isinstance(node, LogicalFileVnode)
-        return FicusFile(self, node, mode, self.cred)
+        return FicusFile(self, node, mode, self.ctx)
 
     def read_file(self, path: str) -> bytes:
         tracer = self.logical.telemetry.tracer
@@ -301,55 +301,55 @@ class FicusFileSystem:
 
     def mkdir(self, path: str) -> None:
         parent, name = self._resolve_parent(path)
-        parent.mkdir(name, cred=self.cred)
+        parent.mkdir(name, ctx=self.ctx)
 
     def makedirs(self, path: str) -> None:
         """mkdir -p."""
         node: Vnode = self.logical.root()
         for part in _split(path):
             try:
-                node = node.lookup(part, self.cred)
+                node = node.lookup(part, self.ctx)
             except FileNotFound:
-                node = node.mkdir(part, cred=self.cred)
+                node = node.mkdir(part, ctx=self.ctx)
 
     def rmdir(self, path: str) -> None:
         parent, name = self._resolve_parent(path)
-        parent.rmdir(name, self.cred)
+        parent.rmdir(name, self.ctx)
 
     def unlink(self, path: str) -> None:
         parent, name = self._resolve_parent(path)
-        parent.remove(name, self.cred)
+        parent.remove(name, self.ctx)
 
     def rename(self, src: str, dst: str) -> None:
         src_parent, src_name = self._resolve_parent(src)
         dst_parent, dst_name = self._resolve_parent(dst)
-        src_parent.rename(src_name, dst_parent, dst_name, self.cred)
+        src_parent.rename(src_name, dst_parent, dst_name, self.ctx)
 
     def link(self, existing: str, new: str) -> None:
         target = self.resolve(existing)
         if not isinstance(target, LogicalFileVnode):
             raise IsADirectory(f"{existing!r} is not a regular file")
         parent, name = self._resolve_parent(new)
-        parent.link(target, name, self.cred)
+        parent.link(target, name, self.ctx)
 
     def symlink(self, target: str, path: str) -> None:
         parent, name = self._resolve_parent(path)
-        parent.symlink(name, target, self.cred)
+        parent.symlink(name, target, self.ctx)
 
     def readlink(self, path: str) -> str:
-        return self.resolve(path, follow=False).readlink(self.cred)
+        return self.resolve(path, follow=False).readlink(self.ctx)
 
     def lstat(self, path: str) -> StatResult:
         """Like stat but does not follow a final symlink."""
-        return StatResult.from_attrs(self.resolve(path, follow=False).getattr(self.cred))
+        return StatResult.from_attrs(self.resolve(path, follow=False).getattr(self.ctx))
 
     # -- inspection ---------------------------------------------------------------
 
     def listdir(self, path: str = "/") -> list[str]:
-        return [e.name for e in self._resolve_dir(path).readdir(self.cred)]
+        return [e.name for e in self._resolve_dir(path).readdir(self.ctx)]
 
     def stat(self, path: str) -> StatResult:
-        return StatResult.from_attrs(self.resolve(path).getattr(self.cred))
+        return StatResult.from_attrs(self.resolve(path).getattr(self.ctx))
 
     def exists(self, path: str) -> bool:
         try:
@@ -417,11 +417,11 @@ class FicusFileSystem:
         def recurse(prefix: str, node: Vnode) -> None:
             if not isinstance(node, LogicalDirVnode):
                 return
-            for entry in node.readdir(self.cred):
+            for entry in node.readdir(self.ctx):
                 child_path = f"{prefix.rstrip('/')}/{entry.name}"
                 out.append(child_path)
                 if entry.ftype == FileType.DIRECTORY:
-                    recurse(child_path, node.lookup(entry.name, self.cred))
+                    recurse(child_path, node.lookup(entry.name, self.ctx))
 
         recurse(path if path.startswith("/") else "/" + path, self.resolve(path))
         return out

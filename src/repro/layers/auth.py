@@ -12,9 +12,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import PermissionDenied
 from repro.vnode.interface import (
-    ROOT_CRED,
+    ROOT_CTX,
     Credential,
     FileSystemLayer,
+    OpContext,
     SetAttrs,
     Vnode,
 )
@@ -71,68 +72,68 @@ class AuthVnode(PassthroughVnode):
 
     # -- reads --
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
-        self.layer.check(cred, mutating=False)
-        return super().read(offset, length, cred)
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
+        self.layer.check(ctx.cred, mutating=False)
+        return super().read(offset, length, ctx)
 
-    def getattr(self, cred: Credential = ROOT_CRED):
-        self.layer.check(cred, mutating=False)
-        return super().getattr(cred)
+    def getattr(self, ctx: OpContext = ROOT_CTX):
+        self.layer.check(ctx.cred, mutating=False)
+        return super().getattr(ctx)
 
-    def readdir(self, cred: Credential = ROOT_CRED):
-        self.layer.check(cred, mutating=False)
-        return super().readdir(cred)
+    def readdir(self, ctx: OpContext = ROOT_CTX):
+        self.layer.check(ctx.cred, mutating=False)
+        return super().readdir(ctx)
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
-        self.layer.check(cred, mutating=False)
-        return super().lookup(name, cred)
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
+        self.layer.check(ctx.cred, mutating=False)
+        return super().lookup(name, ctx)
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
-        self.layer.check(cred, mutating=False)
-        return super().readlink(cred)
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
+        self.layer.check(ctx.cred, mutating=False)
+        return super().readlink(ctx)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
-        self.layer.check(cred, mutating=False)
-        return super().access(mode, cred)
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
+        self.layer.check(ctx.cred, mutating=False)
+        return super().access(mode, ctx)
 
     # -- mutations --
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
-        self.layer.check(cred, mutating=True)
-        return super().write(offset, data, cred)
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
+        self.layer.check(ctx.cred, mutating=True)
+        return super().write(offset, data, ctx)
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
-        self.layer.check(cred, mutating=True)
-        super().truncate(size, cred)
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.check(ctx.cred, mutating=True)
+        super().truncate(size, ctx)
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
-        self.layer.check(cred, mutating=True)
-        super().setattr(attrs, cred)
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.check(ctx.cred, mutating=True)
+        super().setattr(attrs, ctx)
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
-        self.layer.check(cred, mutating=True)
-        return super().create(name, perm, cred)
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
+        self.layer.check(ctx.cred, mutating=True)
+        return super().create(name, perm, ctx)
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
-        self.layer.check(cred, mutating=True)
-        return super().mkdir(name, perm, cred)
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
+        self.layer.check(ctx.cred, mutating=True)
+        return super().mkdir(name, perm, ctx)
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
-        self.layer.check(cred, mutating=True)
-        super().remove(name, cred)
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.check(ctx.cred, mutating=True)
+        super().remove(name, ctx)
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
-        self.layer.check(cred, mutating=True)
-        super().rmdir(name, cred)
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.check(ctx.cred, mutating=True)
+        super().rmdir(name, ctx)
 
-    def rename(self, src_name: str, dst_dir: Vnode, dst_name: str, cred: Credential = ROOT_CRED) -> None:
-        self.layer.check(cred, mutating=True)
-        super().rename(src_name, dst_dir, dst_name, cred)
+    def rename(self, src_name: str, dst_dir: Vnode, dst_name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.check(ctx.cred, mutating=True)
+        super().rename(src_name, dst_dir, dst_name, ctx)
 
-    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
-        self.layer.check(cred, mutating=True)
-        super().link(target, name, cred)
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.check(ctx.cred, mutating=True)
+        super().link(target, name, ctx)
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
-        self.layer.check(cred, mutating=True)
-        return super().symlink(name, target, cred)
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
+        self.layer.check(ctx.cred, mutating=True)
+        return super().symlink(name, target, ctx)

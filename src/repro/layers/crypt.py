@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.vnode.interface import ROOT_CRED, Credential, FileSystemLayer, Vnode
+from repro.vnode.interface import ROOT_CTX, FileSystemLayer, OpContext, Vnode
 from repro.vnode.passthrough import NullLayer, PassthroughVnode
 
 _BLOCK = 32  # SHA-256 digest size
@@ -65,12 +65,12 @@ class CryptVnode(PassthroughVnode):
     def _fileid(self) -> int:
         return self.lower.getattr().fileid
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
-        ciphertext = self.lower.read(offset, length, cred)
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
+        ciphertext = self.lower.read(offset, length, ctx)
         self.layer.counters.bump("read")
         return self.layer.keystream.apply(self._fileid(), offset, ciphertext)
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
         ciphertext = self.layer.keystream.apply(self._fileid(), offset, data)
-        return self.lower.write(offset, ciphertext, cred)
+        return self.lower.write(offset, ciphertext, ctx)

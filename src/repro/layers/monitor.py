@@ -16,9 +16,9 @@ from dataclasses import dataclass
 
 from repro.telemetry import MetricsRegistry
 from repro.vnode.interface import (
-    ROOT_CRED,
-    Credential,
+    ROOT_CTX,
     FileSystemLayer,
+    OpContext,
     SetAttrs,
     Vnode,
 )
@@ -116,43 +116,43 @@ class MonitorVnode(PassthroughVnode):
 
     # data-bearing operations get byte accounting; the rest just timing
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
-        return self._timed("read", lambda: self.lower.read(offset, length, cred))
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
+        return self._timed("read", lambda: self.lower.read(offset, length, ctx))
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         clock = self.layer.clock
         start = clock()
         try:
-            written = self.lower.write(offset, data, cred)
+            written = self.lower.write(offset, data, ctx)
         except Exception:
             self.layer.record("write", clock() - start, error=True, n_in=len(data))
             raise
         self.layer.record("write", clock() - start, error=False, n_in=written)
         return written
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
-        return self.layer.wrap(self._timed("lookup", lambda: self.lower.lookup(name, cred)))
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self.layer.wrap(self._timed("lookup", lambda: self.lower.lookup(name, ctx)))
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
-        return self.layer.wrap(self._timed("create", lambda: self.lower.create(name, perm, cred)))
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self.layer.wrap(self._timed("create", lambda: self.lower.create(name, perm, ctx)))
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
-        return self.layer.wrap(self._timed("mkdir", lambda: self.lower.mkdir(name, perm, cred)))
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self.layer.wrap(self._timed("mkdir", lambda: self.lower.mkdir(name, perm, ctx)))
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
-        self._timed("remove", lambda: self.lower.remove(name, cred))
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._timed("remove", lambda: self.lower.remove(name, ctx))
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
-        self._timed("rmdir", lambda: self.lower.rmdir(name, cred))
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._timed("rmdir", lambda: self.lower.rmdir(name, ctx))
 
-    def getattr(self, cred: Credential = ROOT_CRED):
-        return self._timed("getattr", lambda: self.lower.getattr(cred))
+    def getattr(self, ctx: OpContext = ROOT_CTX):
+        return self._timed("getattr", lambda: self.lower.getattr(ctx))
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
-        self._timed("setattr", lambda: self.lower.setattr(attrs, cred))
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
+        self._timed("setattr", lambda: self.lower.setattr(attrs, ctx))
 
-    def readdir(self, cred: Credential = ROOT_CRED):
-        return self._timed("readdir", lambda: self.lower.readdir(cred))
+    def readdir(self, ctx: OpContext = ROOT_CTX):
+        return self._timed("readdir", lambda: self.lower.readdir(ctx))
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
-        self._timed("truncate", lambda: self.lower.truncate(size, cred))
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
+        self._timed("truncate", lambda: self.lower.truncate(size, ctx))

@@ -1,5 +1,6 @@
 """The Ficus logical layer: single-copy abstraction over replicas."""
 
+from repro.logical.attr_cache import CacheStats, VersionVectorCache
 from repro.logical.fabric import PHYSICAL_SERVICE, Fabric
 from repro.logical.layer import (
     READ_ANY,
@@ -12,6 +13,7 @@ from repro.logical.locks import LockManager
 from repro.logical.vnodes import LogicalDirVnode, LogicalFileVnode
 
 __all__ = [
+    "CacheStats",
     "Fabric",
     "FicusLogicalLayer",
     "FileReplicaView",
@@ -22,4 +24,5 @@ __all__ = [
     "READ_ANY",
     "READ_LATEST",
     "ReplicaView",
+    "VersionVectorCache",
 ]

@@ -1,0 +1,158 @@
+"""Per-host cache of replica attribute batches (the version-vector cache).
+
+Replica selection is the logical layer's hot path: every open, read, and
+directory listing must compare the version vectors of all reachable
+replicas ("select the most recent copy available", paper Section 2.5).
+Probing each replica for each decision costs O(replicas) RPCs per
+operation.  This cache remembers, per directory replica, the last
+:class:`~repro.physical.wire.AttrBatch` fetched from it — the directory's
+own auxiliary attributes plus those of every stored child — together with
+the resolved directory vnode, so a warm selection needs no RPCs at all.
+
+Coherence is notification-driven, matching the paper's update model:
+
+* the update-notification multicast datagram ("a new version of a file
+  may be obtained...", Section 2.5) invalidates the affected directory's
+  cached batches on every host that receives it;
+* the updating host itself invalidates (and, for its local replica,
+  refreshes) in :meth:`~repro.logical.layer.FicusLogicalLayer.notify_update`;
+* because datagrams are best-effort and partitions eat them, every batch
+  also carries a TTL — a lost invalidation delays freshness by at most
+  ``ttl`` seconds of virtual time rather than forever.
+
+The cached *vnode* deliberately survives invalidation: resolution
+(volume root + handle lookup) is independent of attribute freshness, and
+a stale NFS handle announces itself with ESTALE on use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.wire import AttrBatch
+from repro.util import FicusFileHandle, VirtualClock, VolumeId, VolumeReplicaId
+from repro.vnode.interface import Vnode
+
+#: Default time-to-live for a cached batch, in seconds of virtual time.
+#: Bounds the staleness window when an invalidation datagram is lost.
+DEFAULT_TTL = 5.0
+
+
+@dataclass
+class CacheEntry:
+    """Cached state for one directory replica."""
+
+    dir_vnode: Vnode
+    batch: AttrBatch | None = None
+    fetched_at: float = 0.0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting (mirrors into telemetry at the layer)."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    refreshes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "refreshes": self.refreshes,
+        }
+
+
+class VersionVectorCache:
+    """Maps (volume replica, directory handle) to its last attribute batch.
+
+    Keys always use the *logical* (replica-independent) directory handle;
+    the replica identity lives in the :class:`VolumeReplicaId` half of the
+    key, so one directory cached through three replicas occupies three
+    independent entries that age and invalidate separately.
+    """
+
+    def __init__(self, clock: VirtualClock, ttl: float = DEFAULT_TTL):
+        self.clock = clock
+        self.ttl = ttl
+        self.stats = CacheStats()
+        self._entries: dict[tuple[VolumeReplicaId, FicusFileHandle], CacheEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(
+        volrep: VolumeReplicaId, dir_fh: FicusFileHandle
+    ) -> tuple[VolumeReplicaId, FicusFileHandle]:
+        return (volrep, dir_fh.logical)
+
+    # -- reads --------------------------------------------------------------
+
+    def lookup(self, volrep: VolumeReplicaId, dir_fh: FicusFileHandle) -> CacheEntry | None:
+        """The fresh cache entry for one directory replica, if any.
+
+        An entry whose batch has expired is returned with ``batch=None``
+        (the resolved vnode is still good); a wholly absent entry is a
+        miss.  Stats are bumped accordingly.
+        """
+        entry = self._entries.get(self._key(volrep, dir_fh))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.batch is not None and self.clock.now() - entry.fetched_at > self.ttl:
+            entry.batch = None
+            self.stats.expirations += 1
+        if entry.batch is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    # -- writes -------------------------------------------------------------
+
+    def store(
+        self,
+        volrep: VolumeReplicaId,
+        dir_fh: FicusFileHandle,
+        dir_vnode: Vnode,
+        batch: AttrBatch | None,
+    ) -> None:
+        """Record a freshly fetched batch (and the vnode it came through)."""
+        self._entries[self._key(volrep, dir_fh)] = CacheEntry(
+            dir_vnode=dir_vnode,
+            batch=batch,
+            fetched_at=self.clock.now(),
+        )
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate(self, volrep: VolumeReplicaId, dir_fh: FicusFileHandle) -> None:
+        """Forget everything cached for one directory replica."""
+        if self._entries.pop(self._key(volrep, dir_fh), None) is not None:
+            self.stats.invalidations += 1
+
+    def invalidate_dir(self, volume: VolumeId, dir_fh: FicusFileHandle) -> int:
+        """Drop the cached batch of *every* replica of one directory.
+
+        Used on update notification: the datagram names the acting
+        replica, but any cached view of the directory may now be
+        dominated, so all of them must re-fetch.  The resolved vnodes are
+        kept — handles stay valid across attribute changes.
+        """
+        dir_fh = dir_fh.logical
+        dropped = 0
+        for (volrep, fh), entry in self._entries.items():
+            if volrep.volume == volume and fh == dir_fh and entry.batch is not None:
+                entry.batch = None
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Forget everything (host restart, volume ungraft)."""
+        self._entries.clear()

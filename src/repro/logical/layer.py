@@ -11,6 +11,14 @@ layer also oversees update propagation notification..." (Section 2.5).
 One instance runs per host.  It never touches storage itself: every
 access goes through a physical layer, local or across NFS, via the
 :class:`~repro.logical.fabric.Fabric`.
+
+Replica selection is driven by the structured attribute plane: each
+reachable replica serves one :class:`~repro.physical.wire.AttrBatch`
+(directory version vector plus every stored child's) per ``getattrs_batch``
+call, and the per-host :class:`~repro.logical.attr_cache.VersionVectorCache`
+keeps those batches warm between update notifications, so the hot read
+path needs at most one batched RPC per replica when cold and none at all
+when warm.
 """
 
 from __future__ import annotations
@@ -24,19 +32,21 @@ from repro.errors import (
     InvalidArgument,
     StaleFileHandle,
 )
+from repro.logical.attr_cache import DEFAULT_TTL, VersionVectorCache
 from repro.logical.fabric import Fabric
 from repro.logical.locks import LockManager
 from repro.net import Network
-from repro.physical import (
-    AuxAttributes,
-    DirectoryEntry,
-    decode_directory,
-    volume_root_handle,
-)
+from repro.physical import DirectoryEntry, decode_directory, volume_root_handle
+from repro.physical.wire import AttrBatch
 from repro.telemetry import NULL_TELEMETRY, Telemetry
-from repro.physical.wire import op_aux, op_close, op_open
-from repro.util import FicusFileHandle, VolumeId
-from repro.vnode.interface import FileSystemLayer, Vnode, read_whole
+from repro.util import FicusFileHandle, VolumeId, VolumeReplicaId
+from repro.vnode.interface import (
+    ROOT_CTX,
+    FileSystemLayer,
+    OpContext,
+    Vnode,
+    read_whole,
+)
 from repro.volume import GraftTable, Grafter, ReplicaLocation
 from repro.vv import VersionVector
 
@@ -76,6 +86,7 @@ class FicusLogicalLayer(FileSystemLayer):
         root_volume: VolumeId,
         read_policy: str = READ_LATEST,
         telemetry: Telemetry | None = None,
+        attr_cache_ttl: float = DEFAULT_TTL,
     ):
         super().__init__()
         if read_policy not in (READ_LATEST, READ_ANY):
@@ -94,7 +105,13 @@ class FicusLogicalLayer(FileSystemLayer):
         self._locations: dict[VolumeId, list[ReplicaLocation]] = {}
         #: open-session pins: logical fh -> the replica taking this session
         self._session_pins: dict[FicusFileHandle, ReplicaView] = {}
+        #: per-replica attribute batches, kept coherent by notification
+        self.attr_cache = VersionVectorCache(network.clock, ttl=attr_cache_ttl)
         self.notifications_sent = 0
+        # invalidation rides the same update-notification datagrams the
+        # physical layer's new-version cache listens to
+        if network.has_host(host_addr):
+            network.register_datagram_handler(host_addr, self._on_datagram)
 
     # -- locations ----------------------------------------------------------
 
@@ -114,34 +131,91 @@ class FicusLogicalLayer(FileSystemLayer):
                 locations, key=lambda loc: loc.volrep.replica_id
             )
 
-    def _candidate_order(self, volume: VolumeId) -> list[ReplicaLocation]:
+    def _candidate_order(
+        self, volume: VolumeId, ctx: OpContext = ROOT_CTX
+    ) -> list[ReplicaLocation]:
         locations = self.locations_for(volume)
         local = [loc for loc in locations if loc.host == self.host_addr]
         remote = [loc for loc in locations if loc.host != self.host_addr]
-        return local + remote
+        ordered = local + remote
+        if ctx.replica_hint is not None:
+            hinted = [loc for loc in ordered if loc.host == ctx.replica_hint]
+            ordered = hinted + [loc for loc in ordered if loc.host != ctx.replica_hint]
+        return ordered
 
     # -- replica iteration ----------------------------------------------------
 
-    def reachable_dirs(self, volume: VolumeId, fh: FicusFileHandle):
-        """Yield a :class:`ReplicaView` per reachable replica of a directory.
+    def _replica_batch(
+        self, location: ReplicaLocation, fh: FicusFileHandle, ctx: OpContext
+    ) -> tuple[ReplicaView, AttrBatch] | None:
+        """One replica's directory vnode and attribute batch, via the cache.
+
+        Returns ``None`` when the replica is unreachable or does not store
+        the directory.  A warm cache entry costs no RPCs; a cold one costs
+        the resolution (cached separately from the batch) plus one batched
+        attribute fetch.  ``ctx.no_cache`` forces the fetch but still
+        refreshes the cache with the result.
+        """
+        fh = fh.logical
+        if not self.network.reachable(self.host_addr, location.host):
+            # a cached vnode must never serve for a partitioned-away host
+            return None
+        entry = None if ctx.no_cache else self.attr_cache.lookup(location.volrep, fh)
+        if entry is not None and entry.batch is not None:
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("logical.attr_cache_hits").inc()
+            return ReplicaView(location, entry.dir_vnode), entry.batch
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("logical.attr_cache_misses").inc()
+        dir_vnode = entry.dir_vnode if entry is not None else None
+        try:
+            if dir_vnode is None:
+                dir_vnode = self.fabric.dir_by_handle(location.host, location.volrep, fh)
+            batch = dir_vnode.getattrs_batch(None, ctx)
+        except StaleFileHandle:
+            # a cached handle died with a server reboot: resolve afresh once
+            self.attr_cache.invalidate(location.volrep, fh)
+            try:
+                dir_vnode = self.fabric.dir_by_handle(location.host, location.volrep, fh)
+                batch = dir_vnode.getattrs_batch(None, ctx)
+            except (HostUnreachable, FileNotFound, StaleFileHandle):
+                return None
+        except (HostUnreachable, FileNotFound):
+            return None
+        self.attr_cache.store(location.volrep, fh, dir_vnode, batch)
+        return ReplicaView(location, dir_vnode), batch
+
+    def replica_batches(
+        self, volume: VolumeId, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX
+    ):
+        """Yield ``(ReplicaView, AttrBatch)`` per reachable directory replica.
 
         Replicas that are unreachable, or that do not (yet) store the
         directory, are silently skipped — partial operation is normal.
         """
-        for location in self._candidate_order(volume):
-            try:
-                dir_vnode = self.fabric.dir_by_handle(location.host, location.volrep, fh)
-            except (HostUnreachable, FileNotFound, StaleFileHandle):
-                continue
-            yield ReplicaView(location=location, dir_vnode=dir_vnode)
+        for location in self._candidate_order(volume, ctx):
+            state = self._replica_batch(location, fh, ctx)
+            if state is not None:
+                yield state
 
-    def first_dir(self, volume: VolumeId, fh: FicusFileHandle) -> ReplicaView:
+    def reachable_dirs(
+        self, volume: VolumeId, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX
+    ):
+        """Yield a :class:`ReplicaView` per reachable replica of a directory."""
+        for view, _batch in self.replica_batches(volume, fh, ctx):
+            yield view
+
+    def first_dir(
+        self, volume: VolumeId, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX
+    ) -> ReplicaView:
         """The first reachable replica of a directory (one-copy rule)."""
-        for view in self.reachable_dirs(volume, fh):
+        for view in self.reachable_dirs(volume, fh, ctx):
             return view
         raise AllReplicasUnavailable(f"no reachable replica stores directory {fh}")
 
-    def read_entries(self, volume: VolumeId, fh: FicusFileHandle) -> list[DirectoryEntry]:
+    def read_entries(
+        self, volume: VolumeId, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX
+    ) -> list[DirectoryEntry]:
         """Directory entries, from the selected replica.
 
         Under the default ``latest`` policy this is the directory replica
@@ -150,39 +224,43 @@ class FicusLogicalLayer(FileSystemLayer):
         whose own replica has not yet reconciled still sees names created
         elsewhere.  Under ``any``, the first reachable replica serves.
         """
+        best = self.select_dir_replica(volume, fh, ctx)
         try:
-            best = self.select_dir_replica(volume, fh)
-            return decode_directory(read_whole(best.dir_vnode))
+            return decode_directory(read_whole(best.dir_vnode, ctx=ctx))
         except StaleFileHandle:
-            # a server rebooted under us; its caches are scrubbed now,
-            # so a fresh selection resolves live handles
-            best = self.select_dir_replica(volume, fh)
-            return decode_directory(read_whole(best.dir_vnode))
+            # a server rebooted under us; its caches are scrubbed now, so
+            # re-resolve the replica we already selected rather than
+            # re-probing every replica from scratch
+            self.attr_cache.invalidate(best.location.volrep, fh.logical)
+            fresh = self.fabric.dir_by_handle(
+                best.location.host, best.location.volrep, fh
+            )
+            return decode_directory(read_whole(fresh, ctx=ctx))
 
-    def select_dir_replica(self, volume: VolumeId, fh: FicusFileHandle) -> ReplicaView:
-        """Pick the directory replica the read policy dictates."""
+    def select_dir_replica(
+        self, volume: VolumeId, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX
+    ) -> ReplicaView:
+        """Pick the directory replica the read policy dictates.
+
+        Version vectors come from the cached attribute batches: selecting
+        among N replicas costs at most N batched fetches cold, none warm —
+        never a per-replica probe on top of resolution.
+        """
         if self.read_policy == READ_ANY:
-            return self.first_dir(volume, fh)
-        views = list(self.reachable_dirs(volume, fh))
-        if len(views) == 1:
-            # only one copy reachable: it is trivially the most recent
-            # available, no version-vector probes needed
-            return views[0]
-        from repro.physical.wire import op_dir_aux
-
-        candidates: list[tuple[ReplicaView, VersionVector]] = []
-        for view in views:
-            try:
-                aux = AuxAttributes.from_bytes(read_whole(view.dir_vnode.lookup(op_dir_aux())))
-            except (HostUnreachable, FileNotFound, StaleFileHandle):
-                continue
-            candidates.append((view, aux.vv))
+            return self.first_dir(volume, fh, ctx)
+        candidates = list(self.replica_batches(volume, fh, ctx))
         if not candidates:
             raise AllReplicasUnavailable(f"no reachable replica stores directory {fh}")
+        if len(candidates) == 1:
+            # only one copy reachable: it is trivially the most recent available
+            return candidates[0][0]
         maximal = [
-            (view, vv)
-            for view, vv in candidates
-            if not any(other.strictly_dominates(vv) for _, other in candidates)
+            (view, batch.dir_aux.vv)
+            for view, batch in candidates
+            if not any(
+                other.dir_aux.vv.strictly_dominates(batch.dir_aux.vv)
+                for _, other in candidates
+            )
         ]
         maximal.sort(key=lambda c: (-c[1].total_updates, c[0].location.volrep.replica_id))
         return maximal[0][0]
@@ -190,23 +268,53 @@ class FicusLogicalLayer(FileSystemLayer):
     # -- file replica selection -------------------------------------------------
 
     def file_replicas(
-        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+        self,
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        ctx: OpContext = ROOT_CTX,
     ) -> list[FileReplicaView]:
-        """Every reachable replica that stores the file, with its version."""
+        """Every reachable replica that stores the file, with its version.
+
+        Served from the per-replica attribute batches, so enumerating N
+        replicas never costs more than N batched fetches (and costs
+        nothing warm) — not one RPC per file per replica.
+
+        A *negative* answer — no reachable replica stores the file — is
+        never believed from the cache alone: reconciliation and update
+        propagation add entries to replicas without sending notifications,
+        so a warm batch can lack a file its replica has since acquired.
+        Before declaring the file unavailable, the batches are refetched
+        once (``no_cache``) and the verdict re-derived.
+        """
+        out = self._file_replicas_once(volume, parent_fh, fh, ctx)
+        if not out and not ctx.no_cache:
+            out = self._file_replicas_once(volume, parent_fh, fh, ctx.with_no_cache())
+        return out
+
+    def _file_replicas_once(
+        self,
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        ctx: OpContext,
+    ) -> list[FileReplicaView]:
         out = []
-        for view in self.reachable_dirs(volume, parent_fh):
-            try:
-                aux_bytes = read_whole(view.dir_vnode.lookup(op_aux(fh)))
-            except (HostUnreachable, FileNotFound, StaleFileHandle):
+        for view, batch in self.replica_batches(volume, parent_fh, ctx):
+            aux = batch.child(fh)
+            if aux is None:
                 continue
-            aux = AuxAttributes.from_bytes(aux_bytes)
             out.append(
                 FileReplicaView(location=view.location, dir_vnode=view.dir_vnode, vv=aux.vv)
             )
         return out
 
     def select_read_replica(
-        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+        self,
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        ctx: OpContext = ROOT_CTX,
     ) -> FileReplicaView:
         """Pick the replica to read: "select the most recent copy available".
 
@@ -219,12 +327,12 @@ class FicusLogicalLayer(FileSystemLayer):
         if pinned is not None:
             replicas = [
                 r
-                for r in self.file_replicas(volume, parent_fh, fh)
+                for r in self.file_replicas(volume, parent_fh, fh, ctx)
                 if r.location == pinned.location
             ]
             if replicas:
                 return replicas[0]
-        candidates = self.file_replicas(volume, parent_fh, fh)
+        candidates = self.file_replicas(volume, parent_fh, fh, ctx)
         if not candidates:
             raise AllReplicasUnavailable(f"no reachable replica stores file {fh}")
         if self.read_policy == READ_ANY:
@@ -242,6 +350,7 @@ class FicusLogicalLayer(FileSystemLayer):
         volume: VolumeId,
         parent_fh: FicusFileHandle,
         fh: FicusFileHandle | None = None,
+        ctx: OpContext = ROOT_CTX,
     ) -> ReplicaView:
         """Pick the replica an update is applied to.
 
@@ -255,12 +364,12 @@ class FicusLogicalLayer(FileSystemLayer):
                 self.host_addr, pinned.location.host
             ):
                 return pinned
-            stored = self.file_replicas(volume, parent_fh, fh)
+            stored = self.file_replicas(volume, parent_fh, fh, ctx)
             if not stored:
                 raise AllReplicasUnavailable(f"no reachable replica stores file {fh}")
-            best = self.select_read_replica(volume, parent_fh, fh)
+            best = self.select_read_replica(volume, parent_fh, fh, ctx)
             return ReplicaView(location=best.location, dir_vnode=best.dir_vnode)
-        return self.first_dir(volume, parent_fh)
+        return self.first_dir(volume, parent_fh, ctx)
 
     # -- update notification ------------------------------------------------------
 
@@ -278,14 +387,43 @@ class FicusLogicalLayer(FileSystemLayer):
         or directory, an asynchronous multicast datagram is sent to all
         available replicas informing them that a new version of a file may
         be obtained from the replica receiving the update" (Section 2.5).
+
+        The same event drives attribute-cache coherence: every cached
+        batch of the updated directory is dropped, here and on each host
+        receiving the datagram.  Dropping ALL replicas' batches (not just
+        the acting replica's) is deliberately conservative: reconciliation
+        and propagation move entries between replicas without sending
+        notifications, so a notification is also the cheapest moment to
+        shed any view of the directory that may have gone stale out of
+        band.  The acting replica's batch — when it is local, so
+        re-reading costs no RPC — is refreshed write-through.
+
+        The datagram goes to every host storing the volume, including the
+        acting host when the update was driven onto it remotely over NFS
+        (its cache must learn its own replica moved), and including this
+        host itself in that case (the self-delivery feeds the physical
+        layer's new-version cache so the caller's own replicas pull the
+        new version).
         """
         from repro.physical import notification_payload
 
-        others = {
-            loc.host
-            for loc in self.locations_for(volume)
-            if loc.host != acting.host
-        }
+        self.attr_cache.invalidate_dir(volume, parent_fh)
+        if objkind == "dir":
+            self.attr_cache.invalidate_dir(volume, fh)
+        if self.fabric.is_local(acting.host):
+            try:
+                vnode = self.fabric.dir_by_handle(acting.host, acting.volrep, parent_fh)
+                self.attr_cache.store(
+                    acting.volrep, parent_fh, vnode, vnode.getattrs_batch()
+                )
+                self.attr_cache.stats.refreshes += 1
+            except (FileNotFound, StaleFileHandle):
+                pass
+        others = {loc.host for loc in self.locations_for(volume)}
+        if self.fabric.is_local(acting.host):
+            # this host applied the update itself: its physical layer needs
+            # no pull-note and its cache was already adjusted above
+            others.discard(self.host_addr)
         if not others:
             return 0
         # the notification carries the live trace context so the receiving
@@ -313,28 +451,62 @@ class FicusLogicalLayer(FileSystemLayer):
             )
         return delivered
 
+    def _on_datagram(self, src: str, payload: object) -> None:
+        """Drop cached attribute batches named by an update notification.
+
+        The datagram is best-effort; a lost one leaves a stale batch whose
+        staleness the cache TTL bounds.
+        """
+        if not isinstance(payload, dict) or payload.get("kind") != "new-version":
+            return
+        try:
+            volume = VolumeReplicaId.from_hex(payload["volrep"]).volume
+            parent = FicusFileHandle.from_hex(payload["parent"])
+            fh = FicusFileHandle.from_hex(payload["fh"])
+        except (KeyError, TypeError, InvalidArgument):
+            return
+        dropped = self.attr_cache.invalidate_dir(volume, parent)
+        if payload.get("objkind") == "dir":
+            dropped += self.attr_cache.invalidate_dir(volume, fh)
+        if dropped and self.telemetry.enabled:
+            self.telemetry.metrics.counter("logical.attr_cache_invalidated").inc(dropped)
+
     # -- open/close sessions ---------------------------------------------------------
 
     def open_file(
-        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+        self,
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        ctx: OpContext = ROOT_CTX,
     ) -> ReplicaView:
-        """Open = pin a replica and smuggle the open through lookup."""
-        view = self.select_update_replica(volume, parent_fh, fh)
-        view.dir_vnode.lookup(op_open(fh))
+        """Open = pin a replica and start an update session on it."""
+        view = self.select_update_replica(volume, parent_fh, fh, ctx)
+        view.dir_vnode.session_open(fh, ctx)
         self._session_pins[fh.logical] = view
         return view
 
     def close_file(
-        self, volume: VolumeId, parent_fh: FicusFileHandle, fh: FicusFileHandle
+        self,
+        volume: VolumeId,
+        parent_fh: FicusFileHandle,
+        fh: FicusFileHandle,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         view = self._session_pins.pop(fh.logical, None)
         if view is None:
             return
         try:
-            view.dir_vnode.lookup(op_close(fh))
-        except (HostUnreachable, FileNotFound):
-            pass  # the session dies with the partition; recon cleans up
-        self.notify_update(volume, view.location, parent_fh, fh)
+            updated = view.dir_vnode.session_close(fh, ctx)
+        except (HostUnreachable, FileNotFound, StaleFileHandle):
+            # the session dies with the partition or crash; recon cleans
+            # up.  (The old lookup-smuggled close could not even see the
+            # crash: a cached lookup reply swallowed the RPC entirely.)
+            updated = False
+        if updated:
+            # read-only sessions notify nobody: no version changed, so
+            # peers' cached attribute batches stay valid
+            self.notify_update(volume, view.location, parent_fh, fh)
 
     # -- graft point administration ---------------------------------------------------
 

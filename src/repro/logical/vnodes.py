@@ -22,7 +22,14 @@ from repro.physical import EntryType, decode_directory, effective_entries
 from repro.physical.wire import op_byfh, op_insert, op_remove
 from repro.ufs.inode import FileAttributes, FileType
 from repro.util import FicusFileHandle, VolumeId
-from repro.vnode.interface import ROOT_CRED, Credential, DirEntry, SetAttrs, Vnode, read_whole
+from repro.vnode.interface import (
+    ROOT_CTX,
+    DirEntry,
+    OpContext,
+    SetAttrs,
+    Vnode,
+    read_whole,
+)
 from repro.volume import locations_from_entries
 
 _TYPE_MAP = {
@@ -31,6 +38,21 @@ _TYPE_MAP = {
     EntryType.DIRECTORY: FileType.DIRECTORY,
     EntryType.GRAFT_POINT: FileType.DIRECTORY,
 }
+
+
+def _check_user_name(name: str) -> None:
+    """Reject names that collide with the physical control namespace.
+
+    The physical layer encodes replica-addressed control operations as
+    ``@@``-prefixed pseudo-names (paper Section 2.3).  A user file named
+    ``@@dir|...`` would be indistinguishable from such a control request,
+    so the prefix is reserved at the boundary where user names enter.
+    """
+    if name.startswith("@@"):
+        raise InvalidArgument(
+            f"{name!r}: names beginning with '@@' are reserved for "
+            "physical-layer control operations"
+        )
 
 
 class LogicalDirVnode(Vnode):
@@ -54,34 +76,34 @@ class LogicalDirVnode(Vnode):
 
     # -- helpers ----------------------------------------------------------
 
-    def _view(self) -> dict[str, object]:
-        entries = self.layer.read_entries(self.volume, self.fh)
+    def _view(self, ctx: OpContext = ROOT_CTX) -> dict[str, object]:
+        entries = self.layer.read_entries(self.volume, self.fh, ctx)
         return effective_entries(entries)
 
-    def _autograft(self, entry) -> "LogicalDirVnode":
+    def _autograft(self, entry, ctx: OpContext = ROOT_CTX) -> "LogicalDirVnode":
         """Cross into the volume a graft point names (paper Section 4.4)."""
         from repro.physical import volume_root_handle
 
         target_volume = VolumeId.from_hex(entry.data)
-        graft_entries = self.layer.read_entries(self.volume, entry.fh)
+        graft_entries = self.layer.read_entries(self.volume, entry.fh, ctx)
         locations = locations_from_entries(target_volume, graft_entries)
         state = self.layer.grafter.graft(target_volume, locations)
         self.layer.learn_locations(target_volume, state.locations)
         return LogicalDirVnode(self.layer, target_volume, volume_root_handle(target_volume))
 
-    def _child(self, entry) -> Vnode:
+    def _child(self, entry, ctx: OpContext = ROOT_CTX) -> Vnode:
         if entry.etype == EntryType.GRAFT_POINT:
-            return self._autograft(entry)
+            return self._autograft(entry, ctx)
         if entry.etype == EntryType.DIRECTORY:
             return LogicalDirVnode(self.layer, self.volume, entry.fh)
         return LogicalFileVnode(self.layer, self.volume, self.fh, entry.fh, entry.etype)
 
     # -- lifetime --
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("open")
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
 
     def inactive(self) -> None:
@@ -89,141 +111,146 @@ class LogicalDirVnode(Vnode):
 
     # -- attributes --
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
-        view = self.layer.first_dir(self.volume, self.fh)
-        return view.dir_vnode.getattr(cred)
+        view = self.layer.first_dir(self.volume, self.fh, ctx)
+        return view.dir_vnode.getattr(ctx)
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
-        view = self.layer.select_update_replica(self.volume, self.fh)
-        view.dir_vnode.setattr(attrs, cred)
+        view = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
+        view.dir_vnode.setattr(attrs, ctx)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         self.layer.counters.bump("access")
-        view = self.layer.first_dir(self.volume, self.fh)
-        return view.dir_vnode.access(mode, cred)
+        view = self.layer.first_dir(self.volume, self.fh, ctx)
+        return view.dir_vnode.access(mode, ctx)
 
     # -- namespace --
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
         # enabled-check before building span arguments: this is a hot path
         # and the disabled fast path must cost only a branch
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            return self._lookup_impl(name)
+            return self._lookup_impl(name, ctx)
         with tracer.span("logical.lookup", layer="logical", host=self.layer.host_addr):
-            return self._lookup_impl(name)
+            return self._lookup_impl(name, ctx)
 
-    def _lookup_impl(self, name: str) -> Vnode:
-        view = self._view()
+    def _lookup_impl(self, name: str, ctx: OpContext) -> Vnode:
+        view = self._view(ctx)
         entry = view.get(name)
         if entry is None or entry.etype == EntryType.LOCATION:
             raise FileNotFound(f"{name!r} not found")
-        return self._child(entry)
+        return self._child(entry, ctx)
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
-        return self._insert_new(name, EntryType.FILE)
+        return self._insert_new(name, EntryType.FILE, ctx=ctx)
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
-        return self._insert_new(name, EntryType.DIRECTORY)
+        return self._insert_new(name, EntryType.DIRECTORY, ctx=ctx)
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("symlink")
-        vnode = self._insert_new(name, EntryType.SYMLINK)
-        vnode.write(0, target.encode("utf-8"))
+        vnode = self._insert_new(name, EntryType.SYMLINK, ctx=ctx)
+        vnode.write(0, target.encode("utf-8"), ctx)
         return vnode
 
-    def _insert_new(self, name: str, etype: EntryType, data: str = "") -> Vnode:
+    def _insert_new(
+        self, name: str, etype: EntryType, data: str = "", ctx: OpContext = ROOT_CTX
+    ) -> Vnode:
         """Create a brand-new object: the chosen replica mints its ids."""
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            return self._insert_new_impl(name, etype, data)
+            return self._insert_new_impl(name, etype, data, ctx)
         with tracer.span(
             "logical.insert", layer="logical", host=self.layer.host_addr, etype=etype.value
         ):
-            return self._insert_new_impl(name, etype, data)
+            return self._insert_new_impl(name, etype, data, ctx)
 
-    def _insert_new_impl(self, name: str, etype: EntryType, data: str) -> Vnode:
-        replica = self.layer.select_update_replica(self.volume, self.fh)
-        existing = effective_entries(decode_directory(read_whole(replica.dir_vnode)))
+    def _insert_new_impl(self, name: str, etype: EntryType, data: str, ctx: OpContext) -> Vnode:
+        _check_user_name(name)
+        replica = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
+        existing = effective_entries(decode_directory(read_whole(replica.dir_vnode, ctx=ctx)))
         if name in existing:
             raise FileExists(f"{name!r} already exists")
-        replica.dir_vnode.create(op_insert(None, name, None, etype, data=data))
-        entry = self._find_entry_at(replica, name)
+        replica.dir_vnode.create(op_insert(None, name, None, etype, data=data), ctx=ctx)
+        entry = self._find_entry_at(replica, name, ctx)
         self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
-        return self._child(entry)
+        return self._child(entry, ctx)
 
-    def _find_entry_at(self, replica, name: str):
-        entries = decode_directory(read_whole(replica.dir_vnode))
+    def _find_entry_at(self, replica, name: str, ctx: OpContext = ROOT_CTX):
+        entries = decode_directory(read_whole(replica.dir_vnode, ctx=ctx))
         view = effective_entries(entries)
         entry = view.get(name)
         if entry is None:
             raise FileNotFound(f"{name!r} vanished after insert")
         return entry
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            self._remove_impl(name)
+            self._remove_impl(name, ctx)
             return
         with tracer.span("logical.remove", layer="logical", host=self.layer.host_addr):
-            self._remove_impl(name)
+            self._remove_impl(name, ctx)
 
-    def _remove_impl(self, name: str) -> None:
-        replica = self.layer.select_update_replica(self.volume, self.fh)
-        entry = self._find_entry_at(replica, name)
+    def _remove_impl(self, name: str, ctx: OpContext) -> None:
+        replica = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
+        entry = self._find_entry_at(replica, name, ctx)
         if entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
             raise IsADirectory(f"{name!r} is a directory; use rmdir")
-        replica.dir_vnode.remove(op_remove(entry.eid))
+        replica.dir_vnode.remove(op_remove(entry.eid), ctx)
         self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("rmdir")
-        replica = self.layer.select_update_replica(self.volume, self.fh)
-        entry = self._find_entry_at(replica, name)
+        replica = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
+        entry = self._find_entry_at(replica, name, ctx)
         if entry.etype == EntryType.FILE or entry.etype == EntryType.SYMLINK:
             raise NotADirectory(f"{name!r} is not a directory")
         if entry.etype == EntryType.DIRECTORY:
-            sub_entries = self.layer.read_entries(self.volume, entry.fh)
+            sub_entries = self.layer.read_entries(self.volume, entry.fh, ctx)
             live = [
                 e for e in sub_entries if e.live and e.etype != EntryType.LOCATION
             ]
             if live:
                 raise DirectoryNotEmpty(f"{name!r} is not empty")
-        replica.dir_vnode.remove(op_remove(entry.eid))
+        replica.dir_vnode.remove(op_remove(entry.eid), ctx)
         self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
 
-    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
         """Give an existing file an additional name (paper: Ficus files are
         organized in a general DAG; files may have several names)."""
         self.layer.counters.bump("link")
+        _check_user_name(name)
         if not isinstance(target, LogicalFileVnode):
             raise InvalidArgument("link target must be a logical file")
         if target.volume != self.volume:
             raise CrossDevice("links may not cross volume boundaries")
-        replica = self._replica_storing(target)
-        existing = effective_entries(decode_directory(read_whole(replica.dir_vnode)))
+        replica = self._replica_storing(target, ctx)
+        existing = effective_entries(decode_directory(read_whole(replica.dir_vnode, ctx=ctx)))
         if name in existing:
             raise FileExists(f"{name!r} already exists")
         replica.dir_vnode.create(
-            op_insert(None, name, target.fh, target.etype, link_from=target.parent_fh)
+            op_insert(None, name, target.fh, target.etype, link_from=target.parent_fh), ctx=ctx
         )
         self.layer.notify_update(self.volume, replica.location, self.fh, target.fh, objkind="dir")
 
-    def _replica_storing(self, target: "LogicalFileVnode"):
+    def _replica_storing(self, target: "LogicalFileVnode", ctx: OpContext = ROOT_CTX):
         """An update replica of this directory that also stores ``target``.
 
         The hard link must land where the file's storage lives.
         """
         stored_at = {
-            r.location for r in self.layer.file_replicas(self.volume, target.parent_fh, target.fh)
+            r.location
+            for r in self.layer.file_replicas(self.volume, target.parent_fh, target.fh, ctx)
         }
-        for view in self.layer.reachable_dirs(self.volume, self.fh):
+        for view in self.layer.reachable_dirs(self.volume, self.fh, ctx):
             if view.location in stored_at:
                 return view
         raise AllReplicasUnavailable(
@@ -235,7 +262,7 @@ class LogicalDirVnode(Vnode):
         src_name: str,
         dst_dir: Vnode,
         dst_name: str,
-        cred: Credential = ROOT_CRED,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         """Rename = insert the new name, then remove the old one.
 
@@ -245,36 +272,40 @@ class LogicalDirVnode(Vnode):
         the concurrent-rename case that leaves a directory with two names.
         """
         self.layer.counters.bump("rename")
+        _check_user_name(dst_name)
         if not isinstance(dst_dir, LogicalDirVnode):
             raise InvalidArgument("rename destination must be a logical directory")
         if dst_dir.volume != self.volume:
             raise CrossDevice("rename may not cross volume boundaries")
-        src_replica = self.layer.select_update_replica(self.volume, self.fh)
-        entry = self._find_entry_at(src_replica, src_name)
+        src_replica = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
+        entry = self._find_entry_at(src_replica, src_name, ctx)
         # Unix semantics: a file target is replaced, a directory target errors.
         try:
             dst_existing = dst_dir._find_entry_at(
-                self.layer.select_update_replica(self.volume, dst_dir.fh), dst_name
+                self.layer.select_update_replica(self.volume, dst_dir.fh, ctx=ctx),
+                dst_name,
+                ctx,
             )
         except FileNotFound:
             dst_existing = None
         if dst_existing is not None:
             if dst_existing.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
                 raise IsADirectory(f"rename target {dst_name!r} is a directory")
-            dst_dir.remove(dst_name)
+            dst_dir.remove(dst_name, ctx)
         link_from = self.fh if entry.etype in (EntryType.FILE, EntryType.SYMLINK) else None
-        dst_replica = self.layer.select_update_replica(self.volume, dst_dir.fh)
+        dst_replica = self.layer.select_update_replica(self.volume, dst_dir.fh, ctx=ctx)
         dst_replica.dir_vnode.create(
-            op_insert(None, dst_name, entry.fh, entry.etype, data=entry.data, link_from=link_from)
+            op_insert(None, dst_name, entry.fh, entry.etype, data=entry.data, link_from=link_from),
+            ctx=ctx,
         )
         self.layer.notify_update(self.volume, dst_replica.location, dst_dir.fh, entry.fh, objkind="dir")
-        src_replica.dir_vnode.remove(op_remove(entry.eid))
+        src_replica.dir_vnode.remove(op_remove(entry.eid), ctx)
         self.layer.notify_update(self.volume, src_replica.location, self.fh, entry.fh, objkind="dir")
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
         out = []
-        for name, entry in sorted(self._view().items()):
+        for name, entry in sorted(self._view(ctx).items()):
             if entry.etype == EntryType.LOCATION:
                 continue
             out.append(
@@ -316,12 +347,12 @@ class LogicalFileVnode(Vnode):
 
     # -- replica plumbing --
 
-    def _read_child(self) -> Vnode:
-        view = self.layer.select_read_replica(self.volume, self.parent_fh, self.fh)
-        return view.dir_vnode.lookup(op_byfh(self.fh))
+    def _read_child(self, ctx: OpContext = ROOT_CTX) -> Vnode:
+        view = self.layer.select_read_replica(self.volume, self.parent_fh, self.fh, ctx)
+        return view.dir_vnode.lookup(op_byfh(self.fh), ctx)
 
-    def _update_view(self):
-        return self.layer.select_update_replica(self.volume, self.parent_fh, self.fh)
+    def _update_view(self, ctx: OpContext = ROOT_CTX):
+        return self.layer.select_update_replica(self.volume, self.parent_fh, self.fh, ctx)
 
     @staticmethod
     def _retry_stale(operation):
@@ -341,43 +372,43 @@ class LogicalFileVnode(Vnode):
 
     # -- lifetime: open/close delimit one update session --
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("open")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            self.layer.open_file(self.volume, self.parent_fh, self.fh)
+            self.layer.open_file(self.volume, self.parent_fh, self.fh, ctx)
             return
         with tracer.span("logical.open", layer="logical", host=self.layer.host_addr):
-            self.layer.open_file(self.volume, self.parent_fh, self.fh)
+            self.layer.open_file(self.volume, self.parent_fh, self.fh, ctx)
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            self.layer.close_file(self.volume, self.parent_fh, self.fh)
+            self.layer.close_file(self.volume, self.parent_fh, self.fh, ctx)
             return
         with tracer.span("logical.close", layer="logical", host=self.layer.host_addr):
-            self.layer.close_file(self.volume, self.parent_fh, self.fh)
+            self.layer.close_file(self.volume, self.parent_fh, self.fh, ctx)
 
     def inactive(self) -> None:
         self.layer.counters.bump("inactive")
 
     # -- data --
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            return self._retry_stale(lambda: self._read_child().read(offset, length, cred))
+            return self._retry_stale(lambda: self._read_child(ctx).read(offset, length, ctx))
         with tracer.span("logical.read", layer="logical", host=self.layer.host_addr):
-            return self._retry_stale(lambda: self._read_child().read(offset, length, cred))
+            return self._retry_stale(lambda: self._read_child(ctx).read(offset, length, ctx))
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
 
         def attempt() -> int:
-            view = self._update_view()
-            written = view.dir_vnode.lookup(op_byfh(self.fh)).write(offset, data, cred)
+            view = self._update_view(ctx)
+            written = view.dir_vnode.lookup(op_byfh(self.fh), ctx).write(offset, data, ctx)
             self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
             return written
 
@@ -389,12 +420,12 @@ class LogicalFileVnode(Vnode):
         ):
             return self._retry_stale(attempt)
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
 
         def impl() -> None:
-            view = self._update_view()
-            view.dir_vnode.lookup(op_byfh(self.fh)).truncate(size, cred)
+            view = self._update_view(ctx)
+            view.dir_vnode.lookup(op_byfh(self.fh), ctx).truncate(size, ctx)
             self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
 
         tracer = self.layer.telemetry.tracer
@@ -404,33 +435,33 @@ class LogicalFileVnode(Vnode):
         with tracer.span("logical.truncate", layer="logical", host=self.layer.host_addr):
             impl()
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("fsync")
-        self._update_view().dir_vnode.lookup(op_byfh(self.fh)).fsync(cred)
+        self._update_view(ctx).dir_vnode.lookup(op_byfh(self.fh), ctx).fsync(ctx)
 
     # -- attributes --
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
-        return self._retry_stale(lambda: self._read_child().getattr(cred))
+        return self._retry_stale(lambda: self._read_child(ctx).getattr(ctx))
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
-        view = self._update_view()
-        view.dir_vnode.lookup(op_byfh(self.fh)).setattr(attrs, cred)
+        view = self._update_view(ctx)
+        view.dir_vnode.lookup(op_byfh(self.fh), ctx).setattr(attrs, ctx)
         self.layer.notify_update(self.volume, view.location, self.parent_fh, self.fh)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         self.layer.counters.bump("access")
-        return self._read_child().access(mode, cred)
+        return self._read_child(ctx).access(mode, ctx)
 
     # -- symlink --
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
         self.layer.counters.bump("readlink")
-        return self._retry_stale(lambda: self._read_child().readlink(cred))
+        return self._retry_stale(lambda: self._read_child(ctx).readlink(ctx))
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         raise NotADirectory(f"{self.fh} is not a directory")
 
     def __repr__(self) -> str:

@@ -9,8 +9,11 @@ Two deliberate infidelities of real NFS are reproduced because the paper's
 design reacts to them:
 
 * **open/close are dropped.**  The protocol has no such calls; the client
-  accepts them as no-ops and never forwards them.  Ficus therefore smuggles
-  open/close through ``lookup`` (Section 2.3, experiment E10).
+  accepts them as no-ops and never forwards them.  The original Ficus
+  smuggled open/close through ``lookup`` (Section 2.3, experiment E10);
+  our protocol instead forwards the explicit ``session_open``/
+  ``session_close`` vnode operations, which exist precisely because the
+  classic calls cannot survive the hop.
 * **Caching is not fully controllable.**  The client keeps an attribute
   cache and a directory-name-lookup cache with time-based expiry ("there is
   no user-level way to disable all caching"), so upper layers can observe
@@ -23,15 +26,16 @@ from dataclasses import dataclass
 
 from repro.errors import RpcTimeout, StaleFileHandle
 from repro.net import Network
-from repro.nfs.protocol import TRACE_FIELD, LookupReply, NfsHandle
+from repro.nfs.protocol import CTX_FIELD, LookupReply, NfsHandle
+from repro.physical.wire import AttrBatch
 from repro.telemetry import NULL_SPAN, NULL_TELEMETRY, Telemetry
 from repro.ufs.inode import FileAttributes, FileType
 from repro.util import VirtualClock
 from repro.vnode.interface import (
-    ROOT_CRED,
-    Credential,
+    ROOT_CTX,
     DirEntry,
     FileSystemLayer,
+    OpContext,
     SetAttrs,
     Vnode,
 )
@@ -79,20 +83,24 @@ class NfsClientLayer(FileSystemLayer):
 
     # -- RPC plumbing ------------------------------------------------------
 
-    def call(self, op: str, *args: object) -> object:
+    def call(self, op: str, *args: object, ctx: OpContext = ROOT_CTX) -> object:
         """Issue one NFS RPC with retransmission.
 
-        With tracing enabled, the whole call (including retransmissions)
-        is one ``nfs-client`` span, and that span's context rides to the
-        server in the :data:`~repro.nfs.protocol.TRACE_FIELD` keyword — the
-        explicit protocol hop that stitches client and server trees.
+        The operation context travels as the single structured
+        :data:`~repro.nfs.protocol.CTX_FIELD` keyword — credential, trace
+        parentage, and hints in one field instead of per-purpose side
+        channels.  With tracing enabled, the whole call (including
+        retransmissions) is one ``nfs-client`` span whose context replaces
+        ``ctx.trace`` on the wire, stitching client and server trees.
         """
         tracer = self.telemetry.tracer
         if not tracer.enabled:
-            return self._call_with_retries(op, args, {}, NULL_SPAN)
+            wire = ctx.to_wire()
+            kwargs: dict[str, object] = {CTX_FIELD: wire} if wire else {}
+            return self._call_with_retries(op, args, kwargs, NULL_SPAN)
         with tracer.span(f"nfs.{op}", layer="nfs-client", host=self.client_addr) as span:
             span.set_tag("server", self.server_addr)
-            kwargs: dict[str, object] = {TRACE_FIELD: span.context.to_wire()}
+            kwargs = {CTX_FIELD: ctx.with_trace(span.context).to_wire()}
             return self._call_with_retries(op, args, kwargs, span)
 
     def _call_with_retries(
@@ -177,12 +185,14 @@ class NfsClientLayer(FileSystemLayer):
         for key in resolved_to:
             del self._name_cache[key]
 
-    def call_h(self, handle: NfsHandle, op: str, *args: object) -> object:
+    def call_h(
+        self, handle: NfsHandle, op: str, *args: object, ctx: OpContext = ROOT_CTX
+    ) -> object:
         """Issue an RPC whose first argument is ``handle``; on ESTALE the
         caches are scrubbed before the error propagates, so the caller's
         retry re-lookups instead of replaying the dead handle."""
         try:
-            return self.call(op, handle, *args)
+            return self.call(op, handle, *args, ctx=ctx)
         except StaleFileHandle:
             self.note_stale(handle)
             raise
@@ -225,7 +235,7 @@ class NfsClientVnode(Vnode):
 
     # -- dropped operations (the NFS semantic gap, paper Section 2.2) --
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         """Accepted and DROPPED: the NFS protocol has no open call.
 
         "the vnode services open and close are not supported by the NFS
@@ -234,7 +244,7 @@ class NfsClientVnode(Vnode):
         """
         self.layer.counters.bump("open-dropped")
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         """Accepted and DROPPED, exactly like :meth:`open`."""
         self.layer.counters.bump("close-dropped")
 
@@ -242,87 +252,103 @@ class NfsClientVnode(Vnode):
         self.layer.counters.bump("inactive")
         self.layer.invalidate_handle(self.handle)
 
+    # -- Ficus extensions: forwarded explicitly (unlike open/close) --
+
+    def session_open(self, fh, ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.counters.bump("session_open")
+        self.layer.call_h(self.handle, "session_open", fh.to_hex(), ctx=ctx)
+
+    def session_close(self, fh, ctx: OpContext = ROOT_CTX) -> bool:
+        self.layer.counters.bump("session_close")
+        return bool(self.layer.call_h(self.handle, "session_close", fh.to_hex(), ctx=ctx))
+
+    def getattrs_batch(self, fhs=None, ctx: OpContext = ROOT_CTX) -> AttrBatch:
+        self.layer.counters.bump("getattrs_batch")
+        wire_fhs = None if fhs is None else [fh.to_hex() for fh in fhs]
+        reply = self.layer.call_h(self.handle, "getattrs_batch", wire_fhs, ctx=ctx)
+        return AttrBatch.from_wire(reply)
+
     # -- attributes --
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
         cached = self.layer._cached_attrs(self.handle)
         if cached is not None:
             return cached
-        attrs = self.layer.call_h(self.handle, "getattr")
+        attrs = self.layer.call_h(self.handle, "getattr", ctx=ctx)
         assert isinstance(attrs, FileAttributes)
         self.layer._cache_attrs(self.handle, attrs)
         return attrs
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
-        fresh = self.layer.call_h(self.handle, "setattr", attrs)
+        fresh = self.layer.call_h(self.handle, "setattr", attrs, ctx=ctx)
         assert isinstance(fresh, FileAttributes)
         self.layer._cache_attrs(self.handle, fresh)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         self.layer.counters.bump("access")
-        attrs = self.getattr(cred)
-        if cred.uid == 0:
+        attrs = self.getattr(ctx)
+        if ctx.cred.uid == 0:
             return True
-        shift = 6 if cred.uid == attrs.uid else 0
+        shift = 6 if ctx.cred.uid == attrs.uid else 0
         return (attrs.perm >> shift) & mode == mode
 
     # -- data --
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
-        data = self.layer.call_h(self.handle, "read", offset, length)
+        data = self.layer.call_h(self.handle, "read", offset, length, ctx=ctx)
         assert isinstance(data, bytes)
         return data
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
-        written = self.layer.call_h(self.handle, "write", offset, data)
+        written = self.layer.call_h(self.handle, "write", offset, data, ctx=ctx)
         self.layer.invalidate_handle(self.handle)
         assert isinstance(written, int)
         return written
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
-        self.layer.call_h(self.handle, "truncate", size)
+        self.layer.call_h(self.handle, "truncate", size, ctx=ctx)
         self.layer.invalidate_handle(self.handle)
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("fsync")
         # NFS writes in this simulation are write-through already.
 
     # -- namespace --
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
         cached = self.layer._cached_name(self.handle, name)
         if cached is not None:
             return NfsClientVnode(self.layer, cached.handle)
-        reply = self.layer.call_h(self.handle, "lookup", name)
+        reply = self.layer.call_h(self.handle, "lookup", name, ctx=ctx)
         assert isinstance(reply, LookupReply)
         self.layer._cache_name(self.handle, name, reply)
         return self._wrap(reply)
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
-        reply = self.layer.call_h(self.handle, "create", name, perm, cred.uid)
+        reply = self.layer.call_h(self.handle, "create", name, perm, ctx=ctx)
         assert isinstance(reply, LookupReply)
         self.layer.invalidate_handle(self.handle)
         self.layer._cache_name(self.handle, name, reply)
         return self._wrap(reply)
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
-        self.layer.call_h(self.handle, "remove", name)
+        self.layer.call_h(self.handle, "remove", name, ctx=ctx)
         self.layer._name_cache.pop((self.handle, name), None)
         self.layer.invalidate_handle(self.handle)
 
-    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("link")
         if not isinstance(target, NfsClientVnode):
             raise StaleFileHandle("link target is not an NFS vnode")
-        self.layer.call("link", self.handle, target.handle, name)
+        self.layer.call("link", self.handle, target.handle, name, ctx=ctx)
         self.layer.invalidate_handle(self.handle)
         self.layer.invalidate_handle(target.handle)
 
@@ -331,46 +357,46 @@ class NfsClientVnode(Vnode):
         src_name: str,
         dst_dir: Vnode,
         dst_name: str,
-        cred: Credential = ROOT_CRED,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         self.layer.counters.bump("rename")
         if not isinstance(dst_dir, NfsClientVnode):
             raise StaleFileHandle("rename destination is not an NFS vnode")
-        self.layer.call("rename", self.handle, src_name, dst_dir.handle, dst_name)
+        self.layer.call("rename", self.handle, src_name, dst_dir.handle, dst_name, ctx=ctx)
         self.layer._name_cache.pop((self.handle, src_name), None)
         self.layer._name_cache.pop((dst_dir.handle, dst_name), None)
         self.layer.invalidate_handle(self.handle)
         self.layer.invalidate_handle(dst_dir.handle)
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
-        reply = self.layer.call_h(self.handle, "mkdir", name, perm, cred.uid)
+        reply = self.layer.call_h(self.handle, "mkdir", name, perm, ctx=ctx)
         assert isinstance(reply, LookupReply)
         self.layer.invalidate_handle(self.handle)
         return self._wrap(reply)
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("rmdir")
-        self.layer.call_h(self.handle, "rmdir", name)
+        self.layer.call_h(self.handle, "rmdir", name, ctx=ctx)
         self.layer._name_cache.pop((self.handle, name), None)
         self.layer.invalidate_handle(self.handle)
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
-        rows = self.layer.call_h(self.handle, "readdir")
+        rows = self.layer.call_h(self.handle, "readdir", ctx=ctx)
         assert isinstance(rows, list)
         return [DirEntry(r.name, r.fileid, FileType(r.ftype)) for r in rows]
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("symlink")
-        reply = self.layer.call_h(self.handle, "symlink", name, target, cred.uid)
+        reply = self.layer.call_h(self.handle, "symlink", name, target, ctx=ctx)
         assert isinstance(reply, LookupReply)
         self.layer.invalidate_handle(self.handle)
         return self._wrap(reply)
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
         self.layer.counters.bump("readlink")
-        text = self.layer.call_h(self.handle, "readlink")
+        text = self.layer.call_h(self.handle, "readlink", ctx=ctx)
         assert isinstance(text, str)
         return text
 

@@ -15,16 +15,19 @@ from dataclasses import dataclass
 from repro.ufs.inode import FileAttributes
 
 #: Vnode operations that the NFS protocol has no call for.  The client
-#: accepts them and drops them on the floor, which is why the Ficus layers
-#: must smuggle open/close through ``lookup`` (paper Section 2.3).
+#: accepts them and drops them on the floor — which is why the protocol
+#: grew explicit ``session_open``/``session_close`` calls instead (the
+#: original Ficus smuggled them through ``lookup``, paper Section 2.3).
 DROPPED_OPERATIONS = ("open", "close")
 
-#: Optional RPC keyword carrying a serialized telemetry trace context
-#: (:meth:`repro.telemetry.TraceContext.to_wire`).  The server strips it
-#: before dispatching, so a client with tracing enabled interoperates with
-#: any server; when the server also traces, its span is parented on the
-#: deserialized context — this is how one trace tree crosses the NFS hop.
-TRACE_FIELD = "_trace"
+#: Optional RPC keyword carrying the serialized operation context
+#: (:meth:`repro.vnode.context.OpContext.to_wire`): credential, telemetry
+#: trace parentage, replica hints, cache-control flags — one structured
+#: field for everything a call carries besides its arguments.  The server
+#: strips it before dispatching, so a context-sending client interoperates
+#: with any server; when the server traces, its span is parented on the
+#: context's trace — this is how one trace tree crosses the NFS hop.
+CTX_FIELD = "_opctx"
 
 
 @dataclass(frozen=True)

@@ -9,16 +9,28 @@ Ficus uses this to place its logical and physical layers on different
 hosts: "The Ficus replication service layers are able to use NFS for
 transparent access to remote layers, without having to build a transport
 service" (paper Section 2.2).
+
+Every RPC may carry one structured operation-context field
+(:data:`~repro.nfs.protocol.CTX_FIELD`); the server rebuilds the
+:class:`~repro.vnode.context.OpContext` — credential, trace parentage,
+hints — and threads it into the exported layer's vnode operations.
 """
 
 from __future__ import annotations
 
 from repro.errors import StaleFileHandle
 from repro.net import Network
-from repro.nfs.protocol import TRACE_FIELD, LookupReply, NfsHandle, ReaddirEntry
-from repro.telemetry import NULL_TELEMETRY, Telemetry, TraceContext
+from repro.nfs.protocol import CTX_FIELD, LookupReply, NfsHandle, ReaddirEntry
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.ufs.inode import FileAttributes
-from repro.vnode.interface import ROOT_CRED, Credential, FileSystemLayer, SetAttrs, Vnode
+from repro.util import FicusFileHandle
+from repro.vnode.interface import (
+    ROOT_CTX,
+    FileSystemLayer,
+    OpContext,
+    SetAttrs,
+    Vnode,
+)
 
 
 class NfsServer:
@@ -60,26 +72,31 @@ class NfsServer:
             "readdir",
             "symlink",
             "readlink",
+            "session_open",
+            "session_close",
+            "getattrs_batch",
         ):
             network.register_rpc(addr, f"{service}.{op}", self._make_handler(op))
 
     def _make_handler(self, op: str):
-        """Wrap one RPC op: strip the trace protocol field, and when this
-        server traces, parent a server-side span on the wire context."""
+        """Wrap one RPC op: rebuild the operation context from the wire
+        field, and when this server traces, parent a server-side span on
+        the context's trace."""
         inner = getattr(self, f"_op_{op}")
 
         def handler(*args: object, **kwargs: object) -> object:
-            wire = kwargs.pop(TRACE_FIELD, None)
+            wire = kwargs.pop(CTX_FIELD, None)
+            ctx = ROOT_CTX if wire is None else OpContext.from_wire(wire)
             telemetry = self.telemetry
-            if wire is None or not telemetry.enabled:
-                return inner(*args, **kwargs)
+            if ctx.trace is None or not telemetry.enabled:
+                return inner(*args, ctx=ctx)
             with telemetry.tracer.span(
                 f"nfs.{op}",
                 layer="nfs-server",
                 host=self.addr,
-                parent=TraceContext.from_wire(wire),
+                parent=ctx.trace,
             ):
-                return inner(*args, **kwargs)
+                return inner(*args, ctx=ctx)
 
         return handler
 
@@ -120,60 +137,93 @@ class NfsServer:
 
     # -- RPC operation handlers ----------------------------------------------
 
-    def _op_root(self) -> LookupReply:
+    def _op_root(self, ctx: OpContext = ROOT_CTX) -> LookupReply:
         vnode = self.exported.root()
-        return LookupReply(self._handle_for(vnode), vnode.getattr())
+        return LookupReply(self._handle_for(vnode), vnode.getattr(ctx))
 
-    def _op_getattr(self, handle: NfsHandle) -> FileAttributes:
-        return self._resolve(handle).getattr()
+    def _op_getattr(self, handle: NfsHandle, ctx: OpContext = ROOT_CTX) -> FileAttributes:
+        return self._resolve(handle).getattr(ctx)
 
-    def _op_setattr(self, handle: NfsHandle, attrs: SetAttrs) -> FileAttributes:
+    def _op_setattr(
+        self, handle: NfsHandle, attrs: SetAttrs, ctx: OpContext = ROOT_CTX
+    ) -> FileAttributes:
         vnode = self._resolve(handle)
-        vnode.setattr(attrs)
-        return vnode.getattr()
+        vnode.setattr(attrs, ctx)
+        return vnode.getattr(ctx)
 
-    def _op_lookup(self, handle: NfsHandle, name: str) -> LookupReply:
-        child = self._resolve(handle).lookup(name, ROOT_CRED)
-        return LookupReply(self._handle_for(child), child.getattr())
+    def _op_lookup(self, handle: NfsHandle, name: str, ctx: OpContext = ROOT_CTX) -> LookupReply:
+        child = self._resolve(handle).lookup(name, ctx)
+        return LookupReply(self._handle_for(child), child.getattr(ctx))
 
-    def _op_read(self, handle: NfsHandle, offset: int, length: int) -> bytes:
-        return self._resolve(handle).read(offset, length)
+    def _op_read(
+        self, handle: NfsHandle, offset: int, length: int, ctx: OpContext = ROOT_CTX
+    ) -> bytes:
+        return self._resolve(handle).read(offset, length, ctx)
 
-    def _op_write(self, handle: NfsHandle, offset: int, data: bytes) -> int:
-        return self._resolve(handle).write(offset, data)
+    def _op_write(
+        self, handle: NfsHandle, offset: int, data: bytes, ctx: OpContext = ROOT_CTX
+    ) -> int:
+        return self._resolve(handle).write(offset, data, ctx)
 
-    def _op_truncate(self, handle: NfsHandle, size: int) -> None:
-        self._resolve(handle).truncate(size)
+    def _op_truncate(self, handle: NfsHandle, size: int, ctx: OpContext = ROOT_CTX) -> None:
+        self._resolve(handle).truncate(size, ctx)
 
-    def _op_create(self, handle: NfsHandle, name: str, perm: int, uid: int = 0) -> LookupReply:
-        child = self._resolve(handle).create(name, perm, Credential(uid=uid))
-        return LookupReply(self._handle_for(child), child.getattr())
+    def _op_create(
+        self, handle: NfsHandle, name: str, perm: int, ctx: OpContext = ROOT_CTX
+    ) -> LookupReply:
+        child = self._resolve(handle).create(name, perm, ctx)
+        return LookupReply(self._handle_for(child), child.getattr(ctx))
 
-    def _op_remove(self, handle: NfsHandle, name: str) -> None:
-        self._resolve(handle).remove(name)
+    def _op_remove(self, handle: NfsHandle, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._resolve(handle).remove(name, ctx)
 
-    def _op_link(self, dir_handle: NfsHandle, target: NfsHandle, name: str) -> None:
-        self._resolve(dir_handle).link(self._resolve(target), name)
+    def _op_link(
+        self, dir_handle: NfsHandle, target: NfsHandle, name: str, ctx: OpContext = ROOT_CTX
+    ) -> None:
+        self._resolve(dir_handle).link(self._resolve(target), name, ctx)
 
     def _op_rename(
-        self, src_dir: NfsHandle, src_name: str, dst_dir: NfsHandle, dst_name: str
+        self,
+        src_dir: NfsHandle,
+        src_name: str,
+        dst_dir: NfsHandle,
+        dst_name: str,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
-        self._resolve(src_dir).rename(src_name, self._resolve(dst_dir), dst_name)
+        self._resolve(src_dir).rename(src_name, self._resolve(dst_dir), dst_name, ctx)
 
-    def _op_mkdir(self, handle: NfsHandle, name: str, perm: int, uid: int = 0) -> LookupReply:
-        child = self._resolve(handle).mkdir(name, perm, Credential(uid=uid))
-        return LookupReply(self._handle_for(child), child.getattr())
+    def _op_mkdir(
+        self, handle: NfsHandle, name: str, perm: int, ctx: OpContext = ROOT_CTX
+    ) -> LookupReply:
+        child = self._resolve(handle).mkdir(name, perm, ctx)
+        return LookupReply(self._handle_for(child), child.getattr(ctx))
 
-    def _op_rmdir(self, handle: NfsHandle, name: str) -> None:
-        self._resolve(handle).rmdir(name)
+    def _op_rmdir(self, handle: NfsHandle, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._resolve(handle).rmdir(name, ctx)
 
-    def _op_readdir(self, handle: NfsHandle) -> list[ReaddirEntry]:
-        entries = self._resolve(handle).readdir()
+    def _op_readdir(self, handle: NfsHandle, ctx: OpContext = ROOT_CTX) -> list[ReaddirEntry]:
+        entries = self._resolve(handle).readdir(ctx)
         return [ReaddirEntry(e.name, e.fileid, int(e.ftype)) for e in entries]
 
-    def _op_symlink(self, handle: NfsHandle, name: str, target: str, uid: int = 0) -> LookupReply:
-        child = self._resolve(handle).symlink(name, target, Credential(uid=uid))
-        return LookupReply(self._handle_for(child), child.getattr())
+    def _op_symlink(
+        self, handle: NfsHandle, name: str, target: str, ctx: OpContext = ROOT_CTX
+    ) -> LookupReply:
+        child = self._resolve(handle).symlink(name, target, ctx)
+        return LookupReply(self._handle_for(child), child.getattr(ctx))
 
-    def _op_readlink(self, handle: NfsHandle) -> str:
-        return self._resolve(handle).readlink()
+    def _op_readlink(self, handle: NfsHandle, ctx: OpContext = ROOT_CTX) -> str:
+        return self._resolve(handle).readlink(ctx)
+
+    # -- Ficus extensions ------------------------------------------------------
+
+    def _op_session_open(self, handle: NfsHandle, fh_hex: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._resolve(handle).session_open(FicusFileHandle.from_hex(fh_hex), ctx)
+
+    def _op_session_close(self, handle: NfsHandle, fh_hex: str, ctx: OpContext = ROOT_CTX) -> bool:
+        return bool(self._resolve(handle).session_close(FicusFileHandle.from_hex(fh_hex), ctx))
+
+    def _op_getattrs_batch(
+        self, handle: NfsHandle, fh_hexes: list[str] | None, ctx: OpContext = ROOT_CTX
+    ) -> dict[str, object]:
+        fhs = None if fh_hexes is None else [FicusFileHandle.from_hex(h) for h in fh_hexes]
+        return self._resolve(handle).getattrs_batch(fhs, ctx).to_wire()

@@ -195,7 +195,7 @@ class FicusPhysicalLayer(FileSystemLayer):
             raise StaleFileHandle(f"physical layer has no vnode for fileid {fileid}")
         return vnode
 
-    # -- update sessions (open/close, possibly smuggled via lookup) ------------
+    # -- update sessions (open/close locally, session_open/close over NFS) ------
 
     def _session_key(self, store: ReplicaStore, fh: FicusFileHandle) -> tuple[int, FicusFileHandle]:
         return (id(store), fh.logical)
@@ -210,17 +210,22 @@ class FicusPhysicalLayer(FileSystemLayer):
 
     def session_close(
         self, store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle
-    ) -> None:
+    ) -> bool:
+        """Close one nesting level; True when this close ended a session
+        that actually updated the replica (the caller should notify)."""
         key = self._session_key(store, fh)
         session = self._sessions.get(key)
         if session is None or session.opens == 0:
-            return
+            return False
         session.opens -= 1
-        if session.opens == 0:
-            if session.dirty:
-                self._bump_file_vv(store, parent_fh, fh)
-            del self._sessions[key]
-            self._session_parents.pop(key, None)
+        if session.opens > 0:
+            return False
+        dirty = session.dirty
+        if dirty:
+            self._bump_file_vv(store, parent_fh, fh)
+        del self._sessions[key]
+        self._session_parents.pop(key, None)
+        return dirty
 
     def has_open_session(self, store: ReplicaStore, fh: FicusFileHandle) -> bool:
         session = self._sessions.get(self._session_key(store, fh))
@@ -232,10 +237,11 @@ class FicusPhysicalLayer(FileSystemLayer):
         """A write/truncate happened: advance the version vector.
 
         Inside an open/close session the bump is deferred to close so one
-        whole update session counts as a single update — this is what the
-        smuggled open/close information buys (paper Section 2.3: "Ficus is
-        able to use effectively the open/close information that NFS
-        intercepts and ignores").
+        whole update session counts as a single update — this is what
+        forwarding the open/close information buys (paper Section 2.3:
+        "Ficus is able to use effectively the open/close information that
+        NFS intercepts and ignores"; our NFS forwards it as the explicit
+        ``session_open``/``session_close`` operations).
         """
         key = self._session_key(store, fh)
         session = self._sessions.get(key)
@@ -273,6 +279,11 @@ class FicusPhysicalLayer(FileSystemLayer):
         trace_ctx = TraceContext.from_wire(payload.get("trace"))
         for volrep in self.stores:
             if volrep.volume == sender_volrep.volume:
+                if volrep == sender_volrep:
+                    # we host the replica the update was applied to (it was
+                    # driven here remotely over NFS): nothing to pull — the
+                    # notification only matters to the logical-layer cache
+                    continue
                 key = NewVersionKey(volrep=volrep, parent_fh=parent, fh=fh)
                 objkind = payload.get("objkind", "file")
                 existing = self._new_versions.get(key)

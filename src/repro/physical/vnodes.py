@@ -7,10 +7,12 @@ Section 2.6).  Its vnodes are:
 * :class:`PhysicalDirVnode` — one Ficus directory replica (or graft
   point).  Plain-name lookups perform the dual mapping (name -> Ficus file
   handle via the directory file, handle -> inode via the hex-encoded UFS
-  name).  Encoded ``@@op|...`` names carry the operations the vnode
-  interface lacks — open/close notification, access by handle, shadow and
-  commit for atomic propagation, version-vector maintenance — so that
-  everything works unmodified through an intervening NFS layer.
+  name).  Update-session bracketing and attribute fetches are first-class
+  vnode operations (``session_open``/``session_close``/``getattrs_batch``)
+  forwarded explicitly by our NFS; the remaining replica-addressed control
+  operations — access by handle, shadow and commit for atomic propagation,
+  version-vector maintenance — still travel as encoded ``@@op|...`` names
+  so they work unmodified through an intervening NFS layer.
 * :class:`PhysicalFileVnode` — one regular-file (or symlink) replica;
   writes advance the replica's version vector.
 
@@ -33,6 +35,7 @@ from repro.errors import (
 )
 from repro.physical.store import ReplicaStore
 from repro.physical.wire import (
+    AttrBatch,
     AuxAttributes,
     DirectoryEntry,
     EntryId,
@@ -42,7 +45,7 @@ from repro.physical.wire import (
 )
 from repro.ufs.inode import FileAttributes, FileType
 from repro.util import FicusFileHandle
-from repro.vnode.interface import ROOT_CRED, Credential, DirEntry, SetAttrs, Vnode
+from repro.vnode.interface import ROOT_CTX, DirEntry, OpContext, SetAttrs, Vnode
 from repro.vv import VersionVector
 
 #: Separator used when repairing a live-name collision: the colliding
@@ -86,16 +89,16 @@ class PhysicalRootVnode(Vnode):
     def __init__(self, layer: "FicusPhysicalLayer"):  # noqa: F821
         self.layer = layer
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
-        return self.layer.lower_root.getattr(cred)
+        return self.layer.lower_root.getattr(ctx)
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
         store = self.layer.store_by_hex(name)
         return self.layer.dir_vnode(store, store.root_handle())
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
         out = []
         for volrep, store in sorted(self.layer.stores.items(), key=lambda kv: kv[0].to_hex()):
@@ -167,52 +170,90 @@ class PhysicalDirVnode(Vnode):
 
     # -- attributes ----------------------------------------------------------
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
-        attrs = self._fdir_vnode().getattr(cred)
+        attrs = self._fdir_vnode().getattr(ctx)
         attrs = dataclasses.replace(attrs, ftype=FileType.DIRECTORY)
         self.layer.register_vnode(attrs.fileid, self)
         return attrs
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
         if attrs.size is not None:
             raise IsADirectory("cannot truncate a directory")
-        self._fdir_vnode().setattr(attrs, cred)
+        self._fdir_vnode().setattr(attrs, ctx)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         self.layer.counters.bump("access")
-        attrs = self.getattr(cred)
-        if cred.uid == 0:
+        attrs = self.getattr(ctx)
+        if ctx.cred.uid == 0:
             return True
-        shift = 6 if cred.uid == attrs.uid else 0
+        shift = 6 if ctx.cred.uid == attrs.uid else 0
         return (attrs.perm >> shift) & mode == mode
 
     # -- data: a Ficus directory IS a file, so it can be read ------------------
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         """Read the raw directory file (the logical layer and the
         reconciliation protocol parse entries from these bytes)."""
         self.layer.counters.bump("read")
-        return self._fdir_vnode().read(offset, length, cred)
+        return self._fdir_vnode().read(offset, length, ctx)
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         raise InvalidArgument("Ficus directories are mutated via insert/remove operations")
 
-    # -- lifetime: these actually arrive (encoded) via lookup when remote --------
+    # -- lifetime ---------------------------------------------------------------
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("open")
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
 
     def inactive(self) -> None:
         self.layer.counters.bump("inactive")
 
+    # -- update sessions and the attribute plane (first-class Ficus ops) --------
+
+    def session_open(self, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX) -> None:
+        """Begin an update session on the child file ``fh``."""
+        self.layer.counters.bump("session_open")
+        self.find_live_by_fh(fh)  # raises FileNotFound for dangling handles
+        self.layer.session_open(self.store, self.fh, fh.logical)
+
+    def session_close(self, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX) -> bool:
+        """End an update session; the coalesced version bump lands here.
+        Returns True when the closing session had updated the replica."""
+        self.layer.counters.bump("session_close")
+        return self.layer.session_close(self.store, self.fh, fh.logical)
+
+    def getattrs_batch(
+        self,
+        fhs: list[FicusFileHandle] | None = None,
+        ctx: OpContext = ROOT_CTX,
+    ) -> AttrBatch:
+        """This directory's aux record plus its stored children's, at once.
+
+        Replica selection needs the version vector of every candidate
+        anyway; returning them in one reply collapses the logical layer's
+        per-replica encoded-lookup probes into a single RPC.
+        """
+        self.layer.counters.bump("getattrs_batch")
+        wanted = None if fhs is None else {fh.logical for fh in fhs}
+        children: dict[FicusFileHandle, AuxAttributes] = {}
+        for entry in self.entries():
+            if not entry.live or entry.etype not in (EntryType.FILE, EntryType.SYMLINK):
+                continue
+            if wanted is not None and entry.fh not in wanted:
+                continue
+            if not self.store.has_file(self.fh, entry.fh):
+                continue  # entry known but contents not stored here
+            children[entry.fh] = self.store.read_file_aux(self.fh, entry.fh)
+        return AttrBatch(dir_aux=self.aux(), children=children)
+
     # -- namespace ---------------------------------------------------------------
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
         encoded = is_encoded_op(name)
         # enabled-check before building span arguments: lookup is the
@@ -235,14 +276,6 @@ class PhysicalDirVnode(Vnode):
     def _encoded_lookup(self, name: str) -> Vnode:
         """Dispatch an operation smuggled through the lookup service."""
         op, fields = decode_op(name)
-        if op == "open":
-            fh = FicusFileHandle.from_hex(fields[0])
-            self.layer.session_open(self.store, self.fh, fh)
-            return self._child_vnode(self.find_live_by_fh(fh))
-        if op == "close":
-            fh = FicusFileHandle.from_hex(fields[0])
-            self.layer.session_close(self.store, self.fh, fh)
-            return self._child_vnode(self.find_live_by_fh(fh))
         if op == "byfh":
             return self._child_vnode(self.find_live_by_fh(FicusFileHandle.from_hex(fields[0])))
         if op == "dir":
@@ -250,11 +283,6 @@ class PhysicalDirVnode(Vnode):
             if not self.store.has_directory(fh):
                 raise FileNotFound(f"directory {fh} not stored in this volume replica")
             return self.layer.dir_vnode(self.store, fh)
-        if op == "aux":
-            fh = FicusFileHandle.from_hex(fields[0])
-            return self.store.aux_vnode(self.fh, fh)
-        if op == "dauxv":
-            return self.store.dir_unix_vnode(self.fh).lookup(".faux")
         if op == "shadow":
             fh = FicusFileHandle.from_hex(fields[0])
             return self.store.shadow_vnode(self.fh, fh, create=True)
@@ -291,7 +319,7 @@ class PhysicalDirVnode(Vnode):
     # insert arrives as the name argument of create (paper Section 2.3
     # style overloading: NFS passes the string through untouched).
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
         if not is_encoded_op(name):
             raise InvalidArgument(
@@ -417,7 +445,7 @@ class PhysicalDirVnode(Vnode):
         entries.append(entry.killed(acks=merged_acks).with_acks(merged_acks, merged_acks2))
         self.store.write_entries(self.fh, entries)
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
         if not is_encoded_op(name):
             raise InvalidArgument(
@@ -486,21 +514,21 @@ class PhysicalDirVnode(Vnode):
         src_name: str,
         dst_dir: Vnode,
         dst_name: str,
-        cred: Credential = ROOT_CRED,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         raise NotSupported(
             "the logical layer composes rename from insert + remove; the "
             "physical layer has no rename of its own"
         )
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         # mkdir carries the same encoded insert as create
-        return self.create(name, perm, cred)
+        return self.create(name, perm, ctx)
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
-        self.remove(name, cred)
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self.remove(name, ctx)
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
         out = []
         type_map = {
@@ -561,13 +589,14 @@ class PhysicalFileVnode(Vnode):
 
     # -- lifetime --
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         """Works when the physical layer is local; when an NFS hop is in
-        between this never arrives — hence the encoded @@open lookup."""
+        between this never arrives — remote callers bracket updates with
+        ``session_open`` on the parent directory vnode instead."""
         self.layer.counters.bump("open")
         self.layer.session_open(self.store, self.parent_fh, self.fh)
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
         self.layer.session_close(self.store, self.parent_fh, self.fh)
 
@@ -576,79 +605,79 @@ class PhysicalFileVnode(Vnode):
 
     # -- data --
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            return self._contents().read(offset, length, cred)
+            return self._contents().read(offset, length, ctx)
         with tracer.span("physical.read", layer="physical", host=self.layer.host_addr):
-            return self._contents().read(offset, length, cred)
+            return self._contents().read(offset, length, ctx)
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            return self._write_impl(offset, data, cred)
+            return self._write_impl(offset, data, ctx)
         with tracer.span(
             "physical.write", layer="physical", host=self.layer.host_addr, bytes=len(data)
         ):
-            return self._write_impl(offset, data, cred)
+            return self._write_impl(offset, data, ctx)
 
-    def _write_impl(self, offset: int, data: bytes, cred: Credential) -> int:
-        written = self._contents().write(offset, data, cred)
+    def _write_impl(self, offset: int, data: bytes, ctx: OpContext) -> int:
+        written = self._contents().write(offset, data, ctx)
         self.layer.note_update(self.store, self.parent_fh, self.fh)
         return written
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            self._contents().truncate(size, cred)
+            self._contents().truncate(size, ctx)
             self.layer.note_update(self.store, self.parent_fh, self.fh)
             return
         with tracer.span("physical.truncate", layer="physical", host=self.layer.host_addr):
-            self._contents().truncate(size, cred)
+            self._contents().truncate(size, ctx)
             self.layer.note_update(self.store, self.parent_fh, self.fh)
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("fsync")
-        self._contents().fsync(cred)
+        self._contents().fsync(ctx)
 
     # -- attributes --
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
-        attrs = self._contents().getattr(cred)
+        attrs = self._contents().getattr(ctx)
         if self.etype == EntryType.SYMLINK:
             attrs = dataclasses.replace(attrs, ftype=FileType.SYMLINK)
         self.layer.register_vnode(attrs.fileid, self)
         return attrs
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
-        self._contents().setattr(attrs, cred)
+        self._contents().setattr(attrs, ctx)
         if attrs.size is not None:
             self.layer.note_update(self.store, self.parent_fh, self.fh)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         self.layer.counters.bump("access")
-        attrs = self.getattr(cred)
-        if cred.uid == 0:
+        attrs = self.getattr(ctx)
+        if ctx.cred.uid == 0:
             return True
-        shift = 6 if cred.uid == attrs.uid else 0
+        shift = 6 if ctx.cred.uid == attrs.uid else 0
         return (attrs.perm >> shift) & mode == mode
 
     # -- symlink --
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
         self.layer.counters.bump("readlink")
         if self.etype != EntryType.SYMLINK:
             raise InvalidArgument("not a symlink")
-        return self._contents().read_all(cred).decode("utf-8")
+        return self._contents().read_all(ctx).decode("utf-8")
 
     # -- directories only --
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         raise NotADirectory(f"{self.fh} is not a directory")
 
     def __repr__(self) -> str:

@@ -7,15 +7,16 @@ Two kinds of byte formats live here:
   attributes [are] stored in an auxiliary file" (paper Section 2.6).
 
 * **Encoded vnode operations.**  The vnode interface predates Ficus, and
-  NFS drops calls it does not know (open/close) — so Ficus "overloaded the
-  lookup service by encoding an open/close request as a null-terminated
+  the original NFS dropped calls it did not know — so Ficus "overloaded
+  the lookup service by encoding an open/close request as a null-terminated
   ASCII string of sufficient length to be passed on by NFS without
-  interpretation or interference" (Section 2.3).  We encode *all* Ficus
-  control operations this way (open, close, shadow access, commit, version
-  merging), and the entry-management operations through the name argument
-  of create/remove.  The footnoted cost is reproduced exactly: the
-  encoding overhead shrinks the usable name component from 255 to about
-  200 characters.
+  interpretation or interference" (Section 2.3).  Our NFS now forwards
+  session open/close and attribute batches as first-class operations, so
+  only the *replica-addressed* control operations remain encoded (shadow
+  access, commit, version merging, by-handle fetches) plus the
+  entry-management operations through the name argument of create/remove.
+  The footnoted cost is reproduced exactly: the encoding overhead shrinks
+  the usable name component from 255 to about 200 characters.
 """
 
 from __future__ import annotations
@@ -207,6 +208,46 @@ class AuxAttributes:
             raise InvalidArgument(f"aux record missing field {exc}") from exc
 
 
+@dataclass
+class AttrBatch:
+    """One directory's worth of auxiliary attributes, fetched in one call.
+
+    The reply of the ``getattrs_batch`` vnode operation: the directory's
+    own aux record plus the aux records of the children stored at this
+    replica, keyed by the logical half of their file handle (stable across
+    replicas, unlike the physical half).  This is the attribute plane —
+    replica selection needs every version vector of a directory anyway, so
+    shipping them together turns O(children) encoded-lookup RPCs into one.
+    """
+
+    dir_aux: AuxAttributes
+    children: dict[FicusFileHandle, AuxAttributes] = field(default_factory=dict)
+
+    def child(self, fh: FicusFileHandle) -> AuxAttributes | None:
+        return self.children.get(fh.logical)
+
+    def to_wire(self) -> dict[str, object]:
+        return {
+            "dir": self.dir_aux.to_bytes(),
+            "children": {fh.to_hex(): v.to_bytes() for fh, v in self.children.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "AttrBatch":
+        if not isinstance(payload, dict) or "dir" not in payload:
+            raise InvalidArgument("malformed attribute batch")
+        children = payload.get("children", {})
+        if not isinstance(children, dict):
+            raise InvalidArgument("malformed attribute batch children")
+        return cls(
+            dir_aux=AuxAttributes.from_bytes(payload["dir"]),
+            children={
+                FicusFileHandle.from_hex(k): AuxAttributes.from_bytes(v)
+                for k, v in children.items()
+            },
+        )
+
+
 def encode_directory(entries: list[DirectoryEntry]) -> bytes:
     """Serialize a Ficus directory to its UFS file contents."""
     lines = [encode_record(entry.to_record()) for entry in entries]
@@ -257,16 +298,6 @@ def decode_op(name: str) -> tuple[str, list[str]]:
 # Specific operation builders, so call sites stay typo-proof.
 
 
-def op_open(fh: FicusFileHandle) -> str:
-    """Open notification for a file, smuggled through lookup."""
-    return encode_op("open", fh.to_hex())
-
-
-def op_close(fh: FicusFileHandle) -> str:
-    """Close notification for a file, smuggled through lookup."""
-    return encode_op("close", fh.to_hex())
-
-
 def op_byfh(fh: FicusFileHandle) -> str:
     """Fetch a child vnode directly by file handle."""
     return encode_op("byfh", fh.to_hex())
@@ -279,16 +310,6 @@ def op_dir(fh: FicusFileHandle) -> str:
     replicas directly instead of walking the path.
     """
     return encode_op("dir", fh.to_hex())
-
-
-def op_aux(fh: FicusFileHandle) -> str:
-    """Fetch the auxiliary-attribute vnode of a child."""
-    return encode_op("aux", fh.to_hex())
-
-
-def op_dir_aux() -> str:
-    """Fetch this directory's own auxiliary-attribute vnode."""
-    return encode_op("dauxv")
 
 
 def op_shadow(fh: FicusFileHandle) -> str:

@@ -34,14 +34,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import FileNotFound, HostUnreachable, StaleFileHandle
 from repro.physical import (
-    AuxAttributes,
     FicusPhysicalLayer,
     PhysicalDirVnode,
     ReplicaStore,
     count_name_collisions,
     decode_directory,
 )
-from repro.physical.wire import EntryType, op_dir_aux
+from repro.physical.wire import EntryType
 from repro.util import FicusFileHandle
 from repro.vnode.interface import Vnode, read_whole
 from repro.vv import Ordering
@@ -91,7 +90,8 @@ def reconcile_directory(
 
     try:
         remote_entries = decode_directory(read_whole(remote_dir))
-        remote_aux = AuxAttributes.from_bytes(read_whole(remote_dir.lookup(op_dir_aux())))
+        # an empty-list batch carries just the directory's own aux record
+        remote_aux = remote_dir.getattrs_batch([]).dir_aux
     except (HostUnreachable, FileNotFound, StaleFileHandle):
         # StaleFileHandle: the remote rebooted and client caches were
         # scrubbed by the failure itself; the next periodic run succeeds

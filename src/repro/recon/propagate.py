@@ -18,8 +18,8 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import FileNotFound, HostUnreachable, StaleFileHandle
-from repro.physical import AuxAttributes, FicusPhysicalLayer, ReplicaStore
-from repro.physical.wire import op_aux, op_byfh
+from repro.physical import FicusPhysicalLayer, ReplicaStore
+from repro.physical.wire import op_byfh
 from repro.util import FicusFileHandle
 from repro.vnode.interface import Vnode, read_whole
 from repro.vv import Ordering, VersionVector
@@ -64,11 +64,15 @@ def pull_file(
     )
 
     try:
-        remote_aux = AuxAttributes.from_bytes(read_whole(remote_dir.lookup(op_aux(fh))))
+        remote_aux = remote_dir.getattrs_batch([fh]).child(fh)
     except FileNotFound:
         return PullResult(PullOutcome.REMOTE_MISSING, local_vv, VersionVector())
     except (HostUnreachable, StaleFileHandle):
         return PullResult(PullOutcome.UNREACHABLE, local_vv, VersionVector())
+    if remote_aux is None:
+        # the batch answers for the whole directory in one call; a missing
+        # child record means the remote replica does not store the file
+        return PullResult(PullOutcome.REMOTE_MISSING, local_vv, VersionVector())
 
     remote_vv = remote_aux.vv
     order = local_vv.compare(remote_vv)

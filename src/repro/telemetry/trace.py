@@ -30,8 +30,8 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
-#: Wire keys used when a TraceContext rides inside an RPC call or a
-#: datagram payload (see repro.nfs.protocol.TRACE_FIELD).
+#: Wire keys used when a TraceContext rides inside an RPC call (within the
+#: operation context of repro.nfs.protocol.CTX_FIELD) or a datagram payload.
 _WIRE_TRACE = "trace_id"
 _WIRE_SPAN = "span_id"
 

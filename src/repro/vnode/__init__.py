@@ -1,8 +1,7 @@
 """Stackable vnode layer framework (paper Section 2)."""
 
+from repro.vnode.context import ROOT_CRED, ROOT_CTX, Credential, OpContext
 from repro.vnode.interface import (
-    ROOT_CRED,
-    Credential,
     DirEntry,
     FileSystemLayer,
     OpCounters,
@@ -20,9 +19,11 @@ __all__ = [
     "MountLayer",
     "MountVnode",
     "NullLayer",
+    "OpContext",
     "OpCounters",
     "PassthroughVnode",
     "ROOT_CRED",
+    "ROOT_CTX",
     "SetAttrs",
     "UfsLayer",
     "UfsVnode",

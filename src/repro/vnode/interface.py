@@ -9,27 +9,40 @@ above and below, which is what makes the layers stackable.
 The symmetric-interface property is the whole point: a layer cannot tell
 whether the layer beneath it is local UFS, another Ficus layer, or an NFS
 hop to a different host.
+
+Every operation takes an :class:`~repro.vnode.context.OpContext` carrying
+identity, trace parentage, and cache-control flags; see that module.  The
+interface also carries three operations the original SunOS set lacked but
+Ficus needs first-class (rather than smuggled through ``lookup`` names):
+``session_open``/``session_close`` for replica update sessions, and
+``getattrs_batch`` for the batched attribute plane.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import NotSupported
 from repro.ufs.inode import FileAttributes, FileType
+from repro.vnode.context import ROOT_CRED, ROOT_CTX, Credential, OpContext
 
+if TYPE_CHECKING:
+    from repro.physical.wire import AttrBatch, EntryId
 
-@dataclass(frozen=True)
-class Credential:
-    """Identity presented with each vnode call (cred in SunOS)."""
-
-    uid: int = 0
-    gids: tuple[int, ...] = ()
-
-
-#: The default credential used when callers do not care about identity.
-ROOT_CRED = Credential(uid=0)
+__all__ = [
+    "Credential",
+    "ROOT_CRED",
+    "OpContext",
+    "ROOT_CTX",
+    "DirEntry",
+    "SetAttrs",
+    "OpCounters",
+    "Vnode",
+    "read_whole",
+    "FileSystemLayer",
+]
 
 
 @dataclass(frozen=True)
@@ -104,15 +117,18 @@ class Vnode(abc.ABC):
         "bmap",
         "truncate",
         "sync",
+        "session_open",
+        "session_close",
+        "getattrs_batch",
     )
 
     # -- object lifetime ----------------------------------------------------
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         """Prepare the object for I/O.  NFS famously drops this call."""
         raise NotSupported("open")
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         """Release the object.  NFS famously drops this call too."""
         raise NotSupported("close")
 
@@ -122,23 +138,23 @@ class Vnode(abc.ABC):
 
     # -- data ----------------------------------------------------------------
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         raise NotSupported("read")
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         """Write bytes; returns the number written."""
         raise NotSupported("write")
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         raise NotSupported("truncate")
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
         raise NotSupported("fsync")
 
-    def ioctl(self, command: str, argument: object = None, cred: Credential = ROOT_CRED) -> object:
+    def ioctl(self, command: str, argument: object = None, ctx: OpContext = ROOT_CTX) -> object:
         raise NotSupported("ioctl")
 
-    def select(self, which: str, cred: Credential = ROOT_CRED) -> bool:
+    def select(self, which: str, ctx: OpContext = ROOT_CTX) -> bool:
         raise NotSupported("select")
 
     def bmap(self, file_block: int) -> int:
@@ -149,27 +165,27 @@ class Vnode(abc.ABC):
 
     # -- attributes -------------------------------------------------------------
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         raise NotSupported("getattr")
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         raise NotSupported("setattr")
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         raise NotSupported("access")
 
     # -- namespace ---------------------------------------------------------------
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> "Vnode":
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> "Vnode":
         raise NotSupported("lookup")
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> "Vnode":
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> "Vnode":
         raise NotSupported("create")
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         raise NotSupported("remove")
 
-    def link(self, target: "Vnode", name: str, cred: Credential = ROOT_CRED) -> None:
+    def link(self, target: "Vnode", name: str, ctx: OpContext = ROOT_CTX) -> None:
         raise NotSupported("link")
 
     def rename(
@@ -177,24 +193,54 @@ class Vnode(abc.ABC):
         src_name: str,
         dst_dir: "Vnode",
         dst_name: str,
-        cred: Credential = ROOT_CRED,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         raise NotSupported("rename")
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> "Vnode":
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> "Vnode":
         raise NotSupported("mkdir")
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         raise NotSupported("rmdir")
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         raise NotSupported("readdir")
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> "Vnode":
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> "Vnode":
         raise NotSupported("symlink")
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
         raise NotSupported("readlink")
+
+    # -- Ficus extensions (first-class, not smuggled through lookup) -----------
+
+    def session_open(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> None:
+        """Begin an update session on the replica holding ``fh``.
+
+        Directory vnodes implement this for their children; the physical
+        layer coalesces version-vector bumps per open session (one bump at
+        session close instead of one per write).
+        """
+        raise NotSupported("session_open")
+
+    def session_close(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> bool:
+        """End an update session; flushes the coalesced version bump.
+        Returns True when the closing session updated the object."""
+        raise NotSupported("session_close")
+
+    def getattrs_batch(
+        self,
+        fhs: list["EntryId"] | None = None,
+        ctx: OpContext = ROOT_CTX,
+    ) -> "AttrBatch":
+        """Fetch this directory's aux record plus its children's in one call.
+
+        ``fhs=None`` means "all children stored here"; a list restricts the
+        result.  This is the attribute plane: one RPC returns every version
+        vector the logical layer needs for replica selection, replacing one
+        encoded-lookup RPC per replica per open.
+        """
+        raise NotSupported("getattrs_batch")
 
     # -- conveniences shared by all layers -----------------------------------------
 
@@ -202,20 +248,20 @@ class Vnode(abc.ABC):
     def is_dir(self) -> bool:
         return self.getattr().ftype == FileType.DIRECTORY
 
-    def read_all(self, cred: Credential = ROOT_CRED) -> bytes:
+    def read_all(self, ctx: OpContext = ROOT_CTX) -> bytes:
         """Read the entire contents (getattr + read)."""
-        return self.read(0, self.getattr(cred).size, cred)
+        return self.read(0, self.getattr(ctx).size, ctx)
 
-    def walk(self, path: str, cred: Credential = ROOT_CRED) -> "Vnode":
+    def walk(self, path: str, ctx: OpContext = ROOT_CTX) -> "Vnode":
         """Resolve a slash-separated relative path via repeated lookup."""
         node: Vnode = self
         for part in path.split("/"):
             if part:
-                node = node.lookup(part, cred)
+                node = node.lookup(part, ctx)
         return node
 
 
-def read_whole(vnode: "Vnode", chunk: int = 1 << 20, cred: Credential = ROOT_CRED) -> bytes:
+def read_whole(vnode: "Vnode", chunk: int = 1 << 20, ctx: OpContext = ROOT_CTX) -> bytes:
     """Read a vnode to EOF without trusting getattr's size.
 
     Through an NFS hop, getattr may serve a *cached, stale* size (the
@@ -228,7 +274,7 @@ def read_whole(vnode: "Vnode", chunk: int = 1 << 20, cred: Credential = ROOT_CRE
     pieces = []
     offset = 0
     while True:
-        data = vnode.read(offset, chunk, cred)
+        data = vnode.read(offset, chunk, ctx)
         if not data:
             break
         pieces.append(data)

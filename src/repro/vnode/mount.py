@@ -14,10 +14,10 @@ from __future__ import annotations
 from repro.errors import CrossDevice, FileNotFound, InvalidArgument
 from repro.ufs.inode import FileAttributes
 from repro.vnode.interface import (
-    ROOT_CRED,
-    Credential,
+    ROOT_CTX,
     DirEntry,
     FileSystemLayer,
+    OpContext,
     SetAttrs,
     Vnode,
 )
@@ -105,7 +105,7 @@ class MountVnode(Vnode):
 
     # -- namespace: the interesting part --
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
         child_path = (*self.path, name)
         mounted = self.layer._covering_mount(child_path)
@@ -113,90 +113,90 @@ class MountVnode(Vnode):
             # crossing a mount point: the mounted layer's root covers the
             # underlying directory
             return self._wrap(mounted.root(), child_path)
-        return self._wrap(self.lower.lookup(name, cred), child_path)
+        return self._wrap(self.lower.lookup(name, ctx), child_path)
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
         if self.layer._covering_mount((*self.path, name)) is not None:
             raise InvalidArgument(f"{name!r} is a mount point")
-        return self._wrap(self.lower.create(name, perm, cred), (*self.path, name))
+        return self._wrap(self.lower.create(name, perm, ctx), (*self.path, name))
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
-        return self._wrap(self.lower.mkdir(name, perm, cred), (*self.path, name))
+        return self._wrap(self.lower.mkdir(name, perm, ctx), (*self.path, name))
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
         if self.layer._covering_mount((*self.path, name)) is not None:
             raise InvalidArgument(f"cannot remove mount point {name!r}")
-        self.lower.remove(name, cred)
+        self.lower.remove(name, ctx)
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("rmdir")
         if self.layer._covering_mount((*self.path, name)) is not None:
             raise InvalidArgument(f"cannot rmdir mount point {name!r}")
-        self.lower.rmdir(name, cred)
+        self.lower.rmdir(name, ctx)
 
     def rename(
-        self, src_name: str, dst_dir: Vnode, dst_name: str, cred: Credential = ROOT_CRED
+        self, src_name: str, dst_dir: Vnode, dst_name: str, ctx: OpContext = ROOT_CTX
     ) -> None:
         self.layer.counters.bump("rename")
         if not isinstance(dst_dir, MountVnode):
             raise InvalidArgument("rename destination must be in the mounted namespace")
         if self.layer._mount_owner(self.path) is not self.layer._mount_owner(dst_dir.path):
             raise CrossDevice("rename across mount boundaries")
-        self.lower.rename(src_name, self._unwrap(dst_dir), dst_name, cred)
+        self.lower.rename(src_name, self._unwrap(dst_dir), dst_name, ctx)
 
-    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("link")
         if not isinstance(target, MountVnode):
             raise InvalidArgument("link target must be in the mounted namespace")
         if self.layer._mount_owner(self.path) is not self.layer._mount_owner(target.path):
             raise CrossDevice("hard link across mount boundaries")
-        self.lower.link(self._unwrap(target), name, cred)
+        self.lower.link(self._unwrap(target), name, ctx)
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
-        return self.lower.readdir(cred)
+        return self.lower.readdir(ctx)
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("symlink")
-        return self._wrap(self.lower.symlink(name, target, cred), (*self.path, name))
+        return self._wrap(self.lower.symlink(name, target, ctx), (*self.path, name))
 
     # -- everything else passes straight through --
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
-        self.lower.open(cred)
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
+        self.lower.open(ctx)
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
-        self.lower.close(cred)
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
+        self.lower.close(ctx)
 
     def inactive(self) -> None:
         self.lower.inactive()
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
-        return self.lower.read(offset, length, cred)
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
+        return self.lower.read(offset, length, ctx)
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
-        return self.lower.write(offset, data, cred)
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
+        return self.lower.write(offset, data, ctx)
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
-        self.lower.truncate(size, cred)
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
+        self.lower.truncate(size, ctx)
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
-        self.lower.fsync(cred)
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
+        self.lower.fsync(ctx)
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
-        return self.lower.getattr(cred)
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
+        return self.lower.getattr(ctx)
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
-        self.lower.setattr(attrs, cred)
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
+        self.lower.setattr(attrs, ctx)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
-        return self.lower.access(mode, cred)
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
+        return self.lower.access(mode, ctx)
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
-        return self.lower.readlink(cred)
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
+        return self.lower.readlink(ctx)
 
     def __repr__(self) -> str:
         return f"MountVnode(/{'/'.join(self.path)})"

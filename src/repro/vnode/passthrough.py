@@ -10,15 +10,20 @@ storage for another vnode block").
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.ufs.inode import FileAttributes
 from repro.vnode.interface import (
-    ROOT_CRED,
-    Credential,
+    ROOT_CTX,
     DirEntry,
     FileSystemLayer,
+    OpContext,
     SetAttrs,
     Vnode,
 )
+
+if TYPE_CHECKING:
+    from repro.physical.wire import AttrBatch, EntryId
 
 
 class PassthroughVnode(Vnode):
@@ -38,13 +43,13 @@ class PassthroughVnode(Vnode):
 
     # -- lifetime --
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("open")
-        self.lower.open(cred)
+        self.lower.open(ctx)
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
-        self.lower.close(cred)
+        self.lower.close(ctx)
 
     def inactive(self) -> None:
         self.layer.counters.bump("inactive")
@@ -52,87 +57,105 @@ class PassthroughVnode(Vnode):
 
     # -- data --
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
-        return self.lower.read(offset, length, cred)
+        return self.lower.read(offset, length, ctx)
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
-        return self.lower.write(offset, data, cred)
+        return self.lower.write(offset, data, ctx)
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
-        self.lower.truncate(size, cred)
+        self.lower.truncate(size, ctx)
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("fsync")
-        self.lower.fsync(cred)
+        self.lower.fsync(ctx)
 
-    def ioctl(self, command: str, argument: object = None, cred: Credential = ROOT_CRED) -> object:
+    def ioctl(self, command: str, argument: object = None, ctx: OpContext = ROOT_CTX) -> object:
         self.layer.counters.bump("ioctl")
-        return self.lower.ioctl(command, argument, cred)
+        return self.lower.ioctl(command, argument, ctx)
 
     # -- attributes --
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
-        return self.lower.getattr(cred)
+        return self.lower.getattr(ctx)
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
-        self.lower.setattr(attrs, cred)
+        self.lower.setattr(attrs, ctx)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         self.layer.counters.bump("access")
-        return self.lower.access(mode, cred)
+        return self.lower.access(mode, ctx)
 
     # -- namespace --
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
-        return self._wrap(self.lower.lookup(name, cred))
+        return self._wrap(self.lower.lookup(name, ctx))
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
-        return self._wrap(self.lower.create(name, perm, cred))
+        return self._wrap(self.lower.create(name, perm, ctx))
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
-        self.lower.remove(name, cred)
+        self.lower.remove(name, ctx)
 
-    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("link")
-        self.lower.link(self._unwrap(target), name, cred)
+        self.lower.link(self._unwrap(target), name, ctx)
 
     def rename(
         self,
         src_name: str,
         dst_dir: Vnode,
         dst_name: str,
-        cred: Credential = ROOT_CRED,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         self.layer.counters.bump("rename")
-        self.lower.rename(src_name, self._unwrap(dst_dir), dst_name, cred)
+        self.lower.rename(src_name, self._unwrap(dst_dir), dst_name, ctx)
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
-        return self._wrap(self.lower.mkdir(name, perm, cred))
+        return self._wrap(self.lower.mkdir(name, perm, ctx))
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("rmdir")
-        self.lower.rmdir(name, cred)
+        self.lower.rmdir(name, ctx)
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
-        return self.lower.readdir(cred)
+        return self.lower.readdir(ctx)
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("symlink")
-        return self._wrap(self.lower.symlink(name, target, cred))
+        return self._wrap(self.lower.symlink(name, target, ctx))
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
         self.layer.counters.bump("readlink")
-        return self.lower.readlink(cred)
+        return self.lower.readlink(ctx)
+
+    # -- Ficus extensions --
+
+    def session_open(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> None:
+        self.layer.counters.bump("session_open")
+        self.lower.session_open(fh, ctx)
+
+    def session_close(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> bool:
+        self.layer.counters.bump("session_close")
+        return self.lower.session_close(fh, ctx)
+
+    def getattrs_batch(
+        self,
+        fhs: list["EntryId"] | None = None,
+        ctx: OpContext = ROOT_CTX,
+    ) -> "AttrBatch":
+        self.layer.counters.bump("getattrs_batch")
+        return self.lower.getattrs_batch(fhs, ctx)
 
     def __repr__(self) -> str:
         return f"PassthroughVnode({self.layer.layer_name}, {self.lower!r})"

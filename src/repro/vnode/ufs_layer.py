@@ -11,10 +11,10 @@ from repro.errors import FicusError, PermissionDenied
 from repro.ufs import ROOT_INO, FileType, Ufs
 from repro.ufs.inode import FileAttributes
 from repro.vnode.interface import (
-    ROOT_CRED,
-    Credential,
+    ROOT_CTX,
     DirEntry,
     FileSystemLayer,
+    OpContext,
     SetAttrs,
     Vnode,
 )
@@ -42,72 +42,72 @@ class UfsVnode(Vnode):
 
     # -- lifetime: UFS keeps no open state, but honours the calls -------------
 
-    def open(self, cred: Credential = ROOT_CRED) -> None:
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("open")
 
-    def close(self, cred: Credential = ROOT_CRED) -> None:
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
 
     def inactive(self) -> None:
         self.layer.counters.bump("inactive")
 
-    def fsync(self, cred: Credential = ROOT_CRED) -> None:
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("fsync")
         # write-through buffer cache: everything is already on the device
 
     # -- data --
 
-    def read(self, offset: int, length: int, cred: Credential = ROOT_CRED) -> bytes:
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
         return self.fs.read_file(self.ino, offset, length)
 
-    def write(self, offset: int, data: bytes, cred: Credential = ROOT_CRED) -> int:
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
         self.fs.write_file(self.ino, offset, data)
         return len(data)
 
-    def truncate(self, size: int, cred: Credential = ROOT_CRED) -> None:
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
         self.fs.truncate_file(self.ino, size)
 
     # -- attributes --
 
-    def getattr(self, cred: Credential = ROOT_CRED) -> FileAttributes:
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
         self.layer.counters.bump("getattr")
         return self.fs.getattr(self.ino)
 
-    def setattr(self, attrs: SetAttrs, cred: Credential = ROOT_CRED) -> None:
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("setattr")
         if attrs.size is not None:
             self.fs.truncate_file(self.ino, attrs.size)
         if attrs.perm is not None or attrs.uid is not None:
             self.fs.setattr(self.ino, perm=attrs.perm, uid=attrs.uid)
 
-    def access(self, mode: int, cred: Credential = ROOT_CRED) -> bool:
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
         """Classic Unix permission check against owner/other bits."""
         self.layer.counters.bump("access")
         attrs = self.fs.getattr(self.ino)
-        if cred.uid == 0:
+        if ctx.cred.uid == 0:
             return True
         perm = attrs.perm
-        shift = 6 if cred.uid == attrs.uid else 0
+        shift = 6 if ctx.cred.uid == attrs.uid else 0
         return (perm >> shift) & mode == mode
 
     # -- namespace --
 
-    def lookup(self, name: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
         return self._node(self.fs.lookup(self.ino, name))
 
-    def create(self, name: str, perm: int = 0o644, cred: Credential = ROOT_CRED) -> Vnode:
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
-        return self._node(self.fs.create(self.ino, name, perm=perm, uid=cred.uid))
+        return self._node(self.fs.create(self.ino, name, perm=perm, uid=ctx.cred.uid))
 
-    def remove(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
         self.fs.unlink(self.ino, name)
 
-    def link(self, target: Vnode, name: str, cred: Credential = ROOT_CRED) -> None:
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("link")
         if not isinstance(target, UfsVnode) or target.layer is not self.layer:
             raise PermissionDenied("cross-layer hard link")
@@ -118,22 +118,22 @@ class UfsVnode(Vnode):
         src_name: str,
         dst_dir: Vnode,
         dst_name: str,
-        cred: Credential = ROOT_CRED,
+        ctx: OpContext = ROOT_CTX,
     ) -> None:
         self.layer.counters.bump("rename")
         if not isinstance(dst_dir, UfsVnode) or dst_dir.layer is not self.layer:
             raise PermissionDenied("cross-layer rename")
         self.fs.rename(self.ino, src_name, dst_dir.ino, dst_name)
 
-    def mkdir(self, name: str, perm: int = 0o755, cred: Credential = ROOT_CRED) -> Vnode:
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
-        return self._node(self.fs.mkdir(self.ino, name, perm=perm, uid=cred.uid))
+        return self._node(self.fs.mkdir(self.ino, name, perm=perm, uid=ctx.cred.uid))
 
-    def rmdir(self, name: str, cred: Credential = ROOT_CRED) -> None:
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("rmdir")
         self.fs.rmdir(self.ino, name)
 
-    def readdir(self, cred: Credential = ROOT_CRED) -> list[DirEntry]:
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
         self.layer.counters.bump("readdir")
         out = []
         for name, ino in sorted(self.fs.readdir(self.ino).items()):
@@ -144,11 +144,11 @@ class UfsVnode(Vnode):
             out.append(DirEntry(name=name, fileid=ino, ftype=ftype))
         return out
 
-    def symlink(self, name: str, target: str, cred: Credential = ROOT_CRED) -> Vnode:
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("symlink")
-        return self._node(self.fs.symlink(self.ino, name, target, uid=cred.uid))
+        return self._node(self.fs.symlink(self.ino, name, target, uid=ctx.cred.uid))
 
-    def readlink(self, cred: Credential = ROOT_CRED) -> str:
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
         self.layer.counters.bump("readlink")
         return self.fs.readlink(self.ino)
 

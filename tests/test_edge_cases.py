@@ -15,7 +15,7 @@ from repro.sim import DaemonConfig, FicusSystem
 from repro.storage import BlockDevice
 from repro.ufs import FileType, Ufs
 from repro.util import VirtualClock
-from repro.vnode import Credential, SetAttrs, UfsLayer
+from repro.vnode import Credential, OpContext, SetAttrs, UfsLayer
 
 QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
 
@@ -54,9 +54,9 @@ class TestNfsEdges:
 
     def test_access_over_nfs(self, world):
         _, _, client = world
-        f = client.root().create("f", perm=0o600, cred=Credential(uid=5))
-        assert f.access(4, Credential(uid=5))
-        assert not f.access(4, Credential(uid=6))
+        f = client.root().create("f", perm=0o600, ctx=OpContext(cred=Credential(uid=5)))
+        assert f.access(4, OpContext(cred=Credential(uid=5)))
+        assert not f.access(4, OpContext(cred=Credential(uid=6)))
 
     def test_nfs_vnode_equality_and_hash(self, world):
         _, _, client = world

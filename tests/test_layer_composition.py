@@ -5,7 +5,7 @@ import pytest
 from repro.errors import PermissionDenied
 from repro.layers import AccessPolicy, AuthLayer, MonitorLayer
 from repro.sim import DaemonConfig, FicusSystem
-from repro.vnode import Credential, MountLayer
+from repro.vnode import Credential, MountLayer, OpContext
 
 QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
 
@@ -37,10 +37,10 @@ class TestAuthOverLogical:
         )
         root = auth.root()
         root.create("shared").write(0, b"x")  # uid 0 bypasses
-        reader = Credential(uid=9)
+        reader = OpContext(cred=Credential(uid=9))
         assert root.lookup("shared", reader).read(0, 1, reader) == b"x"
         with pytest.raises(PermissionDenied):
-            root.create("nope", cred=reader)
+            root.create("nope", ctx=reader)
         # host b is untouched by host a's auth layer: policy is per-stack
         system.host("b").fs().write_file("/from-b", b"fine")
 

@@ -8,7 +8,7 @@ from repro.errors import FileNotFound, PermissionDenied
 from repro.layers import AccessPolicy, AuthLayer, CryptLayer, Keystream, MonitorLayer
 from repro.storage import BlockDevice
 from repro.ufs import Ufs, fsck
-from repro.vnode import Credential, UfsLayer
+from repro.vnode import Credential, OpContext, UfsLayer
 
 
 @pytest.fixture
@@ -57,29 +57,29 @@ class TestAuthLayer:
     def test_denied_uid_blocked_everywhere(self, ufs_layer):
         auth = AuthLayer(ufs_layer, AccessPolicy(allowed_uids={100}))
         root = auth.root()
-        intruder = Credential(uid=200)
+        intruder = OpContext(cred=Credential(uid=200))
         with pytest.raises(PermissionDenied):
             root.lookup("anything", intruder)
         with pytest.raises(PermissionDenied):
-            root.create("f", cred=intruder)
+            root.create("f", ctx=intruder)
         assert auth.denials == 2
 
     def test_allowed_uid_passes(self, ufs_layer):
         auth = AuthLayer(ufs_layer, AccessPolicy(allowed_uids={100}))
         root = auth.root()
-        member = Credential(uid=100)
-        f = root.create("f", cred=member)
-        f.write(0, b"ok", cred=member)
+        member = OpContext(cred=Credential(uid=100))
+        f = root.create("f", ctx=member)
+        f.write(0, b"ok", ctx=member)
         assert root.lookup("f", member).read(0, 2, member) == b"ok"
 
     def test_read_only_uid(self, ufs_layer):
         auth = AuthLayer(ufs_layer, AccessPolicy(read_only_uids={50}))
         root = auth.root()
         root.create("f").write(0, b"public")
-        reader = Credential(uid=50)
+        reader = OpContext(cred=Credential(uid=50))
         assert root.lookup("f", reader).read(0, 6, reader) == b"public"
         with pytest.raises(PermissionDenied):
-            root.create("nope", cred=reader)
+            root.create("nope", ctx=reader)
         with pytest.raises(PermissionDenied):
             root.lookup("f", reader).write(0, b"x", reader)
 
@@ -92,7 +92,7 @@ class TestAuthLayer:
         auth = AuthLayer(ufs_layer, AccessPolicy(read_only_uids={50}))
         root = auth.root()
         f = root.create("f")
-        reader = Credential(uid=50)
+        reader = OpContext(cred=Credential(uid=50))
         with pytest.raises(PermissionDenied):
             root.rename("f", root, "g", reader)
         with pytest.raises(PermissionDenied):
@@ -170,7 +170,7 @@ class TestComposition:
         assert mon.profile["write"].calls == 1
         # the policy still bites
         with pytest.raises(PermissionDenied):
-            root.lookup("f").write(0, b"x", Credential(uid=9))
+            root.lookup("f").write(0, b"x", OpContext(cred=Credential(uid=9)))
 
     def test_crypt_under_ficus_stack(self):
         """Encryption below the physical layer: replica storage on disk is

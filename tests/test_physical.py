@@ -20,12 +20,9 @@ from repro.physical import (
     effective_entries,
     max_user_name_length,
     op_abort_shadow,
-    op_aux,
-    op_close,
     op_commit,
     op_insert,
     op_mergevv,
-    op_open,
     op_remove,
     op_setvv,
     op_shadow,
@@ -251,37 +248,37 @@ class TestNameCollisionRepair:
         assert len(view) == 1
 
 
-class TestOpenCloseSmuggling:
+class TestSessionOps:
     def test_session_coalesces_updates(self, world):
         """One open/close session = one version-vector update, however many
         writes happen inside (the information NFS drops, recovered)."""
         _, _, phys, store, root = world
         fh, vnode = insert_file(store, root, "f")
-        root.lookup(op_open(fh))
+        root.session_open(fh)
         vnode.write(0, b"a")
         vnode.write(1, b"b")
         vnode.write(2, b"c")
-        root.lookup(op_close(fh))
+        root.session_close(fh)
         assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
         assert phys.session_coalesced_updates == 3
 
     def test_nested_sessions_bump_once(self, world):
         _, _, phys, store, root = world
         fh, vnode = insert_file(store, root, "f")
-        root.lookup(op_open(fh))
-        root.lookup(op_open(fh))
+        root.session_open(fh)
+        root.session_open(fh)
         vnode.write(0, b"x")
-        root.lookup(op_close(fh))
+        root.session_close(fh)
         assert phys.has_open_session(store, fh)
-        root.lookup(op_close(fh))
+        root.session_close(fh)
         assert not phys.has_open_session(store, fh)
         assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
 
     def test_clean_session_no_bump(self, world):
         _, _, _, store, root = world
         fh, _ = insert_file(store, root, "f")
-        root.lookup(op_open(fh))
-        root.lookup(op_close(fh))
+        root.session_open(fh)
+        root.session_close(fh)
         assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector()
 
     def test_local_open_close_vnode_calls_also_work(self, world):
@@ -410,16 +407,16 @@ class TestPhysicalOverNfs:
         f.write(0, b"via nfs")
         assert root.lookup("remote").read_all() == b"via nfs"
 
-    def test_open_close_smuggled_through_lookup_survives_nfs(self, remote_root):
-        """E10: the encoded open/close travels as a lookup string that NFS
-        passes 'without interpretation or interference'."""
+    def test_session_ops_survive_nfs(self, remote_root):
+        """E10: open/close session boundaries travel as first-class vnode
+        operations over the NFS hop (no lookup-name smuggling)."""
         store, root = remote_root
         fh = FicusFileHandle(VOL, store.new_file_id())
         f = root.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE))
-        root.lookup(op_open(fh))
+        root.session_open(fh)
         f.write(0, b"a")
         f.write(1, b"b")
-        root.lookup(op_close(fh))
+        root.session_close(fh)
         assert store.read_file_aux(store.root_handle(), fh).vv == VersionVector({1: 1})
 
     def test_shadow_commit_over_nfs(self, remote_root):
@@ -434,10 +431,10 @@ class TestPhysicalOverNfs:
         store, root = remote_root
         fh = FicusFileHandle(VOL, store.new_file_id())
         root.create(op_insert(store.new_entry_id(), "f", fh, EntryType.FILE)).write(0, b"x")
-        from repro.physical import AuxAttributes
-
-        aux = AuxAttributes.from_bytes(root.lookup(op_aux(fh)).read_all())
-        assert aux.vv == VersionVector({1: 1})
+        batch = root.getattrs_batch([fh])
+        assert batch.child(fh).vv == VersionVector({1: 1})
+        # the directory's own aux record rides in the same reply
+        assert batch.dir_aux.vv == store.read_dir_aux(store.root_handle()).vv
 
     def test_dir_by_handle_over_nfs(self, remote_root):
         store, root = remote_root

@@ -7,6 +7,7 @@ from repro.storage import BlockDevice
 from repro.ufs import FileType, Ufs, fsck
 from repro.vnode import (
     Credential,
+    OpContext,
     NullLayer,
     SetAttrs,
     UfsLayer,
@@ -81,10 +82,10 @@ class TestUfsLayer:
         assert attrs.perm == 0o600 and attrs.uid == 42
 
     def test_access_owner_vs_other(self, root):
-        f = root.create("f", perm=0o640, cred=Credential(uid=7))
-        assert f.access(4, Credential(uid=7))  # owner read
-        assert not f.access(2, Credential(uid=9))  # other write
-        assert f.access(2, Credential(uid=0))  # root always
+        f = root.create("f", perm=0o640, ctx=OpContext(cred=Credential(uid=7)))
+        assert f.access(4, OpContext(cred=Credential(uid=7)))  # owner read
+        assert not f.access(2, OpContext(cred=Credential(uid=9)))  # other write
+        assert f.access(2, OpContext(cred=Credential(uid=0)))  # root always
 
     def test_symlink_readlink(self, root):
         lnk = root.symlink("l", "/a/b")

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate the full evaluation in one command.
 
-Prints every experiment table from EXPERIMENTS.md (E1–E15 and the A1–A4
+Prints every experiment table from EXPERIMENTS.md (E1–E16 and the A1–A4
 ablations) by invoking the same measurement code the pytest benchmarks
 use.  Pure stdout, no pytest required:
 
@@ -22,6 +22,9 @@ TELEMETRY_JSON = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 
 #: Where the attribute-plane / version-vector-cache export lands.
 ATTR_CACHE_JSON = Path(__file__).resolve().parent.parent / "BENCH_attr_cache.json"
+
+#: Where the incremental sync plane export lands.
+DELTA_SYNC_JSON = Path(__file__).resolve().parent.parent / "BENCH_delta_sync.json"
 
 
 def e1_layers() -> None:
@@ -224,6 +227,25 @@ def e15_attr_cache() -> None:
     )
 
 
+def e16_delta_sync() -> None:
+    from bench_delta_sync import check_bounds, delta_sync_snapshot
+
+    snap = delta_sync_snapshot()
+    DELTA_SYNC_JSON.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    violations = check_bounds(snap)
+    round_ = snap["no_change_round"]
+    delta = snap["delta_propagation"]
+    print(
+        f"[E16] incremental sync: no-change round over {round_['directories']} dirs "
+        f"= {round_['rpcs_per_peer']:.0f} RPCs/peer (full walk: "
+        f"{round_['legacy_full_walk_rpcs']}, {round_['speedup']:.0f}x); "
+        f"1-block edit of {delta['file_bytes'] >> 10} KiB file copied "
+        f"{delta['bytes_copied']} bytes ({delta['reduction_factor']:.0f}x less) "
+        f"-> {DELTA_SYNC_JSON.name}"
+        + ("".join(f"\n  BOUND VIOLATED: {v}" for v in violations))
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -243,6 +265,7 @@ def main() -> None:
         a1_to_a4_ablations,
         e14_telemetry,
         e15_attr_cache,
+        e16_delta_sync,
     ):
         section()
         print()

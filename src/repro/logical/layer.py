@@ -380,6 +380,7 @@ class FicusLogicalLayer(FileSystemLayer):
         parent_fh: FicusFileHandle,
         fh: FicusFileHandle,
         objkind: str = "file",
+        origin: str = "update",
     ) -> int:
         """Send the asynchronous multicast update notification.
 
@@ -436,6 +437,7 @@ class FicusLogicalLayer(FileSystemLayer):
             acting.host,
             objkind,
             trace=ctx.to_wire() if ctx is not None else None,
+            origin=origin,
         )
         delivered = self.network.multicast(self.host_addr, sorted(others), payload)
         self.notifications_sent += 1

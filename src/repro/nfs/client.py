@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.errors import RpcTimeout, StaleFileHandle
 from repro.net import Network
 from repro.nfs.protocol import CTX_FIELD, LookupReply, NfsHandle
-from repro.physical.wire import AttrBatch
+from repro.physical.wire import AttrBatch, BlockDigests, SyncProbe
 from repro.telemetry import NULL_SPAN, NULL_TELEMETRY, Telemetry
 from repro.ufs.inode import FileAttributes, FileType
 from repro.util import VirtualClock
@@ -267,6 +267,23 @@ class NfsClientVnode(Vnode):
         wire_fhs = None if fhs is None else [fh.to_hex() for fh in fhs]
         reply = self.layer.call_h(self.handle, "getattrs_batch", wire_fhs, ctx=ctx)
         return AttrBatch.from_wire(reply)
+
+    def sync_probe(self, fh=None, ctx: OpContext = ROOT_CTX) -> SyncProbe:
+        self.layer.counters.bump("sync_probe")
+        wire_fh = None if fh is None else fh.to_hex()
+        reply = self.layer.call_h(self.handle, "sync_probe", wire_fh, ctx=ctx)
+        return SyncProbe.from_wire(reply)
+
+    def block_digests(self, fh, ctx: OpContext = ROOT_CTX) -> BlockDigests:
+        self.layer.counters.bump("block_digests")
+        reply = self.layer.call_h(self.handle, "block_digests", fh.to_hex(), ctx=ctx)
+        return BlockDigests.from_wire(reply)
+
+    def read_blocks(self, fh, indices: list[int], ctx: OpContext = ROOT_CTX) -> dict[int, bytes]:
+        self.layer.counters.bump("read_blocks")
+        reply = self.layer.call_h(self.handle, "read_blocks", fh.to_hex(), list(indices), ctx=ctx)
+        assert isinstance(reply, list)
+        return {int(index): data for index, data in reply}
 
     # -- attributes --
 

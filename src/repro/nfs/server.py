@@ -75,6 +75,9 @@ class NfsServer:
             "session_open",
             "session_close",
             "getattrs_batch",
+            "sync_probe",
+            "block_digests",
+            "read_blocks",
         ):
             network.register_rpc(addr, f"{service}.{op}", self._make_handler(op))
 
@@ -227,3 +230,20 @@ class NfsServer:
     ) -> dict[str, object]:
         fhs = None if fh_hexes is None else [FicusFileHandle.from_hex(h) for h in fh_hexes]
         return self._resolve(handle).getattrs_batch(fhs, ctx).to_wire()
+
+    def _op_sync_probe(
+        self, handle: NfsHandle, fh_hex: str | None, ctx: OpContext = ROOT_CTX
+    ) -> dict[str, object]:
+        fh = None if fh_hex is None else FicusFileHandle.from_hex(fh_hex)
+        return self._resolve(handle).sync_probe(fh, ctx).to_wire()
+
+    def _op_block_digests(
+        self, handle: NfsHandle, fh_hex: str, ctx: OpContext = ROOT_CTX
+    ) -> dict[str, object]:
+        return self._resolve(handle).block_digests(FicusFileHandle.from_hex(fh_hex), ctx).to_wire()
+
+    def _op_read_blocks(
+        self, handle: NfsHandle, fh_hex: str, indices: list[int], ctx: OpContext = ROOT_CTX
+    ) -> list[list[object]]:
+        blocks = self._resolve(handle).read_blocks(FicusFileHandle.from_hex(fh_hex), indices, ctx)
+        return [[index, data] for index, data in sorted(blocks.items())]

@@ -69,6 +69,7 @@ def notification_payload(
     src_addr: str,
     objkind: str = "file",
     trace: dict[str, str] | None = None,
+    origin: str = "update",
 ) -> dict[str, object]:
     """Wire form of an update-notification datagram.
 
@@ -80,6 +81,12 @@ def notification_payload(
     ``trace`` optionally carries the sender's serialized trace context
     (:meth:`repro.telemetry.TraceContext.to_wire`) so the receiving host
     can parent its eventual propagation pull on the originating update.
+
+    ``origin="sync"`` marks a notification sent because propagation or
+    reconciliation *installed* a version that already exists elsewhere.
+    Receivers still invalidate their attribute caches, but do not create
+    a new-version note — otherwise two pullers would bounce install
+    notifications back and forth forever.
     """
     payload: dict[str, object] = {
         "kind": "new-version",
@@ -91,6 +98,8 @@ def notification_payload(
     }
     if trace is not None:
         payload["trace"] = trace
+    if origin != "update":
+        payload["origin"] = origin
     return payload
 
 
@@ -275,6 +284,12 @@ class FicusPhysicalLayer(FileSystemLayer):
         try:
             sender_volrep = VolumeReplicaId.from_hex(volrep_field)
         except InvalidArgument:
+            return
+        if payload.get("origin") == "sync":
+            # Propagation/recon installed a version that already exists at
+            # the sender's source; peers' logical caches must invalidate,
+            # but minting a new-version note here would make the two
+            # pullers notify each other in a loop.
             return
         trace_ctx = TraceContext.from_wire(payload.get("trace"))
         for volrep in self.stores:

@@ -34,16 +34,22 @@ from repro.errors import FileNotFound, InvalidArgument
 from repro.telemetry import MetricsRegistry
 from repro.physical.wire import (
     AUX_SUFFIX,
+    DELTA_BLOCK_SIZE,
+    EMPTY_DIGEST,
     FAUX_NAME,
     FDIR_NAME,
     META_NAME,
     SHADOW_SUFFIX,
     AuxAttributes,
+    BlockDigests,
     DirectoryEntry,
     EntryId,
     EntryType,
+    content_digest,
     decode_directory,
     encode_directory,
+    split_blocks,
+    xor_fold,
 )
 from repro.util import (
     FicusFileHandle,
@@ -66,6 +72,19 @@ def volume_root_handle(volume: VolumeId) -> FicusFileHandle:
     return FicusFileHandle(volume, ROOT_FILE_ID)
 
 
+def entries_fold(entries: list[DirectoryEntry]) -> str:
+    """Order-independent fold of a directory's entry records."""
+    fold = ""
+    for entry in entries:
+        fold = xor_fold(fold, content_digest(encode_record(entry.to_record())))
+    return fold
+
+
+def file_component(fh: FicusFileHandle, vv) -> str:
+    """One stored child file's contribution to its directory's fold."""
+    return content_digest(fh.logical.to_hex(), vv.encode())
+
+
 class ReplicaStore:
     """Reads and writes one volume replica's on-disk structures."""
 
@@ -80,6 +99,9 @@ class ReplicaStore:
         self._metrics = metrics
         self._base = lower_root.lookup(volrep.to_hex())
         self._nodes = self._base.lookup("nodes")
+        #: memoized subtree recon digests, cleared on every mutation; a
+        #: converged replica answers repeated sync probes from memory
+        self._subtree_memo: dict[FicusFileHandle, str] = {}
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self._metrics is not None:
@@ -198,6 +220,7 @@ class ReplicaStore:
         unix_dir.create(FDIR_NAME)
         aux = AuxAttributes(fh=fh.logical, etype=etype, refs=1, graft_volume=graft_volume)
         unix_dir.create(FAUX_NAME).write(0, aux.to_bytes())
+        self._subtree_memo.clear()
         return unix_dir
 
     def remove_directory_storage(self, fh: FicusFileHandle) -> None:
@@ -208,6 +231,7 @@ class ReplicaStore:
                 continue
             unix_dir.remove(entry.name)
         self._nodes.rmdir(self._dir_key(fh))
+        self._subtree_memo.clear()
 
     def read_entries(self, fh: FicusFileHandle) -> list[DirectoryEntry]:
         """All entries of a Ficus directory, tombstones included."""
@@ -220,16 +244,46 @@ class ReplicaStore:
         fdir.truncate(0)
         if data:
             fdir.write(0, data)
+        self._subtree_memo.clear()
+        # keep the entry fold in the aux record current (it already holds
+        # the in-memory entry list, so the fold is one pass, no re-read)
+        fold = entries_fold(entries)
+        aux = self.read_dir_aux(fh)
+        if aux.dig_entries != fold:
+            aux.dig_entries = fold
+            self._write_dir_aux_raw(fh, aux)
 
     def read_dir_aux(self, fh: FicusFileHandle) -> AuxAttributes:
         faux = self.dir_unix_vnode(fh).lookup(FAUX_NAME)
         return AuxAttributes.from_bytes(faux.read_all())
 
     def write_dir_aux(self, fh: FicusFileHandle, aux: AuxAttributes) -> None:
+        self._subtree_memo.clear()
+        self._write_dir_aux_raw(fh, aux)
+
+    def _write_dir_aux_raw(self, fh: FicusFileHandle, aux: AuxAttributes) -> None:
         faux = self.dir_unix_vnode(fh).lookup(FAUX_NAME)
         data = aux.to_bytes()
         faux.truncate(0)
         faux.write(0, data)
+
+    def _fold_file_into_dir(
+        self,
+        parent: FicusFileHandle,
+        out_component: str = "",
+        in_component: str = "",
+    ) -> None:
+        """Incrementally update a directory's stored-child-file fold."""
+        self._subtree_memo.clear()
+        aux = self.read_dir_aux(parent)
+        fold = aux.dig_files
+        if out_component:
+            fold = xor_fold(fold, out_component)
+        if in_component:
+            fold = xor_fold(fold, in_component)
+        if fold != aux.dig_files:
+            aux.dig_files = fold
+            self._write_dir_aux_raw(parent, aux)
 
     # -- regular-file storage (lives inside the parent's Unix directory) --------
 
@@ -251,9 +305,16 @@ class ReplicaStore:
         self, parent: FicusFileHandle, fh: FicusFileHandle, aux: AuxAttributes
     ) -> None:
         vnode = self.aux_vnode(parent, fh)
+        old = AuxAttributes.from_bytes(vnode.read_all())
         data = aux.to_bytes()
         vnode.truncate(0)
         vnode.write(0, data)
+        if old.vv != aux.vv:
+            self._fold_file_into_dir(
+                parent,
+                out_component=file_component(fh, old.vv),
+                in_component=file_component(fh, aux.vv),
+            )
 
     def create_file_storage(
         self, parent: FicusFileHandle, fh: FicusFileHandle, etype: EntryType = EntryType.FILE
@@ -263,6 +324,7 @@ class ReplicaStore:
         contents = unix_dir.create(self._file_key(fh))
         aux = AuxAttributes(fh=fh.logical, etype=etype, refs=1)
         unix_dir.create(self._file_key(fh) + AUX_SUFFIX).write(0, aux.to_bytes())
+        self._fold_file_into_dir(parent, in_component=file_component(fh, aux.vv))
         return contents
 
     def link_file_storage(
@@ -282,17 +344,27 @@ class ReplicaStore:
         key = self._file_key(fh)
         dst_dir.link(src_dir.lookup(key), key)
         dst_dir.link(src_dir.lookup(key + AUX_SUFFIX), key + AUX_SUFFIX)
+        aux = self.read_file_aux(dst_parent, fh)
+        self._fold_file_into_dir(dst_parent, in_component=file_component(fh, aux.vv))
 
     def unlink_file_storage(self, parent: FicusFileHandle, fh: FicusFileHandle) -> None:
         """Drop one directory's name for a file (UFS frees at last link)."""
         unix_dir = self.dir_unix_vnode(parent)
         key = self._file_key(fh)
+        try:
+            aux = self.read_file_aux(parent, fh)
+        except (FileNotFound, InvalidArgument):
+            aux = None
         unix_dir.remove(key)
         unix_dir.remove(key + AUX_SUFFIX)
         try:
             unix_dir.remove(key + SHADOW_SUFFIX)
         except FileNotFound:
             pass
+        if aux is not None:
+            self._fold_file_into_dir(parent, out_component=file_component(fh, aux.vv))
+        else:
+            self._subtree_memo.clear()
 
     def has_file(self, parent: FicusFileHandle, fh: FicusFileHandle) -> bool:
         try:
@@ -350,6 +422,123 @@ class ReplicaStore:
         if dropped:
             self._count("store.shadows_scavenged", dropped)
         return dropped
+
+    # -- recon digests (subtree pruning, Merkle-style) ---------------------------
+
+    def directory_digest(self, fh: FicusFileHandle) -> str:
+        """This directory's own recon digest: vv + entry fold + file fold."""
+        aux = self.read_dir_aux(fh)
+        return content_digest(
+            aux.vv.encode(),
+            aux.dig_entries or EMPTY_DIGEST,
+            aux.dig_files or EMPTY_DIGEST,
+        )
+
+    def subtree_digest(self, fh: FicusFileHandle) -> str:
+        """The recon digest of everything reachable from one directory.
+
+        Folds the directory's own digest with each stored child
+        directory's subtree digest.  Memoized until the next mutation, so
+        a converged replica answers repeated probes without touching disk.
+        """
+        return self._subtree_digest(fh.logical, set())
+
+    def _subtree_digest(self, fh: FicusFileHandle, visiting: set[FicusFileHandle]) -> str:
+        cached = self._subtree_memo.get(fh)
+        if cached is not None:
+            return cached
+        local = self.directory_digest(fh)
+        if fh in visiting:
+            return local  # cycle guard; the namespace is a DAG in practice
+        visiting.add(fh)
+        child_fhs = sorted(
+            {
+                entry.fh.logical
+                for entry in self.read_entries(fh)
+                if entry.live
+                and entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT)
+                and self.has_directory(entry.fh)
+            },
+            key=lambda child: child.to_hex(),
+        )
+        parts = [local]
+        for child in child_fhs:
+            parts.append(child.to_hex())
+            parts.append(self._subtree_digest(child, visiting))
+        visiting.discard(fh)
+        digest = content_digest(*parts)
+        self._subtree_memo[fh] = digest
+        return digest
+
+    def stored_child_directories(self, fh: FicusFileHandle) -> list[FicusFileHandle]:
+        """Live child directories (and graft points) with storage here."""
+        return sorted(
+            {
+                entry.fh.logical
+                for entry in self.read_entries(fh)
+                if entry.live
+                and entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT)
+                and self.has_directory(entry.fh)
+            },
+            key=lambda child: child.to_hex(),
+        )
+
+    def refresh_dir_digests(self, fh: FicusFileHandle) -> None:
+        """Authoritatively recompute one directory's digest components.
+
+        The incremental folds can drift when a hard-linked file's aux is
+        rewritten through a *different* naming directory (that path cannot
+        see this parent).  Drift only delays pruning — digest inequality
+        never skips needed work — and reconciliation calls this to
+        re-anchor the folds from the actual stored state.
+        """
+        fh = fh.logical
+        entries = self.read_entries(fh)
+        fold_entries = entries_fold(entries)
+        fold_files = ""
+        seen: set[FicusFileHandle] = set()
+        for entry in entries:
+            child = entry.fh.logical
+            if (
+                not entry.live
+                or entry.etype not in (EntryType.FILE, EntryType.SYMLINK)
+                or child in seen
+                or not self.has_file(fh, child)
+            ):
+                continue
+            seen.add(child)
+            fold_files = xor_fold(fold_files, file_component(child, self.read_file_aux(fh, child).vv))
+        aux = self.read_dir_aux(fh)
+        if aux.dig_entries != fold_entries or aux.dig_files != fold_files:
+            aux.dig_entries = fold_entries
+            aux.dig_files = fold_files
+            self._subtree_memo.clear()
+            self._write_dir_aux_raw(fh, aux)
+
+    # -- block signatures (rsync-style delta propagation) ------------------------
+
+    def file_block_digests(self, parent: FicusFileHandle, fh: FicusFileHandle) -> BlockDigests:
+        """Content hashes of one file replica's fixed-size blocks."""
+        contents = self.file_vnode(parent, fh).read_all()
+        aux = self.read_file_aux(parent, fh)
+        return BlockDigests(
+            block_size=DELTA_BLOCK_SIZE,
+            size=len(contents),
+            vv=aux.vv,
+            digests=[content_digest(block) for block in split_blocks(contents)],
+        )
+
+    def read_file_blocks(
+        self, parent: FicusFileHandle, fh: FicusFileHandle, indices: list[int]
+    ) -> dict[int, bytes]:
+        """Fetch selected fixed-size blocks of one file replica."""
+        vnode = self.file_vnode(parent, fh)
+        out: dict[int, bytes] = {}
+        for index in sorted({int(i) for i in indices}):
+            data = vnode.read(index * DELTA_BLOCK_SIZE, DELTA_BLOCK_SIZE)
+            if data:
+                out[index] = data
+        return out
 
     # -- directory enumeration (for reconciliation sweeps) -----------------------
 

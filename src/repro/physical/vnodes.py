@@ -37,9 +37,11 @@ from repro.physical.store import ReplicaStore
 from repro.physical.wire import (
     AttrBatch,
     AuxAttributes,
+    BlockDigests,
     DirectoryEntry,
     EntryId,
     EntryType,
+    SyncProbe,
     decode_op,
     is_encoded_op,
 )
@@ -250,6 +252,53 @@ class PhysicalDirVnode(Vnode):
                 continue  # entry known but contents not stored here
             children[entry.fh] = self.store.read_file_aux(self.fh, entry.fh)
         return AttrBatch(dir_aux=self.aux(), children=children)
+
+    # -- the sync plane: recon digests and block deltas --------------------------
+
+    def sync_probe(
+        self,
+        fh: FicusFileHandle | None = None,
+        ctx: OpContext = ROOT_CTX,
+    ) -> SyncProbe:
+        """Recon digest of a directory subtree, plus per-child digests.
+
+        ``fh=None`` probes this directory; a handle probes any directory of
+        the same volume replica (so a reconciler needs no per-directory
+        lookup RPC).  The child digests let the caller prune converged
+        subtrees without issuing one probe per child.
+        """
+        self.layer.counters.bump("sync_probe")
+        target = self.fh if fh is None else fh.logical
+        if not self.store.has_directory(target):
+            raise FileNotFound(f"directory {target} not stored in this volume replica")
+        return SyncProbe(
+            digest=self.store.subtree_digest(target),
+            children={
+                child: self.store.subtree_digest(child)
+                for child in self.store.stored_child_directories(target)
+            },
+        )
+
+    def block_digests(self, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX) -> BlockDigests:
+        """Block signatures of the stored child file ``fh`` (rsync-style)."""
+        self.layer.counters.bump("block_digests")
+        fh = fh.logical
+        if not self.store.has_file(self.fh, fh):
+            raise ReplicaNotStored(f"file {fh} contents not stored in this volume replica")
+        return self.store.file_block_digests(self.fh, fh)
+
+    def read_blocks(
+        self,
+        fh: FicusFileHandle,
+        indices: list[int],
+        ctx: OpContext = ROOT_CTX,
+    ) -> dict[int, bytes]:
+        """Fetch selected blocks of the stored child file ``fh`` in one call."""
+        self.layer.counters.bump("read_blocks")
+        fh = fh.logical
+        if not self.store.has_file(self.fh, fh):
+            raise ReplicaNotStored(f"file {fh} contents not stored in this volume replica")
+        return self.store.read_file_blocks(self.fh, fh, indices)
 
     # -- namespace ---------------------------------------------------------------
 

@@ -22,6 +22,7 @@ Two kinds of byte formats live here:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidArgument, NameTooLong
@@ -42,6 +43,44 @@ FAUX_NAME = ".faux"  # the directory's auxiliary attribute file
 META_NAME = ".meta"  # volume-replica counters (file-id / entry-id mints)
 AUX_SUFFIX = ".aux"  # per-file auxiliary attribute file
 SHADOW_SUFFIX = ".shadow"  # transient shadow replica during propagation
+
+# ---------------------------------------------------------------------------
+# Recon digests and block signatures (the incremental sync plane)
+# ---------------------------------------------------------------------------
+
+#: Fixed block size for block-delta propagation (rsync-style signatures).
+DELTA_BLOCK_SIZE = 4096
+
+#: Width of a recon digest in hex characters (128 bits of SHA-256).
+DIGEST_HEX_LEN = 32
+
+#: The fold identity: the digest of "nothing" (an empty entry/child set).
+EMPTY_DIGEST = "0" * DIGEST_HEX_LEN
+
+
+def content_digest(*parts: bytes | str) -> str:
+    """Collision-resistant digest of some byte/str parts (hex, 128 bits)."""
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, str):
+            part = part.encode("utf-8")
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.hexdigest()[:DIGEST_HEX_LEN]
+
+
+def xor_fold(accumulated: str, part: str) -> str:
+    """Fold one digest into an accumulator, order-independently.
+
+    XOR makes the fold commutative and self-inverse, so a mutation can
+    update an accumulated digest incrementally: fold the old component out
+    and the new one in, without rescanning the whole set.
+    """
+    if not accumulated:
+        accumulated = EMPTY_DIGEST
+    if not part:
+        part = EMPTY_DIGEST
+    return format(int(accumulated, 16) ^ int(part, 16), f"0{DIGEST_HEX_LEN}x")
 
 
 class EntryType(enum.Enum):
@@ -181,6 +220,16 @@ class AuxAttributes:
     refs: int = 1
     #: graft points record their target volume here (hex VolumeId).
     graft_volume: str = ""
+    #: recon digest components (directories only; empty = "not computed").
+    #: ``dig_entries`` folds every entry record of the directory file;
+    #: ``dig_files`` folds (handle, version vector) of each child file
+    #: whose contents are stored here.  Maintained incrementally on every
+    #: physical-layer mutation and recomputed authoritatively at the end
+    #: of each directory reconciliation (hard links can leave a sibling
+    #: directory's fold stale; drift only costs a missed prune, and the
+    #: recompute self-heals it).
+    dig_entries: str = ""
+    dig_files: str = ""
 
     def to_bytes(self) -> bytes:
         rec = {
@@ -191,6 +240,10 @@ class AuxAttributes:
         }
         if self.graft_volume:
             rec["graftvol"] = self.graft_volume
+        if self.dig_entries:
+            rec["dige"] = self.dig_entries
+        if self.dig_files:
+            rec["digf"] = self.dig_files
         return encode_record(rec).encode("utf-8")
 
     @classmethod
@@ -203,6 +256,8 @@ class AuxAttributes:
                 vv=VersionVector.decode(rec.get("vv", "")),
                 refs=int(rec.get("refs", "1")),
                 graft_volume=rec.get("graftvol", ""),
+                dig_entries=rec.get("dige", ""),
+                dig_files=rec.get("digf", ""),
             )
         except KeyError as exc:
             raise InvalidArgument(f"aux record missing field {exc}") from exc
@@ -246,6 +301,81 @@ class AttrBatch:
                 for k, v in children.items()
             },
         )
+
+
+@dataclass
+class SyncProbe:
+    """The reply of the ``sync_probe`` vnode operation.
+
+    ``digest`` summarizes one directory's entire subtree — its version
+    vector, entry records, stored child-file versions, and (recursively)
+    its subdirectories.  Two replicas whose probes match are converged
+    below that directory, so reconciliation can skip the subtree without
+    reading a single remote directory.  ``children`` carries the subtree
+    digest of each stored child directory (keyed by logical handle) so one
+    probe prunes or descends per child without further probe RPCs.
+    """
+
+    digest: str
+    children: dict[FicusFileHandle, str] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, object]:
+        return {
+            "digest": self.digest,
+            "children": {fh.to_hex(): d for fh, d in self.children.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "SyncProbe":
+        if not isinstance(payload, dict) or "digest" not in payload:
+            raise InvalidArgument("malformed sync probe")
+        children = payload.get("children", {})
+        if not isinstance(children, dict):
+            raise InvalidArgument("malformed sync probe children")
+        return cls(
+            digest=str(payload["digest"]),
+            children={FicusFileHandle.from_hex(k): str(v) for k, v in children.items()},
+        )
+
+
+@dataclass
+class BlockDigests:
+    """The reply of the ``block_digests`` vnode operation.
+
+    Content hashes of one file replica's fixed-size blocks, plus the
+    version vector the contents carried when they were hashed, so a puller
+    can detect an out-of-band change between its attribute fetch and its
+    digest fetch (and fall back to a whole-file copy).
+    """
+
+    block_size: int
+    size: int
+    vv: VersionVector
+    digests: list[str] = field(default_factory=list)
+
+    def to_wire(self) -> dict[str, object]:
+        return {
+            "block_size": self.block_size,
+            "size": self.size,
+            "vv": self.vv.encode(),
+            "digests": list(self.digests),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "BlockDigests":
+        if not isinstance(payload, dict) or "digests" not in payload:
+            raise InvalidArgument("malformed block digests")
+        return cls(
+            block_size=int(payload["block_size"]),
+            size=int(payload["size"]),
+            vv=VersionVector.decode(str(payload.get("vv", ""))),
+            digests=[str(d) for d in payload["digests"]],
+        )
+
+
+def split_blocks(data: bytes, block_size: int = DELTA_BLOCK_SIZE) -> list[bytes]:
+    """Slice contents into fixed-size blocks (last one may be short)."""
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)] if data else []
 
 
 def encode_directory(entries: list[DirectoryEntry]) -> bytes:

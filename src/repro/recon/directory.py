@@ -160,6 +160,12 @@ def reconcile_directory(
     local_aux = store.read_dir_aux(dir_fh)
     local_aux.vv = local_aux.vv.merge(remote_aux.vv)
     store.write_dir_aux(dir_fh, local_aux)
+    # Re-anchor the incremental recon-digest folds from the actual stored
+    # state: hard links through another naming directory can leave them
+    # stale, which only delays pruning but would delay it indefinitely if
+    # never repaired.  Reconciliation visits every diverged directory, so
+    # this is the natural repair point.
+    store.refresh_dir_digests(dir_fh)
 
     merged = store.read_entries(dir_fh)
     result.collisions_repaired = count_name_collisions(merged)

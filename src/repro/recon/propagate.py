@@ -10,6 +10,14 @@ The pull compares version vectors first:
 * remote EQUAL / DOMINATED  -> nothing to do (we are as new or newer)
 * remote DOMINATES          -> pull through a shadow + atomic commit
 * CONCURRENT                -> a conflict: report, never merge silently
+
+When both sides store the file, the pull is a *block delta* (rsync-style):
+fetch the remote's block signatures, pull only the blocks whose content
+hashes differ, splice them over the local copy in the shadow file, and
+commit atomically exactly as the whole-file path does.  The whole-file
+copy remains as the fallback — remote predates the delta operations, the
+remote changed out-of-band between the attribute fetch and the digest
+fetch, or the delta would be no smaller than the file itself.
 """
 
 from __future__ import annotations
@@ -17,9 +25,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.errors import FileNotFound, HostUnreachable, StaleFileHandle
+from repro.errors import FileNotFound, HostUnreachable, NotSupported, StaleFileHandle
 from repro.physical import FicusPhysicalLayer, ReplicaStore
-from repro.physical.wire import op_byfh
+from repro.physical.wire import content_digest, op_byfh, split_blocks
 from repro.util import FicusFileHandle
 from repro.vnode.interface import Vnode, read_whole
 from repro.vv import Ordering, VersionVector
@@ -39,6 +47,8 @@ class PullResult:
     local_vv: VersionVector
     remote_vv: VersionVector
     bytes_copied: int = 0
+    #: bytes the block-delta path did NOT copy (file size minus delta)
+    bytes_saved: int = 0
 
 
 def pull_file(
@@ -81,7 +91,13 @@ def pull_file(
     if order is Ordering.CONCURRENT:
         return PullResult(PullOutcome.CONFLICT, local_vv, remote_vv)
 
-    # remote strictly dominates: propagate through shadow + atomic commit
+    # remote strictly dominates: propagate through shadow + atomic commit.
+    # With a local copy to diff against, try the block-delta path first.
+    if local_stored:
+        delta = _delta_pull(store, parent_fh, fh, remote_dir, local_vv, remote_vv)
+        if delta is not None:
+            return delta
+
     try:
         contents = read_whole(remote_dir.lookup(op_byfh(fh)))
     except (HostUnreachable, StaleFileHandle):
@@ -97,6 +113,84 @@ def pull_file(
         shadow.write(0, contents)
     store.commit_shadow(parent_fh, fh, remote_vv)
     return PullResult(PullOutcome.PULLED, remote_vv, remote_vv, bytes_copied=len(contents))
+
+
+def _delta_pull(
+    store: ReplicaStore,
+    parent_fh: FicusFileHandle,
+    fh: FicusFileHandle,
+    remote_dir: Vnode,
+    local_vv: VersionVector,
+    remote_vv: VersionVector,
+) -> PullResult | None:
+    """Try to install the remote version by copying only changed blocks.
+
+    Returns ``None`` to fall back to the whole-file copy (remote predates
+    the delta operations, the remote replica changed out-of-band so the
+    signatures no longer describe ``remote_vv``, the delta would not be
+    smaller than the file, or a fetched block failed verification), or a
+    final :class:`PullResult` when the delta path settled the pull itself.
+    """
+    try:
+        sig = remote_dir.block_digests(fh)
+    except NotSupported:
+        return None  # remote predates the delta operations
+    except (HostUnreachable, StaleFileHandle):
+        return PullResult(PullOutcome.UNREACHABLE, local_vv, remote_vv)
+    except FileNotFound:
+        return PullResult(PullOutcome.REMOTE_MISSING, local_vv, remote_vv)
+    if sig.vv != remote_vv:
+        # out-of-band change (e.g. another reconciler updated the remote
+        # between our attribute fetch and this call): the signatures no
+        # longer describe the version we decided to install
+        return None
+
+    local_blocks = split_blocks(store.file_vnode(parent_fh, fh).read_all(), sig.block_size)
+    local_digests = [content_digest(block) for block in local_blocks]
+    changed = {
+        index
+        for index, digest in enumerate(sig.digests)
+        if index >= len(local_digests) or local_digests[index] != digest
+    }
+    if changed and len(changed) * sig.block_size >= sig.size:
+        return None  # the delta is no smaller than the file itself
+
+    fetched: dict[int, bytes] = {}
+    if changed:
+        try:
+            fetched = remote_dir.read_blocks(fh, sorted(changed))
+        except (NotSupported, FileNotFound):
+            return None
+        except (HostUnreachable, StaleFileHandle):
+            return PullResult(PullOutcome.UNREACHABLE, local_vv, remote_vv)
+
+    pieces: list[bytes] = []
+    for index, digest in enumerate(sig.digests):
+        if index in changed:
+            block = fetched.get(index)
+            if block is None or content_digest(block) != digest:
+                # the remote moved on mid-pull; replay as a whole file
+                return None
+            pieces.append(block)
+        else:
+            pieces.append(local_blocks[index])
+    contents = b"".join(pieces)[: sig.size]
+    if len(contents) != sig.size:
+        return None
+
+    shadow = store.shadow_vnode(parent_fh, fh, create=True)
+    shadow.truncate(0)
+    if contents:
+        shadow.write(0, contents)
+    store.commit_shadow(parent_fh, fh, remote_vv)
+    delta_bytes = sum(len(block) for block in fetched.values())
+    return PullResult(
+        PullOutcome.PULLED,
+        remote_vv,
+        remote_vv,
+        bytes_copied=delta_bytes,
+        bytes_saved=max(0, sig.size - delta_bytes),
+    )
 
 
 def push_notify_pull(

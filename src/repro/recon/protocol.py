@@ -11,13 +11,23 @@ reconciling each directory and pulling each regular file, accumulating
 conflict reports along the way.  It tolerates mid-run partitions: an
 unreachable remote simply truncates the traversal (the next periodic run
 finishes the job).
+
+The walk is *incremental* (Merkle-style anti-entropy): before descending
+into a directory it compares the remote's subtree recon digest (one
+``sync_probe`` RPC, or the per-child digest the parent's probe already
+supplied) against its own, and skips converged subtrees entirely.  A
+fully converged volume replica therefore reconciles in O(1) RPCs instead
+of two per directory.  Against a remote that predates ``sync_probe`` the
+walk degrades to the exhaustive traversal.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
-from repro.errors import FileNotFound, HostUnreachable, StaleFileHandle
+from repro.errors import FileNotFound, HostUnreachable, NotSupported, StaleFileHandle
 from repro.physical import FicusPhysicalLayer
 from repro.physical.policy import StoragePolicy
 from repro.physical.wire import op_dir
@@ -43,8 +53,11 @@ class SubtreeReconResult:
     files_checked: int = 0
     files_pulled: int = 0
     bytes_copied: int = 0
+    bytes_saved: int = 0
     file_conflicts: int = 0
     files_declined_by_policy: int = 0
+    subtrees_pruned: int = 0
+    probe_rpcs: int = 0
     aborted_by_partition: bool = False
 
     def fold_dir(self, res: DirReconResult) -> None:
@@ -67,24 +80,58 @@ def reconcile_subtree(
     root_fh: FicusFileHandle | None = None,
     all_replicas: frozenset[int] = frozenset(),
     policy: StoragePolicy | None = None,
+    on_directory_changed: Callable[[FicusFileHandle], None] | None = None,
 ) -> SubtreeReconResult:
     """Reconcile the local volume replica against one remote replica.
 
     ``remote_volume_root`` is the remote replica's root directory vnode
     (physical, possibly via NFS).  The walk covers every directory
-    reachable from ``root_fh`` (default: the volume root).
+    reachable from ``root_fh`` (default: the volume root), minus any
+    subtree whose remote recon digest matches ours (nothing below it can
+    differ).  ``on_directory_changed`` is invoked once per directory this
+    run changed — entries merged or file contents installed — so the
+    caller can route the install through the update-notification path.
     """
     store = physical.store_for(volrep)
     result = SubtreeReconResult()
     start = (root_fh or store.root_handle()).logical
 
     seen: set[FicusFileHandle] = set()
-    queue: list[FicusFileHandle] = [start]
+    #: (directory, remote subtree digest if the parent's probe supplied one)
+    queue: deque[tuple[FicusFileHandle, str | None]] = deque([(start, None)])
+    probe_supported = True
     while queue:
-        dir_fh = queue.pop(0)
+        dir_fh, remote_hint = queue.popleft()
         if dir_fh in seen:
             continue  # the namespace is a DAG; visit each directory once
         seen.add(dir_fh)
+
+        local_digest: str | None = None
+        if probe_supported:
+            try:
+                local_digest = store.subtree_digest(dir_fh)
+            except FileNotFound:
+                local_digest = None  # not stored locally yet; walk it fully
+        if local_digest is not None and remote_hint == local_digest:
+            result.subtrees_pruned += 1
+            continue  # converged below here — zero RPCs spent
+
+        probe = None
+        if probe_supported and local_digest is not None:
+            try:
+                probe = remote_volume_root.sync_probe(dir_fh)
+                result.probe_rpcs += 1
+            except NotSupported:
+                probe_supported = False  # legacy remote: exhaustive walk
+            except FileNotFound:
+                continue  # remote replica does not store this directory
+            except (HostUnreachable, StaleFileHandle):
+                result.aborted_by_partition = True
+                result.directories_unreachable += 1
+                continue
+            if probe is not None and probe.digest == local_digest:
+                result.subtrees_pruned += 1
+                continue
 
         try:
             remote_dir = remote_volume_root.lookup(op_dir(dir_fh))
@@ -103,6 +150,7 @@ def reconcile_subtree(
             result.directories_unreachable += 1
             continue
         result.fold_dir(dir_result)
+        directory_changed = dir_result.changed
 
         for file_entry in dir_result.child_files:
             file_fh = file_entry.fh
@@ -120,6 +168,8 @@ def reconcile_subtree(
             if pull.outcome is PullOutcome.PULLED:
                 result.files_pulled += 1
                 result.bytes_copied += pull.bytes_copied
+                result.bytes_saved += pull.bytes_saved
+                directory_changed = True
                 if conflict_log is not None:
                     # a strictly dominating version arrived: any previously
                     # reported conflict on this file is now settled
@@ -146,7 +196,13 @@ def reconcile_subtree(
             elif pull.outcome is PullOutcome.UNREACHABLE:
                 result.aborted_by_partition = True
 
-        queue.extend(dir_result.child_directories)
+        if directory_changed and on_directory_changed is not None:
+            on_directory_changed(dir_fh)
+
+        for child_fh in dir_result.child_directories:
+            queue.append(
+                (child_fh, probe.children.get(child_fh.logical) if probe is not None else None)
+            )
 
     return result
 

@@ -144,8 +144,10 @@ class FicusHost:
         )
         self.propagation_daemon.physical = self.physical
         self.propagation_daemon.fabric = self.fabric
+        self.propagation_daemon.logical = self.logical
         self.recon_daemon.physical = self.physical
         self.recon_daemon.fabric = self.fabric
+        self.recon_daemon.logical = self.logical
         self.graft_prune_daemon.logical = self.logical
         self.network.set_host_up(self.name, True)
 
@@ -235,7 +237,7 @@ class FicusSystem:
     def _wire_daemons(self, host: FicusHost) -> None:
         cfg = self.daemon_config
         host.propagation_daemon = PropagationDaemon(
-            host.physical, host.fabric, min_age=cfg.propagation_min_age
+            host.physical, host.fabric, min_age=cfg.propagation_min_age, logical=host.logical
         )
         peers = {
             loc.volrep: [o for o in self.root_locations if o.volrep != loc.volrep]
@@ -243,7 +245,7 @@ class FicusSystem:
             if loc.host == host.name
         }
         host.recon_daemon = ReconciliationDaemon(
-            host.physical, host.fabric, host.conflict_log, peers
+            host.physical, host.fabric, host.conflict_log, peers, logical=host.logical
         )
         host.graft_prune_daemon = GraftPruneDaemon(
             host.logical, idle_timeout=cfg.graft_idle_timeout

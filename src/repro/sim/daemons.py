@@ -43,21 +43,42 @@ class PropagationStats:
     conflicts_deferred: int = 0
     unreachable: int = 0
     bytes_copied: int = 0
+    #: bytes block-delta pulls avoided copying (file size minus delta)
+    bytes_saved: int = 0
 
 
 class PropagationDaemon:
-    """Pulls new versions named by the new-version cache."""
+    """Pulls new versions named by the new-version cache.
+
+    ``logical`` (optional) lets the daemon route each installed version
+    back through the update-notification path, so peers' attribute caches
+    invalidate immediately instead of waiting out their TTL.  Those
+    notifications are marked ``origin="sync"``: receivers must not mint
+    new-version notes from them, or two pullers would notify each other
+    in a loop.
+    """
 
     def __init__(
         self,
         physical: FicusPhysicalLayer,
         fabric: Fabric,
         min_age: float = 0.0,
+        logical: FicusLogicalLayer | None = None,
     ):
         self.physical = physical
         self.fabric = fabric
         self.min_age = min_age
+        self.logical = logical
         self.stats = PropagationStats()
+
+    def _notify_installed(self, volrep, parent_fh, fh, objkind: str) -> None:
+        """Announce a version this daemon just installed (origin="sync")."""
+        if self.logical is None:
+            return
+        acting = ReplicaLocation(volrep=volrep, host=self.physical.host_addr)
+        self.logical.notify_update(
+            volrep.volume, acting, parent_fh, fh, objkind=objkind, origin="sync"
+        )
 
     def tick(self) -> int:
         """Service every sufficiently old new-version note; returns pulls."""
@@ -73,6 +94,7 @@ class PropagationDaemon:
         self.stats.pulls_attempted += 1
         telemetry = self.physical.telemetry
         bytes_before = self.stats.bytes_copied
+        saved_before = self.stats.bytes_saved
         # the span is parented on the trace context the update notification
         # carried, so this asynchronous pull joins the originating trace tree
         with telemetry.tracer.span(
@@ -90,6 +112,9 @@ class PropagationDaemon:
         copied = self.stats.bytes_copied - bytes_before
         if copied:
             telemetry.metrics.counter("propagation.bytes_copied").inc(copied)
+        saved = self.stats.bytes_saved - saved_before
+        if saved:
+            telemetry.metrics.counter("propagation.bytes_saved").inc(saved)
         telemetry.events.emit(
             "propagation.pull",
             host=self.physical.host_addr,
@@ -115,6 +140,10 @@ class PropagationDaemon:
         if result.outcome is PullOutcome.PULLED:
             self.stats.pulls_succeeded += 1
             self.stats.bytes_copied += result.bytes_copied
+            self.stats.bytes_saved += result.bytes_saved
+            self._notify_installed(
+                note.key.volrep, note.key.parent_fh, note.key.fh, objkind="file"
+            )
             return ("pulled", 1)
         if result.outcome is PullOutcome.UP_TO_DATE:
             self.stats.already_current += 1
@@ -153,11 +182,13 @@ class PropagationDaemon:
             if pull.outcome is PullOutcome.PULLED:
                 pulled += 1
                 self.stats.bytes_copied += pull.bytes_copied
+                self.stats.bytes_saved += pull.bytes_saved
         self.physical.clear_new_version(note.key)
         self.stats.pulls_succeeded += 1 if (pulled or result.changed) else 0
         if not pulled and not result.changed:
             self.stats.already_current += 1
             return ("up_to_date", 0)
+        self._notify_installed(note.key.volrep, dir_fh, dir_fh, objkind="dir")
         return ("pulled", pulled)
 
 
@@ -184,12 +215,14 @@ class ReconciliationDaemon:
         fabric: Fabric,
         conflict_log: ConflictLog,
         peers: dict[VolumeReplicaId, list[ReplicaLocation]],
+        logical: FicusLogicalLayer | None = None,
     ):
         self.physical = physical
         self.fabric = fabric
         self.conflict_log = conflict_log
         #: per hosted volume replica: the other replicas of the volume
         self.peers = peers
+        self.logical = logical
         self._ring_position: dict[VolumeReplicaId, int] = {}
         self.stats = ReconStats()
         self.tombstones_purged = 0
@@ -235,6 +268,12 @@ class ReconciliationDaemon:
             telemetry.metrics.counter("recon.files_pulled").inc(result.files_pulled)
         if result.file_conflicts:
             telemetry.metrics.counter("recon.file_conflicts").inc(result.file_conflicts)
+        if result.subtrees_pruned:
+            telemetry.metrics.counter("recon.subtrees_pruned").inc(result.subtrees_pruned)
+        if result.probe_rpcs:
+            telemetry.metrics.counter("recon.probe_rpcs").inc(result.probe_rpcs)
+        if result.bytes_saved:
+            telemetry.metrics.counter("propagation.bytes_saved").inc(result.bytes_saved)
         return result
 
     def _reconcile_with(
@@ -249,6 +288,24 @@ class ReconciliationDaemon:
             span.set_tag("aborted", True)
             return result
         all_replicas = self.volume_replica_ids(volrep)
+        on_changed = None
+        if self.logical is not None:
+            acting = ReplicaLocation(volrep=volrep, host=self.physical.host_addr)
+
+            def on_changed(dir_fh, _acting=acting):
+                # route the install through the update-notification path so
+                # peers' attribute caches invalidate now, not at TTL expiry;
+                # origin="sync" keeps receivers from minting pull notes that
+                # would bounce between the two pullers forever
+                self.logical.notify_update(
+                    _acting.volrep.volume,
+                    _acting,
+                    dir_fh,
+                    dir_fh,
+                    objkind="dir",
+                    origin="sync",
+                )
+
         result = reconcile_subtree(
             self.physical,
             volrep,
@@ -257,6 +314,7 @@ class ReconciliationDaemon:
             conflict_log=self.conflict_log,
             all_replicas=all_replicas,
             policy=self.physical.policy_for(volrep),
+            on_directory_changed=on_changed,
         )
         # tombstone garbage collection: purge fully-acknowledged deletes
         from repro.recon.gc import collect_volume_replica

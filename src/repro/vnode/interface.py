@@ -29,7 +29,7 @@ from repro.ufs.inode import FileAttributes, FileType
 from repro.vnode.context import ROOT_CRED, ROOT_CTX, Credential, OpContext
 
 if TYPE_CHECKING:
-    from repro.physical.wire import AttrBatch, EntryId
+    from repro.physical.wire import AttrBatch, BlockDigests, EntryId, SyncProbe
 
 __all__ = [
     "Credential",
@@ -120,6 +120,9 @@ class Vnode(abc.ABC):
         "session_open",
         "session_close",
         "getattrs_batch",
+        "sync_probe",
+        "block_digests",
+        "read_blocks",
     )
 
     # -- object lifetime ----------------------------------------------------
@@ -241,6 +244,32 @@ class Vnode(abc.ABC):
         encoded-lookup RPC per replica per open.
         """
         raise NotSupported("getattrs_batch")
+
+    def sync_probe(self, fh: "EntryId | None" = None, ctx: OpContext = ROOT_CTX) -> "SyncProbe":
+        """Fetch the recon digest of a directory subtree in one call.
+
+        ``fh=None`` means this directory; otherwise any directory of the
+        same volume replica.  Reconciliation compares the remote digest
+        against its own before descending, so a converged subtree costs
+        one probe instead of a directory read plus an attribute batch per
+        directory (Merkle-style anti-entropy pruning).
+        """
+        raise NotSupported("sync_probe")
+
+    def block_digests(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> "BlockDigests":
+        """Content hashes of a stored file's fixed-size blocks.
+
+        The reply carries the replica's version vector so the puller can
+        detect an out-of-band change between its attribute fetch and this
+        call and fall back to a whole-file copy.
+        """
+        raise NotSupported("block_digests")
+
+    def read_blocks(
+        self, fh: "EntryId", indices: list[int], ctx: OpContext = ROOT_CTX
+    ) -> dict[int, bytes]:
+        """Fetch selected fixed-size blocks of a stored file in one call."""
+        raise NotSupported("read_blocks")
 
     # -- conveniences shared by all layers -----------------------------------------
 

@@ -23,7 +23,7 @@ from repro.vnode.interface import (
 )
 
 if TYPE_CHECKING:
-    from repro.physical.wire import AttrBatch, EntryId
+    from repro.physical.wire import AttrBatch, BlockDigests, EntryId, SyncProbe
 
 
 class PassthroughVnode(Vnode):
@@ -156,6 +156,20 @@ class PassthroughVnode(Vnode):
     ) -> "AttrBatch":
         self.layer.counters.bump("getattrs_batch")
         return self.lower.getattrs_batch(fhs, ctx)
+
+    def sync_probe(self, fh: "EntryId | None" = None, ctx: OpContext = ROOT_CTX) -> "SyncProbe":
+        self.layer.counters.bump("sync_probe")
+        return self.lower.sync_probe(fh, ctx)
+
+    def block_digests(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> "BlockDigests":
+        self.layer.counters.bump("block_digests")
+        return self.lower.block_digests(fh, ctx)
+
+    def read_blocks(
+        self, fh: "EntryId", indices: list[int], ctx: OpContext = ROOT_CTX
+    ) -> dict[int, bytes]:
+        self.layer.counters.bump("read_blocks")
+        return self.lower.read_blocks(fh, indices, ctx)
 
     def __repr__(self) -> str:
         return f"PassthroughVnode({self.layer.layer_name}, {self.lower!r})"

@@ -1,0 +1,317 @@
+"""Tests for the incremental sync plane: subtree pruning and block deltas.
+
+The tentpole invariant: pruning and block deltas change what reconciliation
+*costs*, never what it *does*.  Every test here pins either a cost bound
+(zero directory reads when converged, one block copied for a one-block
+change) or a safety property (fallbacks, mid-pull partition atomicity,
+notification loop guard).
+"""
+
+import pytest
+
+from repro.errors import HostUnreachable, NotSupported
+from repro.physical.wire import DELTA_BLOCK_SIZE
+from repro.recon import PullOutcome, pull_file, reconcile_directory, reconcile_subtree
+from repro.sim import DaemonConfig, FicusSystem
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+@pytest.fixture
+def system():
+    return FicusSystem(["alpha", "beta"], daemon_config=QUIET)
+
+
+def volrep_of(system, host_name):
+    return next(loc.volrep for loc in system.root_locations if loc.host == host_name)
+
+
+def store_of(system, host_name):
+    return system.host(host_name).physical.store_for(volrep_of(system, host_name))
+
+
+def remote_root_vnode(system, at_host, of_host):
+    host = system.host(at_host)
+    return host.fabric.volume_root(of_host, volrep_of(system, of_host))
+
+
+def seeded_file(system, size=10 * DELTA_BLOCK_SIZE):
+    """A large file present on both hosts, returned as (fh, contents)."""
+    contents = bytes((i * 7) % 256 for i in range(size))
+    f = system.host("alpha").root().create("big")
+    f.write(0, contents)
+    system.reconcile_everything()
+    return f.fh, contents
+
+
+class _RemoteDirProxy:
+    """Wraps a remote directory vnode, intercepting chosen operations."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestBlockDeltaPull:
+    def test_single_block_change_copies_one_block(self, system):
+        fh, contents = seeded_file(system)
+        mutated = bytearray(contents)
+        mutated[3 * DELTA_BLOCK_SIZE + 5] ^= 0xFF
+        system.host("alpha").root().lookup("big").write(0, bytes(mutated))
+
+        beta_store = store_of(system, "beta")
+        root_fh = beta_store.root_handle()
+        remote = remote_root_vnode(system, "beta", "alpha")
+        result = pull_file(beta_store, root_fh, fh, remote)
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == DELTA_BLOCK_SIZE
+        assert result.bytes_saved == len(contents) - DELTA_BLOCK_SIZE
+        assert beta_store.file_vnode(root_fh, fh).read_all() == bytes(mutated)
+
+    def test_append_copies_only_new_blocks(self, system):
+        fh, contents = seeded_file(system)
+        grown = contents + b"tail" * 100
+        system.host("alpha").root().lookup("big").write(0, grown)
+
+        beta_store = store_of(system, "beta")
+        root_fh = beta_store.root_handle()
+        result = pull_file(
+            beta_store, root_fh, fh, remote_root_vnode(system, "beta", "alpha")
+        )
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == len(grown) - len(contents)
+        assert beta_store.file_vnode(root_fh, fh).read_all() == grown
+
+    def test_truncation_propagates_without_refetch(self, system):
+        fh, contents = seeded_file(system)
+        shrunk = contents[: 4 * DELTA_BLOCK_SIZE]
+        alpha_file = system.host("alpha").root().lookup("big")
+        alpha_file.truncate(len(shrunk))
+
+        beta_store = store_of(system, "beta")
+        root_fh = beta_store.root_handle()
+        result = pull_file(
+            beta_store, root_fh, fh, remote_root_vnode(system, "beta", "alpha")
+        )
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == 0  # every surviving block matched locally
+        assert beta_store.file_vnode(root_fh, fh).read_all() == shrunk
+
+    def test_first_pull_is_whole_file(self, system):
+        """A replica with no local copy has nothing to diff against."""
+        f = system.host("alpha").root().create("f")
+        f.write(0, b"version one")
+        beta_store = store_of(system, "beta")
+        remote = remote_root_vnode(system, "beta", "alpha")
+        reconcile_directory(
+            system.host("beta").physical, beta_store, beta_store.root_handle(), remote
+        )
+        result = pull_file(beta_store, beta_store.root_handle(), f.fh, remote)
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == len(b"version one")
+        assert result.bytes_saved == 0
+
+    def test_remote_without_delta_ops_falls_back_to_whole_file(self, system):
+        fh, contents = seeded_file(system)
+        mutated = contents[:100] + b"!" + contents[101:]
+        system.host("alpha").root().lookup("big").write(0, mutated)
+
+        class Legacy(_RemoteDirProxy):
+            def block_digests(self, fh, ctx=None):
+                raise NotSupported("block_digests")
+
+        beta_store = store_of(system, "beta")
+        root_fh = beta_store.root_handle()
+        result = pull_file(
+            beta_store, root_fh, fh, Legacy(remote_root_vnode(system, "beta", "alpha"))
+        )
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == len(mutated)  # the whole file
+        assert beta_store.file_vnode(root_fh, fh).read_all() == mutated
+
+    def test_out_of_band_change_falls_back_to_whole_file(self, system):
+        """Signatures describing a different version than the attribute
+        fetch promised (out-of-band recon between the two calls) must not
+        be spliced — the pull replays as a whole-file copy."""
+        fh, contents = seeded_file(system)
+        mutated = bytearray(contents)
+        mutated[0] ^= 0xFF
+        system.host("alpha").root().lookup("big").write(0, bytes(mutated))
+
+        class OutOfBand(_RemoteDirProxy):
+            def block_digests(self, fh, ctx=None):
+                reply = self._inner.block_digests(fh)
+                reply.vv = reply.vv.bump(99)  # a version we did not fetch attrs for
+                return reply
+
+        beta_store = store_of(system, "beta")
+        root_fh = beta_store.root_handle()
+        result = pull_file(
+            beta_store, root_fh, fh, OutOfBand(remote_root_vnode(system, "beta", "alpha"))
+        )
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == len(mutated)  # fell back to the whole file
+        assert beta_store.file_vnode(root_fh, fh).read_all() == bytes(mutated)
+
+    def test_mid_pull_partition_leaves_old_contents_intact(self, system):
+        """The delta lands in the shadow and commits atomically: a
+        partition after the signature fetch but before the block fetch
+        leaves the local replica exactly as it was."""
+        fh, contents = seeded_file(system)
+        mutated = bytearray(contents)
+        mutated[2 * DELTA_BLOCK_SIZE] ^= 0xFF
+        system.host("alpha").root().lookup("big").write(0, bytes(mutated))
+
+        class PartitionsMidPull(_RemoteDirProxy):
+            def read_blocks(self, fh, indices, ctx=None):
+                raise HostUnreachable("partitioned mid-pull")
+
+        beta_store = store_of(system, "beta")
+        root_fh = beta_store.root_handle()
+        result = pull_file(
+            beta_store,
+            root_fh,
+            fh,
+            PartitionsMidPull(remote_root_vnode(system, "beta", "alpha")),
+        )
+        assert result.outcome is PullOutcome.UNREACHABLE
+        assert beta_store.file_vnode(root_fh, fh).read_all() == contents  # untouched
+
+        # and the next (healed) pull still succeeds as a delta
+        result = pull_file(
+            beta_store, root_fh, fh, remote_root_vnode(system, "beta", "alpha")
+        )
+        assert result.outcome is PullOutcome.PULLED
+        assert result.bytes_copied == DELTA_BLOCK_SIZE
+        assert beta_store.file_vnode(root_fh, fh).read_all() == bytes(mutated)
+
+
+def build_tree(system, dirs=6, files_per_dir=2):
+    fs = system.host("alpha").fs()
+    for d in range(dirs):
+        fs.mkdir(f"/d{d}")
+        for f in range(files_per_dir):
+            fs.write_file(f"/d{d}/f{f}", bytes(50 * (d + f + 1)))
+    system.reconcile_everything()
+    system.reconcile_everything()
+
+
+class TestSubtreePruning:
+    def test_converged_system_reconciles_with_zero_directory_reads(self):
+        system = FicusSystem(["alpha", "beta", "gamma"], daemon_config=QUIET)
+        build_tree(system)
+        reads_before = {
+            name: host.physical.counters.by_op.get("read", 0)
+            for name, host in system.hosts.items()
+        }
+        for host in system.hosts.values():
+            for result in host.recon_daemon.tick():
+                assert result.directories_reconciled == 0
+                assert result.subtrees_pruned >= 1
+                assert result.files_pulled == 0
+        for name, host in system.hosts.items():
+            assert host.physical.counters.by_op.get("read", 0) == reads_before[name], (
+                f"{name} served directory reads during a converged recon round"
+            )
+
+    def test_no_change_round_is_constant_rpcs(self, system):
+        build_tree(system, dirs=10)
+        before = system.network.stats.rpcs_sent
+        results = system.host("beta").recon_daemon.tick()
+        assert len(results) == 1
+        # volume root fetch + (possibly) the replica-name lookup + one probe
+        assert system.network.stats.rpcs_sent - before <= 3
+
+    def test_descends_only_into_changed_subtrees(self, system):
+        build_tree(system, dirs=8)
+        system.host("alpha").fs().write_file("/d3/f0", b"fresh contents")
+        beta_volrep = volrep_of(system, "beta")
+        alpha_loc = next(loc for loc in system.root_locations if loc.host == "alpha")
+        result = system.host("beta").recon_daemon.reconcile_with(beta_volrep, alpha_loc)
+        # root diverged (child digest changed) and d3 diverged; the other
+        # seven subtrees were pruned without a directory read
+        assert result.directories_reconciled == 2
+        assert result.subtrees_pruned >= 7
+        assert result.files_pulled == 1
+        assert system.host("beta").fs().read_file("/d3/f0") == b"fresh contents"
+
+    def test_legacy_remote_degrades_to_full_walk(self, system):
+        build_tree(system, dirs=4)
+
+        class LegacyRoot(_RemoteDirProxy):
+            def sync_probe(self, fh=None, ctx=None):
+                raise NotSupported("sync_probe")
+
+        beta = system.host("beta")
+        result = reconcile_subtree(
+            beta.physical,
+            volrep_of(system, "beta"),
+            LegacyRoot(remote_root_vnode(system, "beta", "alpha")),
+            "alpha",
+        )
+        assert result.subtrees_pruned == 0
+        assert result.directories_reconciled == 5  # root + four subdirs
+
+    def test_pruning_preserves_convergence_semantics(self):
+        """Divergence under partition still converges to identical trees."""
+        system = FicusSystem(["alpha", "beta"], daemon_config=QUIET)
+        build_tree(system, dirs=4)
+        system.partition([{"alpha"}, {"beta"}])
+        system.host("alpha").fs().write_file("/d0/new-a", b"a side")
+        system.host("beta").fs().write_file("/d2/new-b", b"b side")
+        system.heal()
+        system.reconcile_everything()
+        a, b = system.host("alpha").fs(), system.host("beta").fs()
+        assert sorted(a.listdir("/d0")) == sorted(b.listdir("/d0"))
+        assert sorted(a.listdir("/d2")) == sorted(b.listdir("/d2"))
+        assert a.read_file("/d2/new-b") == b"b side"
+        assert b.read_file("/d0/new-a") == b"a side"
+
+
+class TestSyncNotifications:
+    def test_recon_install_invalidates_peer_caches_without_pull_notes(self):
+        """A reconciliation install routes through the notification path:
+        peers' attribute caches drop the directory, but — because the
+        notification is marked origin="sync" — no peer mints a pull note,
+        which is what prevents the two pullers from looping."""
+        system = FicusSystem(["alpha", "beta", "gamma"], daemon_config=QUIET)
+        system.host("alpha").fs().write_file("/f", b"contents")
+        gamma = system.host("gamma")
+        # prime gamma's attribute cache with the root directory's batch,
+        # then forget the original update's own notifications
+        assert gamma.fs().read_file("/f") == b"contents"
+        for note in gamma.physical.pending_new_versions():
+            gamma.physical.clear_new_version(note.key)
+        invalidations_before = gamma.logical.attr_cache.stats.invalidations
+
+        beta_volrep = volrep_of(system, "beta")
+        alpha_loc = next(loc for loc in system.root_locations if loc.host == "alpha")
+        result = system.host("beta").recon_daemon.reconcile_with(beta_volrep, alpha_loc)
+        assert result.files_pulled == 1
+
+        assert gamma.logical.attr_cache.stats.invalidations > invalidations_before
+        assert gamma.physical.new_version_cache_size == 0  # the loop guard
+
+    def test_converged_system_sends_no_sync_notifications(self):
+        system = FicusSystem(["alpha", "beta"], daemon_config=QUIET)
+        build_tree(system, dirs=3)
+        sent_before = system.network.stats.datagrams_sent
+        system.reconcile_everything()
+        assert system.network.stats.datagrams_sent == sent_before
+
+    def test_daemon_driven_system_settles(self):
+        """With all daemons live, one update propagates everywhere and the
+        system goes quiet — no notification ping-pong between pullers."""
+        system = FicusSystem(
+            ["alpha", "beta", "gamma"],
+            daemon_config=DaemonConfig(propagation_period=2.0, recon_period=30.0),
+        )
+        system.host("alpha").fs().write_file("/f", b"v1")
+        system.run_for(120)
+        for host in system.hosts.values():
+            assert host.physical.new_version_cache_size == 0
+        sent_settled = system.network.stats.datagrams_sent
+        system.run_for(300)
+        assert system.network.stats.datagrams_sent == sent_settled

@@ -115,6 +115,17 @@ class RpcTimeout(HostUnreachable):
     errno_name = "ETIMEDOUT"
 
 
+class ServiceUnavailable(FicusError):
+    """ECONNREFUSED: the peer is up and reachable but exports no such service.
+
+    Deliberately NOT a :class:`HostUnreachable`: a missing export is a
+    configuration error that no amount of retrying or waiting out a
+    partition will fix, so retry policies must not treat it as transient.
+    """
+
+    errno_name = "ECONNREFUSED"
+
+
 class AllReplicasUnavailable(FicusError):
     """No replica of the logical file is currently accessible.
 

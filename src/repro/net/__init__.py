@@ -1,5 +1,6 @@
-"""Simulated network with partitions, RPC, and multicast datagrams."""
+"""Simulated network with partitions, RPC, multicast datagrams, and
+deterministic seeded fault injection."""
 
-from repro.net.network import Network, NetworkStats, PeerStats
+from repro.net.network import FaultPlane, LinkFaults, Network, NetworkStats, PeerStats
 
-__all__ = ["Network", "NetworkStats", "PeerStats"]
+__all__ = ["FaultPlane", "LinkFaults", "Network", "NetworkStats", "PeerStats"]

@@ -14,15 +14,20 @@ models exactly the communication properties Ficus depends on:
   that are unreachable simply miss the datagram; reconciliation exists
   precisely because notification is lossy.
 
-All delivery is deterministic so experiments replay exactly.
+All delivery is deterministic so experiments replay exactly — including
+injected faults: the :class:`FaultPlane` draws every fault decision from a
+seeded PRNG in call order, so a run with the same seed and the same
+workload injects byte-identical fault schedules.
 """
 
 from __future__ import annotations
 
+import random
+from collections import deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
-from repro.errors import HostUnreachable, InvalidArgument
+from repro.errors import HostUnreachable, InvalidArgument, RpcTimeout, ServiceUnavailable
 from repro.telemetry import NULL_TELEMETRY, MetricsRegistry, Telemetry
 from repro.util import VirtualClock
 
@@ -132,6 +137,178 @@ class NetworkStats:
         )
 
 
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link fault probabilities, each in ``[0, 1]``.
+
+    Datagram faults model a lossy unacknowledged transport; the RPC faults
+    model the two transient failures a synchronous caller cannot tell
+    apart: the request never arrived (``rpc_timeout``) and the server
+    executed but the reply was lost (``reply_lost``).  The distinction is
+    what makes blind retry of non-idempotent operations unsafe.
+    """
+
+    #: datagram silently lost
+    drop: float = 0.0
+    #: datagram delivered twice
+    duplicate: float = 0.0
+    #: datagram delayed behind the next one on the same link
+    reorder: float = 0.0
+    #: RPC fails before the server sees the request
+    rpc_timeout: float = 0.0
+    #: server executes the request, the reply never returns
+    reply_lost: float = 0.0
+
+    @property
+    def any_datagram(self) -> bool:
+        return bool(self.drop or self.duplicate or self.reorder)
+
+    @property
+    def any_rpc(self) -> bool:
+        return bool(self.rpc_timeout or self.reply_lost)
+
+
+#: verdicts :meth:`FaultPlane.rpc_verdict` can hand back
+RPC_OK = "ok"
+RPC_TIMEOUT = "timeout"
+RPC_REPLY_LOST = "reply_lost"
+
+#: verdicts :meth:`FaultPlane.datagram_verdict` can hand back
+DG_DELIVER = "deliver"
+DG_DROP = "drop"
+DG_DUPLICATE = "duplicate"
+DG_REORDER = "reorder"
+
+
+class FaultPlane:
+    """Deterministic, seeded fault injection for the simulated network.
+
+    Two driving modes compose:
+
+    * **Probabilistic** — per-link (or default) :class:`LinkFaults`
+      probabilities, sampled from one seeded PRNG in call order, so a
+      fixed seed plus a fixed workload replays the exact fault schedule.
+    * **Scripted** — :meth:`schedule_rpc` queues explicit per-call
+      verdicts for one link (e.g. ``["timeout", "ok", "reply_lost"]``),
+      consumed before any probability draw.  This is how tests pin a
+      single fault at an exact protocol step.
+
+    The plane is attached to every :class:`Network` but starts inert:
+    with no faults configured, ``rpc``/``multicast`` behave (and count)
+    exactly as they would without it.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._default = LinkFaults()
+        self._links: dict[tuple[str, str], LinkFaults] = {}
+        self._rpc_scripts: dict[tuple[str, str], deque[str]] = {}
+        self.enabled = True
+        #: faults injected so far, by kind
+        self.injected: dict[str, int] = {}
+        self._registry: MetricsRegistry | None = None
+
+    def register(self, registry: MetricsRegistry) -> None:
+        """Mirror injected-fault counts into ``registry`` (``net.faults_*``)."""
+        self._registry = registry
+
+    # -- configuration ----------------------------------------------------
+
+    def reseed(self, seed: int) -> None:
+        """Restart the PRNG; the next run replays exactly from here."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def set_default(self, faults: LinkFaults) -> None:
+        """Fault profile for every link without a specific override."""
+        self._default = faults
+
+    def set_link(self, src: str, dst: str, faults: LinkFaults, symmetric: bool = True) -> None:
+        """Fault profile for one link (both directions when ``symmetric``)."""
+        self._links[(src, dst)] = faults
+        if symmetric:
+            self._links[(dst, src)] = faults
+
+    def schedule_rpc(self, src: str, dst: str, verdicts: Iterable[str]) -> None:
+        """Script the next RPCs ``src -> dst``: one verdict consumed per call.
+
+        Verdicts are ``"ok"``, ``"timeout"``, or ``"reply_lost"``; when the
+        script runs dry the link falls back to its probabilities.
+        """
+        queue = self._rpc_scripts.setdefault((src, dst), deque())
+        for verdict in verdicts:
+            if verdict not in (RPC_OK, RPC_TIMEOUT, RPC_REPLY_LOST):
+                raise InvalidArgument(f"unknown RPC fault verdict {verdict!r}")
+            queue.append(verdict)
+
+    def clear(self) -> None:
+        """Drop all configured faults and scripts (the PRNG keeps its state)."""
+        self._default = LinkFaults()
+        self._links.clear()
+        self._rpc_scripts.clear()
+
+    @property
+    def active(self) -> bool:
+        """Cheap guard for the network's hot paths."""
+        return self.enabled and bool(
+            self._links or self._rpc_scripts or self._default != LinkFaults()
+        )
+
+    # -- verdicts ---------------------------------------------------------
+
+    def _faults_for(self, src: str, dst: str) -> LinkFaults:
+        return self._links.get((src, dst), self._default)
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        registry = self._registry
+        if registry is not None:
+            registry.counter("net.faults_injected").inc()
+            registry.counter(f"net.faults.{kind}").inc()
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def rpc_verdict(self, src: str, dst: str) -> str:
+        """Fate of one RPC on the link: scripted first, then probabilistic."""
+        script = self._rpc_scripts.get((src, dst))
+        if script:
+            verdict = script.popleft()
+            if verdict != RPC_OK:
+                self._count(f"rpc_{verdict}" if verdict == RPC_TIMEOUT else verdict)
+            return verdict
+        faults = self._faults_for(src, dst)
+        if not faults.any_rpc:
+            return RPC_OK
+        draw = self._rng.random()
+        if draw < faults.rpc_timeout:
+            self._count("rpc_timeout")
+            return RPC_TIMEOUT
+        if draw < faults.rpc_timeout + faults.reply_lost:
+            self._count("reply_lost")
+            return RPC_REPLY_LOST
+        return RPC_OK
+
+    def datagram_verdict(self, src: str, dst: str) -> str:
+        """Fate of one datagram on the link."""
+        faults = self._faults_for(src, dst)
+        if not faults.any_datagram:
+            return DG_DELIVER
+        draw = self._rng.random()
+        if draw < faults.drop:
+            self._count("drop")
+            return DG_DROP
+        if draw < faults.drop + faults.duplicate:
+            self._count("duplicate")
+            return DG_DUPLICATE
+        if draw < faults.drop + faults.duplicate + faults.reorder:
+            self._count("reorder")
+            return DG_REORDER
+        return DG_DELIVER
+
+
 @dataclass
 class _HostState:
     up: bool = True
@@ -147,14 +324,19 @@ class Network:
         clock: VirtualClock | None = None,
         rpc_latency: float = 0.001,
         telemetry: Telemetry | None = None,
+        fault_plane: FaultPlane | None = None,
     ):
         self.clock = clock or VirtualClock()
         self.rpc_latency = rpc_latency
         self.telemetry = telemetry or NULL_TELEMETRY
         self.stats = NetworkStats()
+        self.faults = fault_plane or FaultPlane()
         if self.telemetry.enabled:
             self.stats.register(self.telemetry.metrics)
+            self.faults.register(self.telemetry.metrics)
         self._hosts: dict[str, _HostState] = {}
+        #: reordered datagrams awaiting delivery, per destination host
+        self._deferred_datagrams: dict[str, list[tuple[str, object]]] = {}
         #: Current partition: list of disjoint host groups.  Empty list
         #: means fully connected.
         self._groups: list[frozenset[str]] = []
@@ -245,15 +427,25 @@ class Network:
         self._host(addr).rpc_services[service] = handler
 
     def rpc(self, src: str, dst: str, service: str, *args: object, **kwargs: object) -> object:
-        """Synchronous call; raises HostUnreachable across a partition."""
+        """Synchronous call; raises HostUnreachable across a partition,
+        ServiceUnavailable when the peer is up but exports no such
+        service, and RpcTimeout for injected transient faults."""
         bytes_out = _payload_bytes(args)
         if not self.reachable(src, dst):
             self.stats.record_rpc(src, dst, ok=False, bytes_out=bytes_out)
             raise HostUnreachable(f"{src} -> {dst}: unreachable")
         handler = self._host(dst).rpc_services.get(service)
         if handler is None:
+            # up and reachable, nothing exported: a configuration error,
+            # not a partition — retrying would never succeed
             self.stats.record_rpc(src, dst, ok=False, bytes_out=bytes_out)
-            raise HostUnreachable(f"{dst} exports no service {service!r}")
+            raise ServiceUnavailable(f"{dst} exports no service {service!r}")
+        verdict = self.faults.rpc_verdict(src, dst) if self.faults.active else RPC_OK
+        if verdict == RPC_TIMEOUT:
+            # the request is lost before the server sees it
+            self.clock.advance(self.rpc_latency)
+            self.stats.record_rpc(src, dst, ok=False, bytes_out=bytes_out)
+            raise RpcTimeout(f"{src} -> {dst}: injected timeout for {service!r}")
         self.clock.advance(self.rpc_latency)
         # application errors surfacing through the handler are still a
         # delivered RPC at the transport level — count them as sent
@@ -264,6 +456,14 @@ class Network:
                 src, dst, ok=True, latency=self.rpc_latency, bytes_out=bytes_out
             )
             raise
+        if verdict == RPC_REPLY_LOST:
+            # the server executed, the reply vanished: the caller cannot
+            # distinguish this from a lost request — exactly why blind
+            # retry of non-idempotent operations is unsafe
+            self.stats.record_rpc(
+                src, dst, ok=False, latency=self.rpc_latency, bytes_out=bytes_out
+            )
+            raise RpcTimeout(f"{src} -> {dst}: injected reply loss for {service!r}")
         self.stats.record_rpc(
             src,
             dst,
@@ -284,16 +484,61 @@ class Network:
         """Best-effort datagram to each destination; returns deliveries.
 
         Unreachable destinations miss the datagram silently — exactly the
-        failure mode Ficus's periodic reconciliation cleans up after.
+        failure mode Ficus's periodic reconciliation cleans up after.  The
+        fault plane can additionally drop, duplicate, or reorder delivery
+        on a per-link basis.  A destination with no registered handlers
+        counts as a loss: nothing received the notification.
         """
         delivered = 0
+        faults_active = self.faults.active
         for dst in dsts:
             if not self.reachable(src, dst):
                 self.stats.record_datagram(delivered=False)
                 self.telemetry.events.emit("notification.lost", host=src, dst=dst)
                 continue
-            for handler in self._host(dst).datagram_handlers:
-                handler(src, payload)
-            self.stats.record_datagram(delivered=True)
-            delivered += 1
+            verdict = self.faults.datagram_verdict(src, dst) if faults_active else DG_DELIVER
+            if verdict == DG_DROP:
+                self.stats.record_datagram(delivered=False)
+                self.telemetry.events.emit("notification.lost", host=src, dst=dst)
+                continue
+            if verdict == DG_REORDER:
+                # held back until the next datagram to the same host (or an
+                # explicit flush): a later datagram overtakes this one
+                self._deferred_datagrams.setdefault(dst, []).append((src, payload))
+                continue
+            copies = 2 if verdict == DG_DUPLICATE else 1
+            for _ in range(copies):
+                if self._deliver_datagram(src, dst, payload):
+                    delivered += 1
+            # a reordered datagram surfaces behind the one that overtook it
+            delivered += self._flush_deferred_to(dst)
         return delivered
+
+    def _deliver_datagram(self, src: str, dst: str, payload: object) -> bool:
+        """Hand one datagram to the destination's handlers; a host with no
+        handlers registered counts as a loss, not a delivery."""
+        handlers = self._host(dst).datagram_handlers
+        if not handlers:
+            self.stats.record_datagram(delivered=False)
+            self.telemetry.events.emit("notification.lost", host=src, dst=dst)
+            return False
+        for handler in handlers:
+            handler(src, payload)
+        self.stats.record_datagram(delivered=True)
+        return True
+
+    def _flush_deferred_to(self, dst: str) -> int:
+        pending = self._deferred_datagrams.pop(dst, None)
+        if not pending:
+            return 0
+        delivered = 0
+        for src, payload in pending:
+            if self.reachable(src, dst) and self._deliver_datagram(src, dst, payload):
+                delivered += 1
+            elif not self.reachable(src, dst):
+                self.stats.record_datagram(delivered=False)
+        return delivered
+
+    def flush_deferred_datagrams(self) -> int:
+        """Deliver every reordered datagram still held back (quiescence)."""
+        return sum(self._flush_deferred_to(dst) for dst in list(self._deferred_datagrams))

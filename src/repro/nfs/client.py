@@ -51,6 +51,21 @@ class NfsClientConfig:
     name_cache_ttl: float = 3.0
     #: RPC retransmissions before giving up with ETIMEDOUT.
     retries: int = 2
+    #: First retransmission delay (virtual seconds); doubles per attempt.
+    backoff_base: float = 0.05
+    #: Ceiling on any single retransmission delay.
+    backoff_max: float = 1.0
+
+
+#: Operations whose replay after an ambiguous failure is NOT safe: the
+#: server mints fresh entry/file ids per request, so a retransmission
+#: after a lost *reply* would commit the operation twice (two live
+#: entries, two files).  Everything else in the protocol is idempotent —
+#: reads trivially, and the Ficus mutations by construction (inserts and
+#: removes are keyed on entry ids carried in the request, writes carry
+#: absolute offsets, session brackets and shadow commits re-apply
+#: harmlessly).
+NON_IDEMPOTENT_OPS = frozenset({"create", "mkdir", "symlink", "link"})
 
 
 class NfsClientLayer(FileSystemLayer):
@@ -110,8 +125,32 @@ class NfsClientLayer(FileSystemLayer):
         kwargs: dict[str, object],
         span,
     ) -> object:
+        """Retransmit with bounded exponential backoff — idempotent ops only.
+
+        Two failure shapes surface from the transport and they demand
+        different treatment:
+
+        * :class:`HostUnreachable` (not its RpcTimeout subclass) is raised
+          by the reachability check *before* dispatch — the server
+          definitively did not execute, so any operation may retransmit.
+        * :class:`RpcTimeout` is ambiguous: the request may have been lost
+          (not executed) or the reply lost (executed).  Only idempotent
+          operations may retransmit; replaying an id-minting operation
+          after a lost reply would commit it twice.
+
+        ServiceUnavailable (peer up, nothing exported) is a configuration
+        error and is never retried.
+        """
+        may_replay_ambiguous = op not in NON_IDEMPOTENT_OPS
         last_error: Exception | None = None
         for attempt in range(self.config.retries + 1):
+            if attempt:
+                # bounded exponential backoff between retransmissions
+                self.clock.advance(
+                    min(self.config.backoff_max, self.config.backoff_base * 2 ** (attempt - 1))
+                )
+                self.telemetry.metrics.counter("nfs.retries").inc()
+                span.set_tag("retries", attempt)
             try:
                 return self.network.rpc(
                     self.client_addr,
@@ -121,18 +160,19 @@ class NfsClientLayer(FileSystemLayer):
                     **kwargs,
                 )
             except RpcTimeout as exc:
+                if not may_replay_ambiguous:
+                    raise  # the server may already have executed this
                 last_error = exc
             except StaleFileHandle:
                 raise
             except Exception as exc:
-                # idempotent stateless ops: retry only transport errors
+                # definitively-not-executed transport error: anything may
+                # retransmit (exact class: RpcTimeout is handled above and
+                # application errors must propagate)
                 if exc.__class__.__name__ == "HostUnreachable":
                     last_error = exc
                     continue
                 raise
-            finally:
-                if attempt:
-                    span.set_tag("retries", attempt)
         raise RpcTimeout(f"{op}: server {self.server_addr} unreachable") from last_error
 
     # -- caches ------------------------------------------------------------------

@@ -4,6 +4,8 @@ Validates the structural invariants of one volume replica's on-disk
 organization, the way :func:`repro.ufs.fsck` validates UFS structure:
 
 * every directory's entry file decodes, and entry-ids are unique;
+* no directory holds two live entries with the same (name, handle) pair
+  (the cross-host same-name rename artifact reconciliation must resolve);
 * live file/symlink entries either have contents + aux storage in the
   naming directory, or are awaiting propagation (entry-only);
 * aux records agree with their entries (handle, type);
@@ -95,12 +97,23 @@ def ficus_fsck(store: ReplicaStore) -> FicusCheckReport:
         is_graft = dir_aux.etype == EntryType.GRAFT_POINT
 
         seen_eids = set()
+        live_name_fh: set[tuple[str, FicusFileHandle]] = set()
         expected_names = {FDIR_NAME, FAUX_NAME}
         for entry in entries:
             report.entries_checked += 1
             if entry.eid in seen_eids:
                 report.complain(f"dir {dir_fh}: duplicate entry id {entry.eid.encode()}")
             seen_eids.add(entry.eid)
+            if entry.live:
+                # two live entries with the same (name, fh) are one
+                # user-level object named twice — a merge artifact that
+                # reconciliation must resolve, never persist
+                key = (entry.name, entry.fh.logical)
+                if key in live_name_fh:
+                    report.complain(
+                        f"dir {dir_fh}: duplicate live entry {entry.name!r} -> {entry.fh}"
+                    )
+                live_name_fh.add(key)
             if entry.eid.replica_id == store.replica_id:
                 issued_seqs.append(entry.eid.seq)
             if entry.fh.file_id.issuing_replica == store.replica_id:

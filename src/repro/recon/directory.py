@@ -54,6 +54,8 @@ class DirReconResult:
     tombstones_recorded: int = 0
     deletes_applied: int = 0
     tombstones_purged_by_inference: int = 0
+    #: same-(name, fh) duplicate entries tombstoned by the merge
+    duplicates_resolved: int = 0
     #: live-name collisions present after the merge (repaired at read time)
     collisions_repaired: int = 0
     #: the two replicas had concurrently diverged (auto-repaired)
@@ -67,7 +69,12 @@ class DirReconResult:
 
     @property
     def changed(self) -> bool:
-        return bool(self.inserts_applied or self.tombstones_recorded or self.deletes_applied)
+        return bool(
+            self.inserts_applied
+            or self.tombstones_recorded
+            or self.deletes_applied
+            or self.duplicates_resolved
+        )
 
 
 def reconcile_directory(
@@ -135,6 +142,29 @@ def reconcile_directory(
             if not (remote_entry.acks <= known.acks and remote_entry.acks2 <= known.acks2):
                 local_vnode.apply_tombstone(remote_entry)  # ack merge only
         # both-live: nothing to transfer
+
+    # Concurrent renames of one file to the same name in different
+    # partitions arrive here as two live entries with identical
+    # (name, fh) under distinct entry ids — the same user-level operation
+    # performed twice.  Unlike a collision between *different* files
+    # (which read-time repair must preserve, since both files exist),
+    # the duplicate pair names one object and would otherwise survive
+    # forever as a spurious ``name#<eid>`` alias.  Resolve it the way
+    # read-time repair picks a winner: the lowest entry id keeps the
+    # name, the rest are tombstoned.  Every replica applies the same
+    # rule, so the resolution converges without extra messages, and the
+    # tombstones propagate it to replicas that reconcile elsewhere.
+    by_name_fh: dict[tuple, list] = {}
+    for entry in store.read_entries(dir_fh):
+        if entry.live:
+            by_name_fh.setdefault((entry.name, entry.fh.logical), []).append(entry)
+    for group in by_name_fh.values():
+        if len(group) < 2:
+            continue
+        group.sort(key=lambda e: e.eid)
+        for duplicate in group[1:]:
+            local_vnode.apply_remove(duplicate.eid, from_recon=True)
+            result.duplicates_resolved += 1
 
     # Tombstone-collection inference: if OUR tombstone carries a full
     # phase-1 acknowledgement set but the remote replica has no record of

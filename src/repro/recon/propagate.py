@@ -39,6 +39,7 @@ class PullOutcome(enum.Enum):
     CONFLICT = "conflict"  # concurrent updates detected
     REMOTE_MISSING = "remote-missing"  # remote replica does not store the file
     UNREACHABLE = "unreachable"  # partition/crash interrupted the pull
+    LOCAL_DEAD = "local-dead"  # no live local entry names the file anymore
 
 
 @dataclass
@@ -72,6 +73,16 @@ def pull_file(
     local_vv = (
         store.read_file_aux(parent_fh, fh).vv if local_stored else VersionVector()
     )
+    if not local_stored:
+        # A delete can land between a new-version note being queued and
+        # serviced.  Materializing storage for a tombstoned (or unknown)
+        # entry would leak it forever — the GC only runs on the live→dead
+        # transition — so refuse unless a live entry names the file.
+        live_here = any(
+            e.live and e.fh.logical == fh for e in store.read_entries(parent_fh)
+        )
+        if not live_here:
+            return PullResult(PullOutcome.LOCAL_DEAD, local_vv, VersionVector())
 
     try:
         remote_aux = remote_dir.getattrs_batch([fh]).child(fh)

@@ -35,6 +35,51 @@ from repro.util import VolumeReplicaId
 from repro.volume import ReplicaLocation
 
 
+class PeerHealth:
+    """Consecutive-failure tracking for flapping peers.
+
+    A peer that keeps failing *while reachable* (transient RPC faults, a
+    lossy link) is marked degraded: the next ``min(2^(failures-1),
+    max_skips)`` considerations of that peer are skipped, so a periodic
+    round routes around it instead of stalling on retries every tick.
+    Partitioned or crashed peers are NOT penalized — unreachability is
+    detected for free and is the normal state reconciliation exists for.
+    The skip budget is tick-based, not wall-clock-based, so a quiescent
+    system converges after a bounded number of rounds regardless of how
+    virtual time advances.
+    """
+
+    def __init__(self, max_skips: int = 4):
+        self.max_skips = max_skips
+        self._failures: dict[str, int] = {}
+        self._skips_left: dict[str, int] = {}
+
+    def record_failure(self, host: str) -> None:
+        failures = self._failures.get(host, 0) + 1
+        self._failures[host] = failures
+        self._skips_left[host] = min(self.max_skips, 2 ** (failures - 1))
+
+    def record_success(self, host: str) -> None:
+        self._failures.pop(host, None)
+        self._skips_left.pop(host, None)
+
+    def should_skip(self, host: str) -> bool:
+        """Consume one skip credit for ``host`` if any remain."""
+        left = self._skips_left.get(host, 0)
+        if left <= 0:
+            return False
+        self._skips_left[host] = left - 1
+        return True
+
+    def is_degraded(self, host: str) -> bool:
+        return self._skips_left.get(host, 0) > 0
+
+    def reset(self) -> None:
+        """Forget all history (e.g. after faults are known to have ceased)."""
+        self._failures.clear()
+        self._skips_left.clear()
+
+
 @dataclass
 class PropagationStats:
     pulls_attempted: int = 0
@@ -45,6 +90,10 @@ class PropagationStats:
     bytes_copied: int = 0
     #: bytes block-delta pulls avoided copying (file size minus delta)
     bytes_saved: int = 0
+    #: notes left pending this tick because their source is degraded
+    notes_deferred: int = 0
+    #: notes dropped because the named entry died before servicing
+    stale_notes: int = 0
 
 
 class PropagationDaemon:
@@ -70,6 +119,7 @@ class PropagationDaemon:
         self.min_age = min_age
         self.logical = logical
         self.stats = PropagationStats()
+        self.peer_health = PeerHealth()
 
     def _notify_installed(self, volrep, parent_fh, fh, objkind: str) -> None:
         """Announce a version this daemon just installed (origin="sync")."""
@@ -81,11 +131,20 @@ class PropagationDaemon:
         )
 
     def tick(self) -> int:
-        """Service every sufficiently old new-version note; returns pulls."""
+        """Service every sufficiently old new-version note; returns pulls.
+
+        Notes from a degraded source (one that kept failing while
+        reachable) stay pending for a few ticks instead of burning a full
+        retry cycle each round; reconciliation covers the gap regardless.
+        """
         now = self.physical.clock.now()
         pulled = 0
         for note in self.physical.pending_new_versions():
             if now - note.noted_at < self.min_age:
+                continue
+            if self.peer_health.should_skip(note.src_addr):
+                self.stats.notes_deferred += 1
+                self.physical.telemetry.metrics.counter("propagation.notes_deferred").inc()
                 continue
             pulled += self._service(note)
         return pulled
@@ -107,6 +166,13 @@ class PropagationDaemon:
             span.set_tag("src", note.src_addr)
             outcome, pulled = self._attempt(note)
             span.set_tag("outcome", outcome)
+        if outcome == "unreachable":
+            # failing while the network says the peer is fine = flapping;
+            # a genuine partition/crash is normal and carries no penalty
+            if self.fabric.network.reachable(self.physical.host_addr, note.src_addr):
+                self.peer_health.record_failure(note.src_addr)
+        elif outcome in ("pulled", "up_to_date"):
+            self.peer_health.record_success(note.src_addr)
         telemetry.metrics.counter("propagation.pulls_attempted").inc()
         telemetry.metrics.counter(f"propagation.{outcome}").inc()
         copied = self.stats.bytes_copied - bytes_before
@@ -153,6 +219,12 @@ class PropagationDaemon:
             self.stats.conflicts_deferred += 1
             self.physical.clear_new_version(note.key)
             return ("conflict_deferred", 0)
+        if result.outcome is PullOutcome.LOCAL_DEAD:
+            # the file was unlinked here while the note sat queued; the
+            # note is moot (neither a peer failure nor a success)
+            self.stats.stale_notes += 1
+            self.physical.clear_new_version(note.key)
+            return ("stale_note", 0)
         self.stats.unreachable += 1
         return ("unreachable", 0)
 
@@ -195,6 +267,10 @@ class PropagationDaemon:
 @dataclass
 class ReconStats:
     runs: int = 0
+    #: ring peers passed over this-and-previous ticks because they kept
+    #: failing while reachable (degraded), letting the round do useful
+    #: work against someone else instead of stalling
+    peers_skipped: int = 0
     results: list[SubtreeReconResult] = field(default_factory=list)
 
     @property
@@ -225,6 +301,7 @@ class ReconciliationDaemon:
         self.logical = logical
         self._ring_position: dict[VolumeReplicaId, int] = {}
         self.stats = ReconStats()
+        self.peer_health = PeerHealth()
         self.tombstones_purged = 0
 
     def set_peers(self, volrep: VolumeReplicaId, locations: list[ReplicaLocation]) -> None:
@@ -233,16 +310,54 @@ class ReconciliationDaemon:
         ]
 
     def tick(self) -> list[SubtreeReconResult]:
-        """Reconcile each hosted replica against its next ring peer."""
+        """Reconcile each hosted replica against its next usable ring peer.
+
+        Degraded peers (failing while reachable) are passed over for a few
+        ticks so the round does useful work against someone else instead
+        of stalling on retry cycles; unreachable peers cost one cheap
+        check and surface as an aborted result, as before.
+        """
+        telemetry = self.physical.telemetry
         outcomes = []
         for volrep in list(self.physical.stores):
             peers = self.peers.get(volrep, [])
             if not peers:
                 continue
-            position = self._ring_position.get(volrep, 0) % len(peers)
-            self._ring_position[volrep] = position + 1
-            peer = peers[position]
-            outcomes.append(self.reconcile_with(volrep, peer))
+            position = self._ring_position.get(volrep, 0)
+            chosen = None
+            saw_unreachable = False
+            for offset in range(len(peers)):
+                peer = peers[(position + offset) % len(peers)]
+                if not self.fabric.network.reachable(self.physical.host_addr, peer.host):
+                    saw_unreachable = True
+                    continue
+                if self.peer_health.should_skip(peer.host):
+                    self.stats.peers_skipped += 1
+                    telemetry.metrics.counter("recon.peers_skipped").inc()
+                    continue
+                chosen = peer
+                self._ring_position[volrep] = position + offset + 1
+                break
+            if chosen is None:
+                self._ring_position[volrep] = position + 1
+                if saw_unreachable:
+                    # same observable outcome a doomed run would have had,
+                    # without paying for its RPC attempts
+                    result = SubtreeReconResult(aborted_by_partition=True)
+                    self.stats.runs += 1
+                    self.stats.results.append(result)
+                    telemetry.metrics.counter("recon.runs").inc()
+                    telemetry.metrics.counter("recon.aborted_by_partition").inc()
+                    outcomes.append(result)
+                continue
+            result = self.reconcile_with(volrep, chosen)
+            if result.aborted_by_partition:
+                # it was reachable when chosen, so the failure was a
+                # transient fault, not a partition: degrade the peer
+                self.peer_health.record_failure(chosen.host)
+            else:
+                self.peer_health.record_success(chosen.host)
+            outcomes.append(result)
         return outcomes
 
     def volume_replica_ids(self, volrep: VolumeReplicaId) -> frozenset[int]:

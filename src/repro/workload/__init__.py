@@ -1,6 +1,12 @@
 """Workload generators and measurement harnesses."""
 
 from repro.workload.availability import AvailabilityExperiment, PolicyAvailability
+from repro.workload.chaos import (
+    RENAME_BUG_SEED,
+    ChaosConfig,
+    ChaosReport,
+    run_chaos,
+)
 from repro.workload.locality import FileRef, ZipfReferenceGenerator, hit_ratio_estimate
 from repro.workload.partitions import (
     PartitionEpoch,
@@ -21,6 +27,10 @@ from repro.workload.updates import BurstyUpdateGenerator, SteadyUpdateGenerator,
 __all__ = [
     "AvailabilityExperiment",
     "BurstyUpdateGenerator",
+    "ChaosConfig",
+    "ChaosReport",
+    "RENAME_BUG_SEED",
+    "run_chaos",
     "FileRef",
     "PartitionEpoch",
     "PartitionTraceGenerator",

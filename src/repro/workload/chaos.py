@@ -1,0 +1,278 @@
+"""Chaos convergence harness: seeded faults, then prove convergence.
+
+"One key problem faced by a file system such as Ficus is that update
+propagation is not reliable" (paper Section 2.3.1) — notifications are
+best-effort datagrams, hosts crash between executing an operation and
+acknowledging it, and partitions come and go.  The system's answer is
+that *reconciliation* guarantees eventual consistency regardless of what
+the optimistic fast path loses.
+
+This harness puts that guarantee under test.  It drives a
+:class:`~repro.sim.FicusSystem` through a seeded schedule of namespace
+operations while the network's :class:`~repro.net.FaultPlane` drops,
+duplicates, reorders, and times out traffic, and partitions split the
+hosts at random.  Then every fault is withdrawn and the system is given
+a bounded number of reconciliation rounds, after which the oracle runs:
+
+* ``ficus_fsck`` must be clean on every replica (this includes the
+  duplicate-(name, fh) invariant behind the cross-host rename bug);
+* every host must report an identical name tree;
+* file contents must agree wherever no update conflict was reported.
+
+Everything is derived from one integer seed — the fault plane, the
+partition schedule, and the operation mix — so any failure replays
+exactly with ``run_chaos(seed)``.
+
+Run as a module for CI::
+
+    python -m repro.workload.chaos --seeds 11 17 1990 --rename-storm-seed 1990
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.errors import FicusError
+from repro.net import LinkFaults
+from repro.physical import ficus_fsck
+from repro.sim import DaemonConfig, FicusSystem
+
+#: seed under which the harness always replays the cross-host rename
+#: collision (the PR's headline bug) inside the chaos schedule
+RENAME_BUG_SEED = 1990
+
+_QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+#: moderate loss: enough to exercise every retry path without making the
+#: chaos phase a pure error storm
+DEFAULT_FAULTS = LinkFaults(
+    drop=0.2, duplicate=0.1, reorder=0.1, rpc_timeout=0.08, reply_lost=0.04
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of one chaos run; the seed supplies all randomness."""
+
+    host_count: int = 3
+    rounds: int = 8
+    ops_per_round: int = 4
+    #: chance per round that the topology is re-drawn into two groups
+    partition_prob: float = 0.35
+    #: chance per round that an existing partition heals
+    heal_prob: float = 0.5
+    faults: LinkFaults = DEFAULT_FAULTS
+    #: deterministically replay the same-name cross-host rename collision
+    #: before the random schedule begins
+    rename_storm: bool = False
+    #: distinct file names the operation mix draws from (small on purpose,
+    #: so concurrent operations collide)
+    file_names: int = 4
+    dir_names: int = 2
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run did and whether the system converged."""
+
+    seed: int
+    ops_attempted: int = 0
+    #: operations the fault plane caused to fail at the client
+    ops_failed: int = 0
+    partitions_formed: int = 0
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    unresolved_conflicts: int = 0
+    #: oracle violations; empty means the run converged
+    problems: list[str] = field(default_factory=list)
+    #: the (identical) converged name tree, for report consumers
+    tree: list[str] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return not self.problems
+
+
+def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
+    """One seeded chaos run: inject faults, quiesce, check convergence."""
+    config = config or ChaosConfig()
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed)
+
+    host_names = [f"h{i}" for i in range(config.host_count)]
+    system = FicusSystem(host_names, daemon_config=_QUIET)
+    system.network.faults.reseed(seed)
+
+    if config.rename_storm:
+        _rename_storm(system, host_names)
+
+    system.network.faults.set_default(config.faults)
+    partitioned = False
+    for round_index in range(config.rounds):
+        partitioned = _maybe_repartition(system, host_names, rng, partitioned, report, config)
+        for host_name in host_names:
+            fs = system.host(host_name).fs()
+            for _ in range(config.ops_per_round):
+                report.ops_attempted += 1
+                try:
+                    _random_op(fs, rng, config, host_name, round_index)
+                except FicusError:
+                    # an injected timeout or a partition surfaced at the
+                    # client — exactly what optimism tolerates
+                    report.ops_failed += 1
+        # exercise the daemons (and their retry/degraded-peer policies)
+        # while the faults are still live
+        for host_name in host_names:
+            host = system.host(host_name)
+            host.propagation_daemon.tick()
+            host.recon_daemon.tick()
+
+    # -- quiesce: withdraw every fault, then converge ---------------------
+    report.faults_injected = dict(system.network.faults.injected)
+    system.heal()
+    system.network.faults.clear()
+    system.network.flush_deferred_datagrams()
+    for host_name in host_names:
+        host = system.host(host_name)
+        host.propagation_daemon.peer_health.reset()
+        host.recon_daemon.peer_health.reset()
+    system.reconcile_everything(rounds=config.host_count + 2)
+    for _ in range(2):
+        for host_name in host_names:
+            system.host(host_name).propagation_daemon.tick()
+
+    _check_convergence(system, host_names, report)
+    report.unresolved_conflicts = system.total_conflicts()
+    return report
+
+
+def _rename_storm(system: FicusSystem, host_names: list[str]) -> None:
+    """Replay the headline bug: every host renames one file to one name."""
+    first = system.host(host_names[0]).fs()
+    first.write_file("/storm", b"contested")
+    system.reconcile_everything()
+    for host_name in host_names:
+        system.host(host_name).propagation_daemon.tick()
+    system.partition([{name} for name in host_names])
+    for host_name in host_names:
+        try:
+            system.host(host_name).fs().rename("/storm", "/storm-renamed")
+        except FicusError:
+            pass  # a replica without the entry yet simply sits this out
+    system.heal()
+
+
+def _maybe_repartition(
+    system: FicusSystem,
+    host_names: list[str],
+    rng: random.Random,
+    partitioned: bool,
+    report: ChaosReport,
+    config: ChaosConfig,
+) -> bool:
+    if partitioned and rng.random() < config.heal_prob:
+        system.heal()
+        return False
+    if not partitioned and rng.random() < config.partition_prob and len(host_names) > 1:
+        shuffled = list(host_names)
+        rng.shuffle(shuffled)
+        cut = rng.randrange(1, len(shuffled))
+        system.partition([set(shuffled[:cut]), set(shuffled[cut:])])
+        report.partitions_formed += 1
+        return True
+    return partitioned
+
+
+def _random_op(fs, rng: random.Random, config: ChaosConfig, host_name: str, round_index: int):
+    """One namespace operation drawn from a deliberately small namespace."""
+    roll = rng.random()
+    fname = f"/f{rng.randrange(config.file_names)}"
+    dname = f"/d{rng.randrange(config.dir_names)}"
+    if roll < 0.45:
+        fs.write_file(fname, f"{host_name}:{round_index}:{rng.randrange(1000)}".encode())
+    elif roll < 0.60:
+        if not fs.exists(dname):
+            fs.mkdir(dname)
+        else:
+            fs.write_file(f"{dname}/inner", host_name.encode())
+    elif roll < 0.80:
+        target = f"/f{rng.randrange(config.file_names)}"
+        if fs.exists(fname) and fname != target and not fs.exists(target):
+            fs.rename(fname, target)
+    else:
+        if fs.exists(fname):
+            fs.unlink(fname)
+
+
+def _check_convergence(system: FicusSystem, host_names: list[str], report: ChaosReport) -> None:
+    for host_name in host_names:
+        host = system.host(host_name)
+        for volrep, store in host.physical.stores.items():
+            fsck = ficus_fsck(store)
+            for problem in fsck.problems:
+                report.problems.append(f"{host_name}/{volrep}: {problem}")
+
+    trees = {name: sorted(system.host(name).fs().walk_tree()) for name in host_names}
+    baseline_host = host_names[0]
+    baseline = trees[baseline_host]
+    for host_name in host_names[1:]:
+        if trees[host_name] != baseline:
+            report.problems.append(
+                f"trees diverged: {baseline_host}={baseline} vs "
+                f"{host_name}={trees[host_name]}"
+            )
+    report.tree = baseline
+
+    # contents must agree wherever no conflict is on record; a reported
+    # update conflict legitimately preserves both versions until resolved
+    if system.total_conflicts() == 0 and not report.problems:
+        for path in baseline:
+            contents = set()
+            for host_name in host_names:
+                fs = system.host(host_name).fs()
+                if fs.stat(path).is_file:
+                    contents.add(fs.read_file(path))
+            if len(contents) > 1:
+                report.problems.append(f"{path}: contents diverged with no conflict reported")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Seeded chaos convergence runs")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[11, 17, 23])
+    parser.add_argument(
+        "--rename-storm-seed",
+        type=int,
+        default=None,
+        help="additionally run this seed with the cross-host rename collision replay",
+    )
+    parser.add_argument("--hosts", type=int, default=3)
+    parser.add_argument("--rounds", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    base = ChaosConfig(host_count=args.hosts, rounds=args.rounds)
+    runs = [(seed, base) for seed in args.seeds]
+    if args.rename_storm_seed is not None:
+        runs.append((args.rename_storm_seed, replace(base, rename_storm=True)))
+
+    failures = 0
+    for seed, config in runs:
+        report = run_chaos(seed, config)
+        status = "converged" if report.converged else "DIVERGED"
+        storm = " +rename-storm" if config.rename_storm else ""
+        print(
+            f"seed {seed}{storm}: {status}; "
+            f"{report.ops_attempted} ops ({report.ops_failed} failed), "
+            f"{report.partitions_formed} partitions, "
+            f"faults {report.faults_injected or '{}'}, "
+            f"{report.unresolved_conflicts} conflicts open"
+        )
+        for problem in report.problems:
+            print(f"  !! {problem}")
+        failures += 0 if report.converged else 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Chaos convergence runs and the retry/timeout policy they exercise."""
+
+import pytest
+
+from repro.errors import FileNotFound, RpcTimeout
+from repro.net import Network
+from repro.nfs import NfsClientLayer, NfsServer
+from repro.physical import ficus_fsck
+from repro.recon import PullOutcome, pull_file
+from repro.sim import DaemonConfig, FicusSystem
+from repro.storage import BlockDevice
+from repro.ufs import Ufs
+from repro.vnode import UfsLayer
+from repro.workload import RENAME_BUG_SEED, ChaosConfig, run_chaos
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+#: smaller than the CI module run, so the tier-1 suite stays fast
+FAST = ChaosConfig(rounds=4, ops_per_round=3)
+
+
+class TestChaosConvergence:
+    @pytest.mark.parametrize("seed", [11, 17, 23])
+    def test_seeded_chaos_converges(self, seed):
+        report = run_chaos(seed, FAST)
+        assert report.converged, report.problems
+        assert report.faults_injected  # the run was not accidentally fault-free
+        assert report.ops_attempted > 0
+
+    def test_rename_bug_seed_converges(self):
+        """The headline regression: the same-name cross-host rename storm
+        replays under chaos and must still converge to a single entry."""
+        report = run_chaos(RENAME_BUG_SEED, ChaosConfig(rounds=4, ops_per_round=3, rename_storm=True))
+        assert report.converged, report.problems
+        assert report.tree.count("/storm-renamed") == 1
+        assert "/storm" not in report.tree
+
+    def test_same_seed_replays_exactly(self):
+        first = run_chaos(7, FAST)
+        second = run_chaos(7, FAST)
+        assert first.converged and second.converged
+        assert first.faults_injected == second.faults_injected
+        assert first.ops_failed == second.ops_failed
+        assert first.partitions_formed == second.partitions_formed
+        assert first.tree == second.tree
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(7, FAST)
+        b = run_chaos(8, FAST)
+        assert (a.faults_injected, a.tree) != (b.faults_injected, b.tree)
+
+
+def store_of(system, host_name):
+    return next(iter(system.host(host_name).physical.stores.values()))
+
+
+class TestRetryPolicy:
+    def test_pull_file_retries_transient_fault_and_commits(self):
+        """A single injected timeout mid-pull is retried by the NFS client
+        under the hood and the pull still commits atomically."""
+        system = FicusSystem(["alpha", "beta"], daemon_config=QUIET)
+        system.host("alpha").fs().write_file("/doc", b"contents")
+        beta_store = store_of(system, "beta")
+        alpha_loc = next(loc for loc in system.root_locations if loc.host == "alpha")
+        remote = system.host("beta").fabric.volume_root("alpha", alpha_loc.volrep)
+
+        # beta needs the entry first (a pull installs contents, not entries)
+        system.reconcile_everything()
+        assert system.host("beta").fs().read_file("/doc") == b"contents"
+
+        system.host("alpha").fs().write_file("/doc", b"contents v2")
+        system.network.faults.schedule_rpc("beta", "alpha", ["timeout"])
+        root_fh = beta_store.root_handle()
+        entry = next(e for e in beta_store.read_entries(root_fh) if e.name == "doc")
+        result = pull_file(beta_store, root_fh, entry.fh, remote)
+        assert result.outcome is PullOutcome.PULLED
+        assert system.network.faults.injected == {"rpc_timeout": 1}
+        assert system.host("beta").fs().read_file("/doc") == b"contents v2"
+        assert ficus_fsck(beta_store).clean
+
+    def test_pull_file_gives_up_cleanly_when_faults_persist(self):
+        """Exhausting every retransmission surfaces as UNREACHABLE and
+        leaves the local replica exactly as it was — no partial commit."""
+        system = FicusSystem(["alpha", "beta"], daemon_config=QUIET)
+        system.host("alpha").fs().write_file("/doc", b"v1")
+        system.reconcile_everything()
+        system.host("alpha").fs().write_file("/doc", b"v2")
+
+        beta_store = store_of(system, "beta")
+        alpha_loc = next(loc for loc in system.root_locations if loc.host == "alpha")
+        remote = system.host("beta").fabric.volume_root("alpha", alpha_loc.volrep)
+        # enough scripted timeouts to outlast any retransmission schedule
+        system.network.faults.schedule_rpc("beta", "alpha", ["timeout"] * 8)
+        root_fh = beta_store.root_handle()
+        entry = next(e for e in beta_store.read_entries(root_fh) if e.name == "doc")
+        result = pull_file(beta_store, root_fh, entry.fh, remote)
+        assert result.outcome is PullOutcome.UNREACHABLE
+        assert ficus_fsck(beta_store).clean
+        # the local replica still holds v1: a fault-free pull has work to do
+        system.network.faults.clear()
+        retry = pull_file(beta_store, root_fh, entry.fh, remote)
+        assert retry.outcome is PullOutcome.PULLED
+        assert system.host("beta").fs().read_file("/doc") == b"v2"
+
+    def test_non_idempotent_op_is_not_retried_after_reply_lost(self):
+        """create mints fresh ids server-side, so after an ambiguous
+        failure (executed, reply lost) the client must surface the timeout
+        rather than blindly retransmit."""
+        net = Network()
+        net.add_host("server")
+        net.add_host("client")
+        ufs_layer = UfsLayer(Ufs.mkfs(BlockDevice(4096), num_inodes=256, clock=net.clock))
+        NfsServer(net, "server", ufs_layer)
+        client = NfsClientLayer(net, "client", "server")
+        root = client.root()
+
+        sent_before = net.stats.rpcs_sent
+        net.faults.schedule_rpc("client", "server", ["reply_lost", "ok"])
+        with pytest.raises(RpcTimeout):
+            root.create("minted")
+        # exactly one attempt went out: the scripted "ok" for a second
+        # attempt was never consumed
+        assert net.stats.rpcs_sent - sent_before == 1
+        assert net.faults.injected == {"reply_lost": 1}
+        # and the server really did execute the lost-reply create
+        assert ufs_layer.root().lookup("minted") is not None
+
+    def test_idempotent_op_retries_through_reply_lost(self):
+        """The same ambiguous failure on an idempotent operation is safely
+        retransmitted and succeeds."""
+        net = Network()
+        net.add_host("server")
+        net.add_host("client")
+        ufs_layer = UfsLayer(Ufs.mkfs(BlockDevice(4096), num_inodes=256, clock=net.clock))
+        NfsServer(net, "server", ufs_layer)
+        client = NfsClientLayer(net, "client", "server")
+        root = client.root()
+        f = root.create("f")
+        f.write(0, b"payload")
+
+        net.faults.schedule_rpc("client", "server", ["reply_lost"])
+        assert f.read_all() == b"payload"
+        assert net.faults.injected == {"reply_lost": 1}
+
+
+class TestStaleNotes:
+    def test_note_for_unlinked_file_does_not_resurrect_storage(self):
+        """Chaos-found leak: a new-version note serviced after the local
+        entry was unlinked must not materialize storage for the dead entry
+        (nothing would ever collect it)."""
+        system = FicusSystem(["alpha", "beta"], daemon_config=QUIET)
+        system.host("alpha").fs().write_file("/f", b"v1")
+        system.reconcile_everything()
+        for name in ("alpha", "beta"):
+            system.host(name).propagation_daemon.tick()
+        assert system.host("beta").fs().read_file("/f") == b"v1"
+
+        # a new version is noted at beta, but beta unlinks before servicing
+        system.host("alpha").fs().write_file("/f", b"v2")
+        system.host("beta").fs().unlink("/f")
+        beta = system.host("beta")
+        beta.propagation_daemon.tick()
+        assert beta.propagation_daemon.stats.stale_notes == 1
+        report = ficus_fsck(store_of(system, "beta"))
+        assert report.clean, report.problems
+        with pytest.raises(FileNotFound):
+            beta.fs().read_file("/f")

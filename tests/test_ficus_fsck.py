@@ -104,6 +104,28 @@ class TestDetectsCorruption:
         report = ficus_fsck(store)
         assert any("mint behind" in p for p in report.problems)
 
+    def test_duplicate_live_name_fh_detected(self):
+        """Two live entries naming the same file under the same name is
+        the merge artifact of the cross-host same-name rename bug; the
+        checker must flag it if reconciliation ever lets one persist."""
+        from repro.physical.wire import DirectoryEntry, EntryId
+
+        system = FicusSystem(["solo"], daemon_config=QUIET)
+        host = system.host("solo")
+        host.fs().write_file("/f", b"x")
+        store = host.physical.store_for(system.root_locations[0].volrep)
+        entries = store.read_entries(store.root_handle())
+        original = next(e for e in entries if e.name == "f")
+        clone = DirectoryEntry(
+            eid=EntryId(original.eid.replica_id + 1, 1),
+            name=original.name,
+            fh=original.fh,
+            etype=original.etype,
+        )
+        store.write_entries(store.root_handle(), entries + [clone])
+        report = ficus_fsck(store)
+        assert any("duplicate live entry" in p for p in report.problems)
+
     def test_refcount_mismatch_detected(self):
         system = FicusSystem(["solo"], daemon_config=QUIET)
         host = system.host("solo")

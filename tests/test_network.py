@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import HostUnreachable, InvalidArgument
-from repro.net import Network
+from repro.errors import HostUnreachable, InvalidArgument, RpcTimeout, ServiceUnavailable
+from repro.net import FaultPlane, LinkFaults, Network
 
 
 @pytest.fixture
@@ -74,9 +74,14 @@ class TestRpc:
             net.rpc("a", "b", "echo", 1)
         assert net.stats.rpcs_failed == 1
 
-    def test_call_to_missing_service_fails(self, net):
-        with pytest.raises(HostUnreachable):
+    def test_call_to_missing_service_is_not_a_partition(self, net):
+        # a reachable host with no such export is a configuration error:
+        # distinct from HostUnreachable so retry policies never treat it
+        # as transient
+        with pytest.raises(ServiceUnavailable):
             net.rpc("a", "b", "nothing")
+        assert not issubclass(ServiceUnavailable, HostUnreachable)
+        assert net.stats.rpcs_failed == 1
 
     def test_rpc_advances_clock(self, net):
         net.register_rpc("b", "noop", lambda: None)
@@ -116,5 +121,102 @@ class TestMulticast:
         net.multicast("a", ["b"], None)
         assert got == [1, 2]
 
-    def test_no_handler_still_counts_delivered(self, net):
-        assert net.multicast("a", ["d"], "x") == 1
+    def test_no_handler_counts_as_lost(self, net):
+        # a reachable host with zero registered handlers received nothing:
+        # the stats must not claim the notification landed
+        assert net.multicast("a", ["d"], "x") == 0
+        assert net.stats.datagrams_lost == 1
+        assert net.stats.datagrams_delivered == 0
+
+
+class TestFaultPlane:
+    def test_inert_by_default(self, net):
+        assert not net.faults.active
+        net.register_rpc("b", "echo", lambda x: x)
+        assert net.rpc("a", "b", "echo", 7) == 7
+        assert net.faults.total_injected == 0
+
+    def test_scripted_timeout_then_ok(self, net):
+        calls = []
+        net.register_rpc("b", "echo", lambda x: calls.append(x) or x)
+        net.faults.schedule_rpc("a", "b", ["timeout", "ok"])
+        with pytest.raises(RpcTimeout):
+            net.rpc("a", "b", "echo", 1)
+        assert calls == []  # the server never saw the lost request
+        assert net.rpc("a", "b", "echo", 2) == 2
+        assert calls == [2]
+        assert net.faults.injected == {"rpc_timeout": 1}
+
+    def test_scripted_reply_lost_executes_server_side(self, net):
+        calls = []
+        net.register_rpc("b", "bump", lambda: calls.append(1))
+        net.faults.schedule_rpc("a", "b", ["reply_lost"])
+        with pytest.raises(RpcTimeout):
+            net.rpc("a", "b", "bump")
+        assert calls == [1]  # executed, reply vanished
+        assert net.stats.rpcs_failed == 1
+        assert net.faults.injected == {"reply_lost": 1}
+
+    def test_probabilistic_faults_replay_exactly(self):
+        def run(seed):
+            net = Network(fault_plane=FaultPlane(seed=seed))
+            for host in ["a", "b"]:
+                net.add_host(host)
+            net.register_rpc("b", "noop", lambda: None)
+            net.faults.set_default(LinkFaults(rpc_timeout=0.3, reply_lost=0.1))
+            outcomes = []
+            for _ in range(50):
+                try:
+                    net.rpc("a", "b", "noop")
+                    outcomes.append("ok")
+                except RpcTimeout as exc:
+                    outcomes.append(str(exc))
+            return outcomes, dict(net.faults.injected)
+
+        first = run(42)
+        second = run(42)
+        different = run(43)
+        assert first == second
+        assert first != different
+        assert first[1]  # some faults actually fired at these rates
+
+    def test_datagram_drop_and_duplicate(self, net):
+        got = []
+        net.register_datagram_handler("b", lambda src, p: got.append(p))
+        net.faults.set_link("a", "b", LinkFaults(drop=1.0))
+        assert net.multicast("a", ["b"], "x") == 0
+        assert got == []
+        assert net.stats.datagrams_lost == 1
+        net.faults.set_link("a", "b", LinkFaults(duplicate=1.0))
+        assert net.multicast("a", ["b"], "y") == 2
+        assert got == ["y", "y"]
+
+    def test_datagram_reorder_overtaken_then_flushed(self, net):
+        got = []
+        net.register_datagram_handler("b", lambda src, p: got.append(p))
+        net.faults.schedule_rpc("a", "b", [])  # no RPC faults involved
+        net.faults.set_link("a", "b", LinkFaults(reorder=1.0))
+        assert net.multicast("a", ["b"], "first") == 0  # held back
+        assert got == []
+        net.faults.set_link("a", "b", LinkFaults())
+        # the next datagram overtakes the held one
+        assert net.multicast("a", ["b"], "second") == 2
+        assert got == ["second", "first"]
+
+    def test_flush_deferred_at_quiescence(self, net):
+        got = []
+        net.register_datagram_handler("b", lambda src, p: got.append(p))
+        net.faults.set_link("a", "b", LinkFaults(reorder=1.0))
+        net.multicast("a", ["b"], "held")
+        assert got == []
+        net.faults.clear()
+        assert net.flush_deferred_datagrams() == 1
+        assert got == ["held"]
+
+    def test_clear_disarms_the_plane(self, net):
+        net.faults.set_default(LinkFaults(rpc_timeout=1.0))
+        assert net.faults.active
+        net.faults.clear()
+        assert not net.faults.active
+        net.register_rpc("b", "noop", lambda: None)
+        net.rpc("a", "b", "noop")  # no fault

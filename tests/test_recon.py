@@ -189,6 +189,95 @@ class TestDirectoryRecon:
         b = alpha.root().lookup("project-beta")
         assert a.fh == b.fh
 
+    def test_concurrent_rename_to_same_name_resolves_duplicate(self, system):
+        """The cross-host rename bug.  A rename is insert(new entry id) +
+        remove(old one), so when both replicas rename the same file to the
+        same name while apart, the merge sees two unknown live inserts
+        with identical (name, fh) and used to keep both — a permanent
+        spurious ``n2#<eid>`` alias that no later operation ever removed.
+        Reconciliation must recognize the pair as one user-level operation
+        and keep only the lowest entry id, identically on every replica."""
+        alpha, beta = system.host("alpha"), system.host("beta")
+        alpha.root().create("n1").write(0, b"payload")
+        system.reconcile_everything()
+        beta.propagation_daemon.tick()
+        system.partition([{"alpha"}, {"beta"}])
+        alpha.root().rename("n1", alpha.root(), "n2")
+        beta.root().rename("n1", beta.root(), "n2")
+        system.heal()
+        system.reconcile_everything()
+        for host_name in ("alpha", "beta"):
+            store = store_of(system, host_name)
+            live = [e for e in store.read_entries(store.root_handle()) if e.live]
+            assert [e.name for e in live] == ["n2"], f"{host_name}: {live}"
+        assert alpha.root().lookup("n2").read_all() == b"payload"
+        assert beta.root().lookup("n2").read_all() == b"payload"
+        # not just converged views: the very same entry id survived everywhere
+        def live_entries(host_name):
+            store = store_of(system, host_name)
+            return [e for e in store.read_entries(store.root_handle()) if e.live]
+
+        assert live_entries("alpha")[0].eid == live_entries("beta")[0].eid
+
+    def test_duplicate_resolution_is_counted_and_symmetric(self, system):
+        """Each side resolves the duplicate in its own merge pass and
+        reports it, so experiments can see the repair happen."""
+        alpha, beta = system.host("alpha"), system.host("beta")
+        alpha.root().create("doc").write(0, b"v1")
+        system.reconcile_everything()
+        beta.propagation_daemon.tick()
+        system.partition([{"alpha"}, {"beta"}])
+        alpha.root().rename("doc", alpha.root(), "final")
+        beta.root().rename("doc", beta.root(), "final")
+        system.heal()
+        alpha_store = store_of(system, "alpha")
+        beta_store = store_of(system, "beta")
+        result_b = reconcile_directory(
+            beta.physical,
+            beta_store,
+            beta_store.root_handle(),
+            remote_root_vnode(system, "beta", "alpha"),
+        )
+        assert result_b.duplicates_resolved == 1
+        assert result_b.changed
+        result_a = reconcile_directory(
+            alpha.physical,
+            alpha_store,
+            alpha_store.root_handle(),
+            remote_root_vnode(system, "alpha", "beta"),
+        )
+        # beta's merge already picked the winner, so alpha receives the
+        # resolution as an ordinary tombstone instead of re-deriving it
+        assert result_a.duplicates_resolved == 0
+        assert result_a.changed
+        live_a = [e for e in alpha_store.read_entries(alpha_store.root_handle()) if e.live]
+        assert [e.name for e in live_a] == ["final"]
+        # a second pass has nothing left to resolve
+        again = reconcile_directory(
+            beta.physical,
+            beta_store,
+            beta_store.root_handle(),
+            remote_root_vnode(system, "beta", "alpha"),
+        )
+        assert again.duplicates_resolved == 0
+
+    def test_duplicate_resolution_reaches_third_replica(self):
+        """A replica that never merged the duplicate itself learns the
+        resolution through ordinary tombstone propagation."""
+        system = FicusSystem(["alpha", "beta", "gamma"], daemon_config=QUIET)
+        alpha = system.host("alpha")
+        alpha.root().create("n1").write(0, b"payload")
+        system.reconcile_everything(rounds=3)
+        system.partition([{"alpha"}, {"beta"}, {"gamma"}])
+        system.host("alpha").root().rename("n1", system.host("alpha").root(), "n2")
+        system.host("beta").root().rename("n1", system.host("beta").root(), "n2")
+        system.heal()
+        system.reconcile_everything(rounds=4)
+        for host_name in ("alpha", "beta", "gamma"):
+            store = next(iter(system.host(host_name).physical.stores.values()))
+            live = [e for e in store.read_entries(store.root_handle()) if e.live]
+            assert [e.name for e in live] == ["n2"], f"{host_name}: {live}"
+
     def test_dir_vvs_merge_after_recon(self, system):
         alpha = system.host("alpha")
         alpha.root().create("x")

@@ -26,6 +26,9 @@ ATTR_CACHE_JSON = Path(__file__).resolve().parent.parent / "BENCH_attr_cache.jso
 #: Where the incremental sync plane export lands.
 DELTA_SYNC_JSON = Path(__file__).resolve().parent.parent / "BENCH_delta_sync.json"
 
+#: Where the consistency observability plane export lands.
+HEALTH_JSON = Path(__file__).resolve().parent.parent / "BENCH_health.json"
+
 
 def e1_layers() -> None:
     results = {name: op_script(factory()) for name, factory in STACKS.items()}
@@ -246,6 +249,26 @@ def e16_delta_sync() -> None:
     )
 
 
+def e17_health() -> None:
+    from bench_health import check_bounds, health_snapshot
+
+    snap = health_snapshot()
+    HEALTH_JSON.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    violations = check_bounds(snap)
+    overhead = snap["overhead"]
+    scenario = snap["partition_scenario"]
+    recorder = snap["flight_recorder"]
+    print(
+        f"[E17] observability plane: overhead {overhead['ratio']:.3f}x "
+        f"(bound {overhead['bound']}); partitioned write suspects "
+        f"{','.join(scenario['suspected_peers'])}, cleared after recon: "
+        f"{scenario['suspicion_cleared_after_recon']}; flight ring "
+        f"{recorder['ring_size']}/{recorder['ring_capacity']} entries "
+        f"-> {HEALTH_JSON.name}"
+        + ("".join(f"\n  BOUND VIOLATED: {v}" for v in violations))
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -266,6 +289,7 @@ def main() -> None:
         e14_telemetry,
         e15_attr_cache,
         e16_delta_sync,
+        e17_health,
     ):
         section()
         print()

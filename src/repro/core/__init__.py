@@ -1,5 +1,5 @@
 """Public Ficus API: the path-based facade applications program against."""
 
-from repro.core.filesystem import FicusFile, FicusFileSystem, StatResult
+from repro.core.filesystem import CheckedRead, FicusFile, FicusFileSystem, StatResult
 
-__all__ = ["FicusFile", "FicusFileSystem", "StatResult"]
+__all__ = ["CheckedRead", "FicusFile", "FicusFileSystem", "StatResult"]

@@ -53,6 +53,16 @@ class StatResult:
         return self.ftype == FileType.REGULAR
 
 
+@dataclass
+class CheckedRead:
+    """Result of :meth:`FicusFileSystem.read_file_checked`."""
+
+    data: bytes
+    #: the read may not reflect every replica (partition or suspected
+    #: divergence at read time); reconciliation will settle it later
+    divergence_suspected: bool
+
+
 class FicusFile:
     """An open Ficus file: one update session, closed via context manager."""
 
@@ -274,6 +284,26 @@ class FicusFileSystem:
         with tracer.span("fs.read_file", layer="fs", host=self.logical.host_addr, path=path):
             with self.open(path, "r") as f:
                 return f.read()
+
+    def read_file_checked(self, path: str) -> "CheckedRead":
+        """Read a file and report whether its volume may be diverged.
+
+        One-copy availability keeps reads working through a partition, at
+        the price of possibly serving stale data (paper Section 2.4).
+        ``divergence_suspected`` is True when the replica selection for
+        this read could not see every replica, or when this host's health
+        plane suspects the volume has diverged — the caller can then
+        decide whether the answer is good enough.
+        """
+        node = self.resolve(path, follow=True)
+        if isinstance(node, LogicalDirVnode):
+            raise IsADirectory(f"{path!r} is a directory")
+        data = self.read_file(path)
+        suspected = bool(self.logical.last_read_divergence_suspected)
+        health = self.logical.health
+        if health is not None and isinstance(node, LogicalFileVnode):
+            suspected = suspected or health.divergence_suspected(node.volume)
+        return CheckedRead(data=data, divergence_suspected=suspected)
 
     def write_file(self, path: str, data: bytes) -> None:
         # the whole open -> write -> close(update notify) session becomes

@@ -33,12 +33,15 @@ class Fabric:
         local_physical: FicusPhysicalLayer | None = None,
         nfs_config: NfsClientConfig | None = None,
         telemetry: Telemetry | None = None,
+        health=None,
     ):
         self.network = network
         self.host_addr = host_addr
         self.local_physical = local_physical
         self.nfs_config = nfs_config
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: this host's HealthPlane, handed to every NFS client mount
+        self.health = health
         self._mounts: dict[str, NfsClientLayer] = {}
 
     def is_local(self, host: str) -> bool:
@@ -55,6 +58,7 @@ class Fabric:
                 service=PHYSICAL_SERVICE,
                 config=self.nfs_config,
                 telemetry=self.telemetry,
+                health=self.health,
             )
             self._mounts[host] = mount
         return mount

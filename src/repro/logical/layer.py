@@ -108,6 +108,17 @@ class FicusLogicalLayer(FileSystemLayer):
         #: per-replica attribute batches, kept coherent by notification
         self.attr_cache = VersionVectorCache(network.clock, ttl=attr_cache_ttl)
         self.notifications_sent = 0
+        #: this host's HealthPlane, wired by the cluster (None when disabled)
+        self.health = None
+        #: callable peer_host -> bool: is the peer degraded (flapping)?
+        #: Wired from the daemons' PeerHealth so READ_LATEST selection
+        #: stops probing flapping replicas first.
+        self.degraded_probe = None
+        #: replica probes deferred because the peer was degraded
+        self.degraded_skips = 0
+        #: did the last read-replica selection run under a partition (or
+        #: with divergence already suspected for the volume)?
+        self.last_read_divergence_suspected = False
         # invalidation rides the same update-notification datagrams the
         # physical layer's new-version cache listens to
         if network.has_host(host_addr):
@@ -185,6 +196,14 @@ class FicusLogicalLayer(FileSystemLayer):
         self.attr_cache.store(location.volrep, fh, dir_vnode, batch)
         return ReplicaView(location, dir_vnode), batch
 
+    def _skip_degraded(self, location: ReplicaLocation) -> bool:
+        probe = self.degraded_probe
+        return (
+            probe is not None
+            and location.host != self.host_addr
+            and probe(location.host)
+        )
+
     def replica_batches(
         self, volume: VolumeId, fh: FicusFileHandle, ctx: OpContext = ROOT_CTX
     ):
@@ -192,10 +211,35 @@ class FicusLogicalLayer(FileSystemLayer):
 
         Replicas that are unreachable, or that do not (yet) store the
         directory, are silently skipped — partial operation is normal.
+
+        Replicas on *degraded* peers (the daemons' PeerHealth says they
+        keep failing while reachable) are deferred: they are probed only
+        if no healthy replica answers, so a read never burns a full NFS
+        retransmission cycle against a flapping host that a healthy copy
+        could serve instead.
         """
+        deferred: list[ReplicaLocation] = []
+        yielded = False
         for location in self._candidate_order(volume, ctx):
+            if self._skip_degraded(location):
+                deferred.append(location)
+                continue
             state = self._replica_batch(location, fh, ctx)
             if state is not None:
+                yielded = True
+                yield state
+        for location in deferred:
+            if yielded:
+                # a healthy replica answered: the degraded peer is spared
+                self.degraded_skips += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter("selection.degraded_skips").inc()
+                continue
+            # availability first: when only degraded peers store the
+            # volume, probe them anyway rather than failing the operation
+            state = self._replica_batch(location, fh, ctx)
+            if state is not None:
+                yielded = True
                 yield state
 
     def reachable_dirs(
@@ -323,6 +367,15 @@ class FicusLogicalLayer(FileSystemLayer):
         tie-break deterministically on total updates then replica id.
         With ``any``, the first reachable stored copy wins.
         """
+        health = self.health
+        if health is not None:
+            # the paper's one-copy availability serves the best *reachable*
+            # copy; under a partition (or with divergence already suspected
+            # for the volume) the result may be stale, and the caller can
+            # see that through this flag
+            self.last_read_divergence_suspected = self._partition_suspected(
+                volume
+            ) or health.divergence_suspected(volume)
         pinned = self._session_pins.get(fh.logical)
         if pinned is not None:
             replicas = [
@@ -344,6 +397,19 @@ class FicusLogicalLayer(FileSystemLayer):
         ]
         maximal.sort(key=lambda c: (-c.vv.total_updates, c.location.volrep.replica_id))
         return maximal[0]
+
+    def _partition_suspected(self, volume: VolumeId) -> bool:
+        """Is some known replica host of ``volume`` currently unreachable?"""
+        try:
+            locations = self.locations_for(volume)
+        except AllReplicasUnavailable:
+            return False
+        for location in locations:
+            if location.host != self.host_addr and not self.network.reachable(
+                self.host_addr, location.host
+            ):
+                return True
+        return False
 
     def select_update_replica(
         self,
@@ -441,6 +507,17 @@ class FicusLogicalLayer(FileSystemLayer):
         )
         delivered = self.network.multicast(self.host_addr, sorted(others), payload)
         self.notifications_sent += 1
+        health = self.health
+        if health is not None and origin == "update" and delivered < len(others):
+            # a replica-storing host missed this update's notification;
+            # if it is partitioned away it now holds (or may soon hold)
+            # diverged state — suspect it until a recon round completes.
+            # The guard keeps the common all-delivered case free.
+            for target in others:
+                if target != self.host_addr and not self.network.reachable(
+                    self.host_addr, target
+                ):
+                    health.note_missed_notification(volume, target)
         if self.telemetry.enabled:
             self.telemetry.metrics.counter("logical.notifications_sent").inc()
             self.telemetry.events.emit(
@@ -470,6 +547,9 @@ class FicusLogicalLayer(FileSystemLayer):
         dropped = self.attr_cache.invalidate_dir(volume, parent)
         if payload.get("objkind") == "dir":
             dropped += self.attr_cache.invalidate_dir(volume, fh)
+        if self.health is not None:
+            # the flight ring shows which notifications this host heard
+            self.health.record_op("notification.recv", f"{src}:{fh.to_hex()}")
         if dropped and self.telemetry.enabled:
             self.telemetry.metrics.counter("logical.attr_cache_invalidated").inc(dropped)
 

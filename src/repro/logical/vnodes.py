@@ -55,6 +55,13 @@ def _check_user_name(name: str) -> None:
         )
 
 
+def _record(layer, op: str, target: str, ctx: OpContext) -> None:
+    """Flight-recorder hook: one ring append when the health plane is on."""
+    health = layer.health
+    if health is not None:
+        health.record_op(op, target, ctx)
+
+
 class LogicalDirVnode(Vnode):
     """A logical directory: one name, many replicas underneath."""
 
@@ -130,6 +137,7 @@ class LogicalDirVnode(Vnode):
 
     def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("lookup")
+        _record(self.layer, "dir.lookup", name, ctx)
         # enabled-check before building span arguments: this is a hot path
         # and the disabled fast path must cost only a branch
         tracer = self.layer.telemetry.tracer
@@ -147,14 +155,17 @@ class LogicalDirVnode(Vnode):
 
     def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("create")
+        _record(self.layer, "dir.create", name, ctx)
         return self._insert_new(name, EntryType.FILE, ctx=ctx)
 
     def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
+        _record(self.layer, "dir.mkdir", name, ctx)
         return self._insert_new(name, EntryType.DIRECTORY, ctx=ctx)
 
     def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("symlink")
+        _record(self.layer, "dir.symlink", name, ctx)
         vnode = self._insert_new(name, EntryType.SYMLINK, ctx=ctx)
         vnode.write(0, target.encode("utf-8"), ctx)
         return vnode
@@ -192,6 +203,7 @@ class LogicalDirVnode(Vnode):
 
     def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("remove")
+        _record(self.layer, "dir.remove", name, ctx)
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
             self._remove_impl(name, ctx)
@@ -209,6 +221,7 @@ class LogicalDirVnode(Vnode):
 
     def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("rmdir")
+        _record(self.layer, "dir.rmdir", name, ctx)
         replica = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
         entry = self._find_entry_at(replica, name, ctx)
         if entry.etype == EntryType.FILE or entry.etype == EntryType.SYMLINK:
@@ -227,6 +240,7 @@ class LogicalDirVnode(Vnode):
         """Give an existing file an additional name (paper: Ficus files are
         organized in a general DAG; files may have several names)."""
         self.layer.counters.bump("link")
+        _record(self.layer, "dir.link", name, ctx)
         _check_user_name(name)
         if not isinstance(target, LogicalFileVnode):
             raise InvalidArgument("link target must be a logical file")
@@ -272,6 +286,7 @@ class LogicalDirVnode(Vnode):
         the concurrent-rename case that leaves a directory with two names.
         """
         self.layer.counters.bump("rename")
+        _record(self.layer, "dir.rename", f"{src_name}->{dst_name}", ctx)
         _check_user_name(dst_name)
         if not isinstance(dst_dir, LogicalDirVnode):
             raise InvalidArgument("rename destination must be a logical directory")
@@ -374,6 +389,7 @@ class LogicalFileVnode(Vnode):
 
     def open(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("open")
+        _record(self.layer, "file.open", self.fh.to_hex(), ctx)
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
             self.layer.open_file(self.volume, self.parent_fh, self.fh, ctx)
@@ -383,6 +399,7 @@ class LogicalFileVnode(Vnode):
 
     def close(self, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("close")
+        _record(self.layer, "file.close", self.fh.to_hex(), ctx)
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
             self.layer.close_file(self.volume, self.parent_fh, self.fh, ctx)
@@ -397,6 +414,7 @@ class LogicalFileVnode(Vnode):
 
     def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
+        _record(self.layer, "file.read", self.fh.to_hex(), ctx)
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
             return self._retry_stale(lambda: self._read_child(ctx).read(offset, length, ctx))
@@ -405,6 +423,7 @@ class LogicalFileVnode(Vnode):
 
     def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
+        _record(self.layer, "file.write", self.fh.to_hex(), ctx)
 
         def attempt() -> int:
             view = self._update_view(ctx)
@@ -422,6 +441,7 @@ class LogicalFileVnode(Vnode):
 
     def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
+        _record(self.layer, "file.truncate", self.fh.to_hex(), ctx)
 
         def impl() -> None:
             view = self._update_view(ctx)

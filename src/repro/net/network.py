@@ -158,6 +158,9 @@ class LinkFaults:
     rpc_timeout: float = 0.0
     #: server executes the request, the reply never returns
     reply_lost: float = 0.0
+    #: a block payload in a ``read_blocks`` reply is flipped in flight
+    #: (checksum-detected by the delta pull's digest verification)
+    corrupt_block: float = 0.0
 
     @property
     def any_datagram(self) -> bool:
@@ -204,6 +207,7 @@ class FaultPlane:
         self._default = LinkFaults()
         self._links: dict[tuple[str, str], LinkFaults] = {}
         self._rpc_scripts: dict[tuple[str, str], deque[str]] = {}
+        self._block_scripts: dict[tuple[str, str], int] = {}
         self.enabled = True
         #: faults injected so far, by kind
         self.injected: dict[str, int] = {}
@@ -242,17 +246,30 @@ class FaultPlane:
                 raise InvalidArgument(f"unknown RPC fault verdict {verdict!r}")
             queue.append(verdict)
 
+    def schedule_block_corruption(self, src: str, dst: str, blocks: int = 1) -> None:
+        """Corrupt the next ``blocks`` block payloads pulled ``src -> dst``.
+
+        ``src``/``dst`` follow the RPC direction (the puller is ``src``),
+        matching :meth:`schedule_rpc`.  Corruption flips one byte of the
+        payload, so the delta pull's digest verification must catch it.
+        """
+        self._block_scripts[(src, dst)] = self._block_scripts.get((src, dst), 0) + blocks
+
     def clear(self) -> None:
         """Drop all configured faults and scripts (the PRNG keeps its state)."""
         self._default = LinkFaults()
         self._links.clear()
         self._rpc_scripts.clear()
+        self._block_scripts.clear()
 
     @property
     def active(self) -> bool:
         """Cheap guard for the network's hot paths."""
         return self.enabled and bool(
-            self._links or self._rpc_scripts or self._default != LinkFaults()
+            self._links
+            or self._rpc_scripts
+            or self._block_scripts
+            or self._default != LinkFaults()
         )
 
     # -- verdicts ---------------------------------------------------------
@@ -290,6 +307,30 @@ class FaultPlane:
             self._count("reply_lost")
             return RPC_REPLY_LOST
         return RPC_OK
+
+    def block_verdict(self, src: str, dst: str) -> bool:
+        """Should the next block payload on this link be corrupted?"""
+        remaining = self._block_scripts.get((src, dst), 0)
+        if remaining > 0:
+            if remaining == 1:
+                del self._block_scripts[(src, dst)]
+            else:
+                self._block_scripts[(src, dst)] = remaining - 1
+            self._count("block_corrupt")
+            return True
+        faults = self._faults_for(src, dst)
+        if not faults.corrupt_block:
+            return False
+        if self._rng.random() < faults.corrupt_block:
+            self._count("block_corrupt")
+            return True
+        return False
+
+    def maybe_corrupt_block(self, src: str, dst: str, data: bytes) -> bytes:
+        """Flip one byte of ``data`` when the link's verdict says so."""
+        if not data or not self.block_verdict(src, dst):
+            return data
+        return bytes([data[0] ^ 0xFF]) + data[1:]
 
     def datagram_verdict(self, src: str, dst: str) -> str:
         """Fate of one datagram on the link."""

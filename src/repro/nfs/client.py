@@ -81,6 +81,7 @@ class NfsClientLayer(FileSystemLayer):
         service: str = "nfs",
         config: NfsClientConfig | None = None,
         telemetry: Telemetry | None = None,
+        health=None,
     ):
         super().__init__()
         self.network = network
@@ -89,6 +90,9 @@ class NfsClientLayer(FileSystemLayer):
         self.service = service
         self.config = config or NfsClientConfig()
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: the client host's HealthPlane; an ambiguous non-idempotent
+        #: timeout (executed? reply lost?) fires its anomaly recorder
+        self.health = health
         self._attr_cache: dict[NfsHandle, tuple[float, FileAttributes]] = {}
         self._name_cache: dict[tuple[NfsHandle, str], tuple[float, LookupReply]] = {}
 
@@ -161,6 +165,12 @@ class NfsClientLayer(FileSystemLayer):
                 )
             except RpcTimeout as exc:
                 if not may_replay_ambiguous:
+                    if self.health is not None:
+                        # the most dangerous failure shape in the protocol:
+                        # the server may or may not have minted fresh ids
+                        self.health.anomaly(
+                            "ambiguous_timeout", op=op, server=self.server_addr
+                        )
                     raise  # the server may already have executed this
                 last_error = exc
             except StaleFileHandle:
@@ -323,7 +333,18 @@ class NfsClientVnode(Vnode):
         self.layer.counters.bump("read_blocks")
         reply = self.layer.call_h(self.handle, "read_blocks", fh.to_hex(), list(indices), ctx=ctx)
         assert isinstance(reply, list)
-        return {int(index): data for index, data in reply}
+        out = {int(index): data for index, data in reply}
+        faults = self.layer.network.faults
+        if faults.active:
+            # block payloads can be corrupted in flight; the digest check
+            # in the delta pull detects this and replays as a whole file
+            out = {
+                index: faults.maybe_corrupt_block(
+                    self.layer.client_addr, self.layer.server_addr, data
+                )
+                for index, data in out.items()
+            }
+        return out
 
     # -- attributes --
 

@@ -131,6 +131,8 @@ class FicusPhysicalLayer(FileSystemLayer):
         self._registry: dict[int, Vnode] = {}
         #: count of version-vector bumps deferred into sessions (observability)
         self.session_coalesced_updates = 0
+        #: this host's HealthPlane, wired by the cluster (None when disabled)
+        self.health = None
         if network is not None:
             network.register_datagram_handler(host_addr, self._on_datagram)
 

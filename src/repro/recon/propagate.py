@@ -57,12 +57,16 @@ def pull_file(
     parent_fh: FicusFileHandle,
     fh: FicusFileHandle,
     remote_dir: Vnode,
+    health=None,
 ) -> PullResult:
     """Bring the local replica of one file up to the remote version.
 
     ``remote_dir`` is the remote physical directory vnode holding the
     file (possibly an NFS client vnode).  Crash-safe: contents land in a
-    shadow first and replace the original atomically.
+    shadow first and replace the original atomically.  ``health``
+    (optional) is the pulling host's HealthPlane: a fetched block that
+    fails digest verification fires its ``pull_digest_mismatch`` anomaly
+    before the pull falls back to the whole-file copy.
     """
     parent_fh = parent_fh.logical
     fh = fh.logical
@@ -105,7 +109,7 @@ def pull_file(
     # remote strictly dominates: propagate through shadow + atomic commit.
     # With a local copy to diff against, try the block-delta path first.
     if local_stored:
-        delta = _delta_pull(store, parent_fh, fh, remote_dir, local_vv, remote_vv)
+        delta = _delta_pull(store, parent_fh, fh, remote_dir, local_vv, remote_vv, health)
         if delta is not None:
             return delta
 
@@ -133,6 +137,7 @@ def _delta_pull(
     remote_dir: Vnode,
     local_vv: VersionVector,
     remote_vv: VersionVector,
+    health=None,
 ) -> PullResult | None:
     """Try to install the remote version by copying only changed blocks.
 
@@ -180,7 +185,15 @@ def _delta_pull(
         if index in changed:
             block = fetched.get(index)
             if block is None or content_digest(block) != digest:
-                # the remote moved on mid-pull; replay as a whole file
+                # the remote moved on mid-pull, or the payload was
+                # corrupted in flight; replay as a whole file
+                if health is not None:
+                    health.anomaly(
+                        "pull_digest_mismatch",
+                        fh=fh.to_hex(),
+                        block=index,
+                        expected=digest,
+                    )
                 return None
             pieces.append(block)
         else:
@@ -211,7 +224,9 @@ def push_notify_pull(
 ) -> PullResult:
     """Service one new-version cache entry (what the daemon does)."""
     store = physical.store_for(note.key.volrep)
-    result = pull_file(store, note.key.parent_fh, note.key.fh, remote_dir)
+    result = pull_file(
+        store, note.key.parent_fh, note.key.fh, remote_dir, health=physical.health
+    )
     if result.outcome in (PullOutcome.UP_TO_DATE, PullOutcome.PULLED):
         physical.clear_new_version(note.key)
     return result

@@ -20,7 +20,7 @@ from repro.recon import ConflictLog
 from repro.sim.daemons import GraftPruneDaemon, PropagationDaemon, ReconciliationDaemon
 from repro.sim.events import EventLoop
 from repro.storage import BlockDevice
-from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import NULL_TELEMETRY, HealthPlane, HostHealth, Telemetry
 from repro.ufs import Ufs
 from repro.util import IdAllocator, VirtualClock, VolumeId, VolumeReplicaId
 from repro.vnode import UfsLayer
@@ -62,11 +62,19 @@ class FicusHost:
         allocator_id: int,
         config: HostConfig,
         telemetry: Telemetry | None = None,
+        health_enabled: bool = True,
     ):
         self.name = name
         self.network = network
         self.clock = clock
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: the consistency observability plane (None when disabled); the
+        #: plane itself survives crashes — it plays the flight recorder
+        self.health_plane: HealthPlane | None = (
+            HealthPlane(name, clock=clock.now, telemetry=self.telemetry)
+            if health_enabled
+            else None
+        )
         self.allocator = IdAllocator(allocator_id)
         self.device = BlockDevice(config.disk_blocks, name=f"{name}-disk")
         self.ufs = Ufs.mkfs(
@@ -81,13 +89,17 @@ class FicusHost:
         self.physical = FicusPhysicalLayer(
             self.ufs_layer, name, network=network, clock=clock, telemetry=self.telemetry
         )
+        self.physical.health = self.health_plane
         self.nfs_server = NfsServer(
             network, name, self.physical, service=PHYSICAL_SERVICE, telemetry=self.telemetry
         )
         self.graft_table = GraftTable()
-        self.fabric = Fabric(network, name, self.physical, telemetry=self.telemetry)
+        self.fabric = Fabric(
+            network, name, self.physical, telemetry=self.telemetry, health=self.health_plane
+        )
         self.logical: FicusLogicalLayer | None = None  # wired by FicusSystem
         self.conflict_log = ConflictLog(telemetry=self.telemetry)
+        self.conflict_log.health = self.health_plane
         self.propagation_daemon: PropagationDaemon | None = None
         self.recon_daemon: ReconciliationDaemon | None = None
         self.graft_prune_daemon: GraftPruneDaemon | None = None
@@ -101,6 +113,31 @@ class FicusHost:
         from repro.core import FicusFileSystem
 
         return FicusFileSystem(self.logical)
+
+    def health(self) -> HostHealth:
+        """This host's consistency health as one structured record."""
+        degraded: set[str] = set()
+        for daemon in (self.propagation_daemon, self.recon_daemon):
+            if daemon is not None:
+                degraded.update(daemon.peer_health.degraded_hosts())
+        if self.health_plane is None:
+            return HostHealth(
+                host=self.name,
+                up=self.network.host_is_up(self.name),
+                degraded_peers=sorted(degraded),
+            )
+        return self.health_plane.host_health(
+            up=self.network.host_is_up(self.name),
+            notes_pending=self.physical.new_version_cache_size,
+            degraded_peers=degraded,
+        )
+
+    def _degraded_probe(self, peer: str) -> bool:
+        """Is ``peer`` currently being routed around by either daemon?"""
+        for daemon in (self.propagation_daemon, self.recon_daemon):
+            if daemon is not None and daemon.peer_health.is_degraded(peer):
+                return True
+        return False
 
     def crash(self) -> None:
         """Crash this host: unreachable, volatile state gone on restart."""
@@ -126,13 +163,20 @@ class FicusHost:
             clock=self.clock,
             telemetry=self.telemetry,
         )
+        self.physical.health = self.health_plane
         for volrep in hosted:
             store = self.physical.attach_volume_replica(volrep)
             for dir_fh in store.all_directory_handles():
                 store.scavenge_shadows(dir_fh)
         self.nfs_server.exported = self.physical
         self.nfs_server.reboot()
-        self.fabric = Fabric(self.network, self.name, self.physical, telemetry=self.telemetry)
+        self.fabric = Fabric(
+            self.network,
+            self.name,
+            self.physical,
+            telemetry=self.telemetry,
+            health=self.health_plane,
+        )
         self.logical = FicusLogicalLayer(
             self.network,
             self.name,
@@ -142,6 +186,8 @@ class FicusHost:
             read_policy=self.logical.read_policy,
             telemetry=self.telemetry,
         )
+        self.logical.health = self.health_plane
+        self.logical.degraded_probe = self._degraded_probe
         self.propagation_daemon.physical = self.physical
         self.propagation_daemon.fabric = self.fabric
         self.propagation_daemon.logical = self.logical
@@ -166,6 +212,7 @@ class FicusSystem:
         daemon_config: DaemonConfig | None = None,
         read_policy: str = READ_LATEST,
         telemetry: Telemetry | None = None,
+        health: bool = True,
     ):
         if not host_names:
             raise InvalidArgument("need at least one host")
@@ -188,6 +235,7 @@ class FicusSystem:
                 allocator_id=index,
                 config=self.host_config,
                 telemetry=self.telemetry,
+                health_enabled=health,
             )
 
         # the root volume, replicated where asked (default: everywhere)
@@ -207,6 +255,7 @@ class FicusSystem:
                 read_policy=read_policy,
                 telemetry=self.telemetry,
             )
+            host.logical.health = host.health_plane
             self._wire_daemons(host)
 
     # -- volume management -----------------------------------------------
@@ -250,6 +299,7 @@ class FicusSystem:
         host.graft_prune_daemon = GraftPruneDaemon(
             host.logical, idle_timeout=cfg.graft_idle_timeout
         )
+        host.logical.degraded_probe = host._degraded_probe
         if cfg.propagation_period is not None:
             self.loop.schedule_every(cfg.propagation_period, host.propagation_daemon.tick)
         if cfg.recon_period is not None:

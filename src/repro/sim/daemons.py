@@ -74,6 +74,9 @@ class PeerHealth:
     def is_degraded(self, host: str) -> bool:
         return self._skips_left.get(host, 0) > 0
 
+    def degraded_hosts(self) -> list[str]:
+        return [host for host, left in self._skips_left.items() if left > 0]
+
     def reset(self) -> None:
         """Forget all history (e.g. after faults are known to have ceased)."""
         self._failures.clear()
@@ -147,6 +150,9 @@ class PropagationDaemon:
                 self.physical.telemetry.metrics.counter("propagation.notes_deferred").inc()
                 continue
             pulled += self._service(note)
+        health = self.physical.health
+        if health is not None:
+            health.set_notes_pending(self.physical.new_version_cache_size)
         return pulled
 
     def _service(self, note: NewVersionNote) -> int:
@@ -250,7 +256,7 @@ class PropagationDaemon:
             file_fh = file_entry.fh
             if not store.has_file(dir_fh, file_fh) and not policy.wants(file_entry):
                 continue  # selective replication: entry-only here
-            pull = pull_file(store, dir_fh, file_fh, remote_dir)
+            pull = pull_file(store, dir_fh, file_fh, remote_dir, health=self.physical.health)
             if pull.outcome is PullOutcome.PULLED:
                 pulled += 1
                 self.stats.bytes_copied += pull.bytes_copied
@@ -319,10 +325,14 @@ class ReconciliationDaemon:
         """
         telemetry = self.physical.telemetry
         outcomes = []
+        health = self.physical.health
         for volrep in list(self.physical.stores):
             peers = self.peers.get(volrep, [])
             if not peers:
                 continue
+            if health is not None:
+                # every ring peer ages one tick; a completed round resets it
+                health.recon_tick(volrep.volume, [p.host for p in peers])
             position = self._ring_position.get(volrep, 0)
             chosen = None
             saw_unreachable = False
@@ -377,6 +387,14 @@ class ReconciliationDaemon:
             span.set_tag("peer", peer.host)
             result = self._reconcile_with(volrep, peer, span)
         telemetry.metrics.counter("recon.runs").inc()
+        health = self.physical.health
+        if health is not None:
+            health.recon_result(
+                volrep.volume,
+                peer.host,
+                ok=not result.aborted_by_partition,
+                conflicts=result.file_conflicts,
+            )
         if result.aborted_by_partition:
             telemetry.metrics.counter("recon.aborted_by_partition").inc()
         if result.files_pulled:

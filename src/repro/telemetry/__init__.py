@@ -80,12 +80,26 @@ class Telemetry:
 #: Telemetry instead.
 NULL_TELEMETRY = Telemetry(enabled=False)
 
+# imported last: health builds on Telemetry/NULL_TELEMETRY defined above
+from repro.telemetry.health import (  # noqa: E402
+    FLIGHT_RING_CAPACITY,
+    FlightRecorder,
+    HealthPlane,
+    HostHealth,
+    load_dump,
+    snapshot_to_jsonl,
+)
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "EventLog",
+    "FLIGHT_RING_CAPACITY",
+    "FlightRecorder",
     "Gauge",
+    "HealthPlane",
     "Histogram",
+    "HostHealth",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TELEMETRY",
@@ -94,4 +108,6 @@ __all__ = [
     "TelemetryEvent",
     "TraceContext",
     "Tracer",
+    "load_dump",
+    "snapshot_to_jsonl",
 ]

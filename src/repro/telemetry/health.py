@@ -1,0 +1,387 @@
+"""The consistency observability plane: health gauges and a flight recorder.
+
+One-copy availability means replicas *will* silently diverge during
+partitions (paper Section 2.4); reconciliation eventually repairs them,
+but between the partition and the repair an operator has no live answer
+to "how stale is this replica right now, and is anything wrong?"  This
+module maintains that answer per host:
+
+* **Divergence suspicion** — keyed by ``(volume, peer host)``.  Raised
+  the moment an update notification cannot reach a replica-storing host
+  (the updating side *knows* that peer missed the write) and when a
+  reconciliation attempt against a peer aborts; cleared when a
+  reconciliation round with that peer completes.  A completed round
+  turns unknown divergence into known state: either the replicas agree
+  or a conflict is on record in the conflict log.
+* **Staleness ticks** — per peer, recon-daemon ticks since the last
+  completed round with that peer.  Grows under partition, resets to
+  zero on the first successful round after heal.
+* **Notes pending** — the new-version cache depth: updates heard about
+  but not yet pulled.
+
+All state lives in plain Python (the plane works with telemetry
+disabled); when the deployment's :class:`~repro.telemetry.Telemetry`
+hub is enabled the same numbers mirror into gauges named
+``health.divergence_suspected.<host>``, ``health.notes_pending.<host>``
+and ``health.staleness_ticks.<host>.<peer>``.
+
+The :class:`FlightRecorder` is the always-on black box: a bounded ring
+of recent vnode operations (with their trace ids) that snapshots itself
+— ring, health state, metrics, last recon outcomes — whenever an
+anomaly fires (conflict detected, ambiguous non-idempotent timeout,
+pull digest mismatch, fsck violation, chaos-oracle failure), turning
+"seed 23 diverged" into a replayable evidence bundle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+#: ring capacity of the per-host flight recorder
+FLIGHT_RING_CAPACITY = 256
+#: anomaly snapshots retained in memory per host
+MAX_RETAINED_DUMPS = 8
+#: recon outcomes retained for dumps and the facade
+MAX_RECON_OUTCOMES = 8
+
+
+@dataclass
+class HostHealth:
+    """Structured result of :meth:`repro.sim.FicusHost.health`."""
+
+    host: str
+    up: bool = True
+    #: new-version cache depth: updates heard about but not yet pulled
+    notes_pending: int = 0
+    #: peer -> recon ticks since the last completed round with it
+    staleness_ticks: dict[str, int] = field(default_factory=dict)
+    #: volume (hex) -> peers suspected of holding diverged state
+    suspected: dict[str, list[str]] = field(default_factory=dict)
+    #: peers the daemons currently route around (flapping)
+    degraded_peers: list[str] = field(default_factory=list)
+    #: anomaly kind -> times fired since boot
+    anomalies: dict[str, int] = field(default_factory=dict)
+    #: most recent reconciliation outcomes, oldest first
+    last_recon: list[dict] = field(default_factory=list)
+
+    @property
+    def divergence_suspected(self) -> bool:
+        return bool(self.suspected)
+
+    def suspected_volumes(self) -> list[str]:
+        return sorted(self.suspected)
+
+    @property
+    def max_staleness(self) -> int:
+        return max(self.staleness_ticks.values(), default=0)
+
+    def to_dict(self) -> dict:
+        return {
+            "host": self.host,
+            "up": self.up,
+            "notes_pending": self.notes_pending,
+            "staleness_ticks": dict(self.staleness_ticks),
+            "suspected": {v: list(p) for v, p in self.suspected.items()},
+            "degraded_peers": list(self.degraded_peers),
+            "anomalies": dict(self.anomalies),
+            "last_recon": list(self.last_recon),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent operations plus anomaly snapshots.
+
+    ``record`` must stay cheap — it runs on every vnode operation — so a
+    ring entry is one small tuple ``(at, op, target, trace)``.  When an
+    anomaly fires the whole ring is frozen into a snapshot dict together
+    with whatever ``context`` supplies (health state, metrics, recon
+    outcomes); snapshots are retained in memory and, when ``dump_dir``
+    is set, written as JSONL files an offline ``ficus_top`` can render.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        capacity: int = FLIGHT_RING_CAPACITY,
+        clock: Callable[[], float] | None = None,
+        context: Callable[[], dict] | None = None,
+    ):
+        self.host = host
+        self.capacity = capacity
+        self._clock = clock
+        self._context = context
+        self.ring: deque[tuple[float, str, str, str | None]] = deque(maxlen=capacity)
+        self.dumps: deque[dict] = deque(maxlen=MAX_RETAINED_DUMPS)
+        #: when set, every anomaly also writes a JSONL file here
+        self.dump_dir: str | None = None
+        self.dump_paths: list[str] = []
+        self._seq = 0
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def record(self, op: str, target: str = "", trace: str | None = None) -> None:
+        self.ring.append((self.now(), op, target, trace))
+
+    def anomaly(self, kind: str, detail: dict | None = None) -> dict:
+        """Freeze the ring into a snapshot; returns (and retains) it."""
+        self._seq += 1
+        snapshot = {
+            "host": self.host,
+            "seq": self._seq,
+            "kind": kind,
+            "at": self.now(),
+            "detail": dict(detail or {}),
+            "ops": [list(entry) for entry in self.ring],
+        }
+        if self._context is not None:
+            snapshot.update(self._context())
+        self.dumps.append(snapshot)
+        if self.dump_dir is not None:
+            path = os.path.join(
+                self.dump_dir, f"ficus_flight_{self.host}_{self._seq}.jsonl"
+            )
+            self.dump_paths.append(self.write_dump(snapshot, path))
+        return snapshot
+
+    def write_dump(self, snapshot: dict, path: str) -> str:
+        """Write one snapshot as a JSONL evidence bundle; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fp:
+            for line in snapshot_to_jsonl(snapshot):
+                fp.write(line + "\n")
+        return path
+
+
+def snapshot_to_jsonl(snapshot: dict) -> list[str]:
+    """One JSON object per line: anomaly, ops, health, recon, metrics."""
+    lines = [
+        json.dumps(
+            {
+                "type": "anomaly",
+                "host": snapshot.get("host"),
+                "seq": snapshot.get("seq"),
+                "kind": snapshot.get("kind"),
+                "at": snapshot.get("at"),
+                "detail": snapshot.get("detail", {}),
+            }
+        )
+    ]
+    for at, op, target, trace in snapshot.get("ops", []):
+        lines.append(
+            json.dumps({"type": "op", "at": at, "op": op, "target": target, "trace": trace})
+        )
+    if "health" in snapshot:
+        lines.append(json.dumps({"type": "health", **snapshot["health"]}))
+    for outcome in snapshot.get("last_recon", []):
+        lines.append(json.dumps({"type": "recon", **outcome}))
+    if snapshot.get("metrics"):
+        lines.append(json.dumps({"type": "metrics", "values": snapshot["metrics"]}))
+    return lines
+
+
+def load_dump(path: str) -> dict:
+    """Rebuild a snapshot dict from a JSONL flight-recorder dump."""
+    snapshot: dict = {"ops": [], "last_recon": [], "health": {}, "metrics": {}}
+    with open(path, encoding="utf-8") as fp:
+        for raw in fp:
+            raw = raw.strip()
+            if not raw:
+                continue
+            record = json.loads(raw)
+            kind = record.pop("type", None)
+            if kind == "anomaly":
+                snapshot.update(record)
+            elif kind == "op":
+                snapshot["ops"].append(
+                    [record.get("at"), record.get("op"), record.get("target"), record.get("trace")]
+                )
+            elif kind == "health":
+                snapshot["health"] = record
+            elif kind == "recon":
+                snapshot["last_recon"].append(record)
+            elif kind == "metrics":
+                snapshot["metrics"] = record.get("values", {})
+    return snapshot
+
+
+class HealthPlane:
+    """Per-host consistency health: suspicion, staleness, anomalies.
+
+    Constructed unconditionally by :class:`~repro.sim.FicusHost` (the
+    state is plain Python and the hot-path hooks are attribute checks),
+    and consulted by the logical layer, the daemons, the conflict log,
+    the NFS client, and ``pull_file``.  ``FicusHost.health()`` renders
+    it as a :class:`HostHealth`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        clock: Callable[[], float] | None = None,
+        telemetry: Telemetry | None = None,
+        ring_capacity: int = FLIGHT_RING_CAPACITY,
+    ):
+        self.host = host
+        self._clock = clock
+        self.telemetry = telemetry or NULL_TELEMETRY
+        #: (volume, peer host) -> why divergence is suspected
+        self._suspected: dict[tuple[object, str], str] = {}
+        #: peer host -> recon ticks since the last completed round
+        self._staleness: dict[str, int] = {}
+        self.notes_pending = 0
+        self.last_recon: deque[dict] = deque(maxlen=MAX_RECON_OUTCOMES)
+        self.anomaly_counts: dict[str, int] = {}
+        self.recorder = FlightRecorder(
+            host, capacity=ring_capacity, clock=clock, context=self._dump_context
+        )
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- the op ring -------------------------------------------------------
+
+    def record_op(self, op: str, target: str = "", ctx=None) -> None:
+        """Append one vnode operation to the flight ring (hot path)."""
+        trace = None
+        if ctx is not None and ctx.trace is not None:
+            tc = ctx.trace
+            trace = f"{tc.trace_id:x}:{tc.span_id:x}"
+        self.recorder.record(op, target, trace)
+
+    # -- divergence suspicion ---------------------------------------------
+
+    def suspect(self, volume, peer: str, reason: str) -> None:
+        key = (volume, peer)
+        if key in self._suspected:
+            return
+        self._suspected[key] = reason
+        self._mirror_suspicion()
+        if self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "health.divergence_suspected",
+                host=self.host,
+                volume=volume.to_hex(),
+                peer=peer,
+                reason=reason,
+            )
+
+    def clear_suspicion(self, volume, peer: str) -> None:
+        if self._suspected.pop((volume, peer), None) is not None:
+            self._mirror_suspicion()
+
+    def note_missed_notification(self, volume, peer: str) -> None:
+        """An update notification could not reach ``peer``: it missed a write."""
+        self.suspect(volume, peer, "missed-notification")
+
+    def divergence_suspected(self, volume=None) -> bool:
+        if volume is None:
+            return bool(self._suspected)
+        return any(key[0] == volume for key in self._suspected)
+
+    def suspected_by_volume(self) -> dict[str, list[str]]:
+        out: dict[str, list[str]] = {}
+        for volume, peer in self._suspected:
+            out.setdefault(volume.to_hex(), []).append(peer)
+        return {volume: sorted(peers) for volume, peers in out.items()}
+
+    # -- recon / propagation hooks ----------------------------------------
+
+    def recon_tick(self, volume, peer_hosts: Iterable[str]) -> None:
+        """One recon-daemon tick considered these peers: staleness grows."""
+        for peer in peer_hosts:
+            self._staleness[peer] = self._staleness.get(peer, 0) + 1
+        self._mirror_staleness()
+
+    def recon_result(self, volume, peer: str, ok: bool, conflicts: int = 0) -> None:
+        """A reconciliation round with ``peer`` finished (or aborted)."""
+        self.last_recon.append(
+            {
+                "at": self.now(),
+                "volume": volume.to_hex(),
+                "peer": peer,
+                "ok": bool(ok),
+                "conflicts": conflicts,
+            }
+        )
+        if ok:
+            # the round completed: divergence with this peer is no longer
+            # *suspected* — either the replicas now agree or a conflict is
+            # on record in the conflict log (and fired an anomaly)
+            self._staleness[peer] = 0
+            self.clear_suspicion(volume, peer)
+            self._mirror_staleness()
+        else:
+            self.suspect(volume, peer, "recon-aborted")
+
+    def set_notes_pending(self, count: int) -> None:
+        self.notes_pending = count
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(f"health.notes_pending.{self.host}").set(count)
+
+    # -- anomalies ---------------------------------------------------------
+
+    def anomaly(self, kind: str, **detail) -> dict:
+        """An anomaly fired: count it and freeze a flight-recorder snapshot."""
+        self.anomaly_counts[kind] = self.anomaly_counts.get(kind, 0) + 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("health.anomalies").inc()
+            self.telemetry.metrics.counter(f"health.anomaly.{kind}").inc()
+            self.telemetry.events.emit("health.anomaly", host=self.host, anomaly_kind=kind)
+        return self.recorder.anomaly(kind, detail)
+
+    # -- rendering ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "host": self.host,
+            "notes_pending": self.notes_pending,
+            "staleness_ticks": dict(self._staleness),
+            "suspected": self.suspected_by_volume(),
+            "anomalies": dict(self.anomaly_counts),
+        }
+
+    def host_health(
+        self,
+        up: bool = True,
+        notes_pending: int | None = None,
+        degraded_peers: Iterable[str] = (),
+    ) -> HostHealth:
+        if notes_pending is not None:
+            self.set_notes_pending(notes_pending)
+        return HostHealth(
+            host=self.host,
+            up=up,
+            notes_pending=self.notes_pending,
+            staleness_ticks=dict(self._staleness),
+            suspected=self.suspected_by_volume(),
+            degraded_peers=sorted(degraded_peers),
+            anomalies=dict(self.anomaly_counts),
+            last_recon=list(self.last_recon),
+        )
+
+    def _dump_context(self) -> dict:
+        metrics = self.telemetry.metrics.snapshot() if self.telemetry.enabled else {}
+        return {
+            "health": self.state_dict(),
+            "last_recon": list(self.last_recon),
+            "metrics": metrics,
+        }
+
+    def _mirror_suspicion(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                f"health.divergence_suspected.{self.host}"
+            ).set(len(self._suspected))
+
+    def _mirror_staleness(self) -> None:
+        if self.telemetry.enabled:
+            for peer, ticks in self._staleness.items():
+                self.telemetry.metrics.gauge(
+                    f"health.staleness_ticks.{self.host}.{peer}"
+                ).set(ticks)

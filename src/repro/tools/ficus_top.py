@@ -1,0 +1,158 @@
+"""``ficus_top``: the cluster consistency dashboard.
+
+Renders the health table an operator reads before trusting a replica —
+per host: pending new-version notes, reconciliation staleness, peers the
+daemons are routing around, volumes suspected of divergence, anomaly
+counts.  Works against a live :class:`~repro.sim.FicusSystem` (in-process)
+or offline against a flight-recorder dump written when an anomaly fired::
+
+    python -m repro.tools.ficus_top --demo          # live demo cluster
+    python -m repro.tools.ficus_top dump.jsonl ...  # offline evidence
+
+The offline mode is the second half of the flight-recorder story: a
+failing chaos seed leaves ``ficus_flight_*.jsonl`` files behind, and this
+tool turns one into the last-N-operations timeline plus the health state
+at the moment the oracle fired.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.telemetry import HostHealth, load_dump
+
+#: ring-tail length shown per dump by default
+DEFAULT_OPS_SHOWN = 16
+
+_COLUMNS = ["host", "up", "notes", "stale", "degraded", "suspected", "anomalies"]
+
+
+def _table(rows: list[list[str]]) -> str:
+    widths = [
+        max(len(_COLUMNS[i]), max((len(row[i]) for row in rows), default=0))
+        for i in range(len(_COLUMNS))
+    ]
+    lines = [
+        "  ".join(name.ljust(widths[i]) for i, name in enumerate(_COLUMNS)),
+        "  ".join("-" * widths[i] for i in range(len(_COLUMNS))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _row(health: HostHealth) -> list[str]:
+    suspected = ";".join(
+        f"{volume}<-{','.join(peers)}" for volume, peers in sorted(health.suspected.items())
+    )
+    return [
+        health.host,
+        "up" if health.up else "DOWN",
+        str(health.notes_pending),
+        str(health.max_staleness),
+        ",".join(health.degraded_peers) or "-",
+        suspected or "-",
+        str(sum(health.anomalies.values())) or "0",
+    ]
+
+
+def render_health_table(healths: list[HostHealth]) -> str:
+    """The cluster table from already-collected per-host health records."""
+    return _table([_row(h) for h in healths])
+
+
+def render_system(system) -> str:
+    """The live cluster health table of a :class:`~repro.sim.FicusSystem`."""
+    healths = [system.host(name).health() for name in sorted(system.hosts)]
+    header = f"ficus_top @ t={system.clock.now():.1f}s, {len(healths)} hosts"
+    return header + "\n" + render_health_table(healths)
+
+
+def render_dump(path: str, ops_shown: int = DEFAULT_OPS_SHOWN) -> str:
+    """Render one flight-recorder JSONL dump for offline inspection."""
+    snapshot = load_dump(path)
+    lines = [
+        f"flight recorder dump: {path}",
+        f"  anomaly: {snapshot.get('kind', '?')} on host "
+        f"{snapshot.get('host', '?')} at t={snapshot.get('at', 0.0)}",
+    ]
+    detail = snapshot.get("detail") or {}
+    if detail:
+        rendered = ", ".join(f"{key}={value}" for key, value in sorted(detail.items()))
+        lines.append(f"  detail: {rendered}")
+
+    health = snapshot.get("health") or {}
+    if health:
+        lines.append("")
+        lines.append(
+            render_health_table(
+                [
+                    HostHealth(
+                        host=health.get("host", snapshot.get("host", "?")),
+                        notes_pending=health.get("notes_pending", 0),
+                        staleness_ticks=health.get("staleness_ticks", {}),
+                        suspected=health.get("suspected", {}),
+                        anomalies=health.get("anomalies", {}),
+                    )
+                ]
+            )
+        )
+
+    recon = snapshot.get("last_recon") or []
+    if recon:
+        lines.append("")
+        lines.append("  recent reconciliation outcomes:")
+        for outcome in recon:
+            status = "ok" if outcome.get("ok") else "ABORTED"
+            lines.append(
+                f"    t={outcome.get('at', 0.0)} volume={outcome.get('volume')} "
+                f"peer={outcome.get('peer')} {status} "
+                f"conflicts={outcome.get('conflicts', 0)}"
+            )
+
+    ops = snapshot.get("ops") or []
+    if ops:
+        lines.append("")
+        lines.append(f"  last {min(ops_shown, len(ops))} of {len(ops)} recorded ops:")
+        for at, op, target, trace in ops[-ops_shown:]:
+            suffix = f"  [trace {trace}]" if trace else ""
+            lines.append(f"    t={at} {op} {target}{suffix}")
+    return "\n".join(lines)
+
+
+def _demo_system():
+    """A tiny partitioned cluster whose health table is worth looking at."""
+    from repro.sim import FicusSystem
+
+    system = FicusSystem(["alpha", "beta", "gamma"])
+    fs = system.host("alpha").fs()
+    fs.mkdir("/project")
+    fs.write_file("/project/notes", b"first draft")
+    system.reconcile_everything()
+    system.partition([{"alpha"}, {"beta", "gamma"}])
+    fs.write_file("/project/notes", b"partitioned edit")
+    for name in system.hosts:
+        system.host(name).recon_daemon.tick()
+    return system
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Ficus cluster health inspector")
+    parser.add_argument("dumps", nargs="*", help="flight-recorder JSONL dump files")
+    parser.add_argument(
+        "--demo", action="store_true", help="render a small partitioned demo cluster"
+    )
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS_SHOWN)
+    args = parser.parse_args(argv)
+
+    if not args.dumps and not args.demo:
+        parser.error("give at least one dump file, or --demo")
+    if args.demo:
+        print(render_system(_demo_system()))
+    for path in args.dumps:
+        print(render_dump(path, ops_shown=args.ops))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

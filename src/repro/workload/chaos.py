@@ -70,6 +70,11 @@ class ChaosConfig:
     #: so concurrent operations collide)
     file_names: int = 4
     dir_names: int = 2
+    #: chance per round that one up host crashes (0.0 keeps the rng
+    #: schedule of crash-free seeds byte-identical)
+    crash_prob: float = 0.0
+    #: rounds a crashed host stays down before the harness reboots it
+    crash_down_rounds: int = 2
 
 
 @dataclass
@@ -83,10 +88,14 @@ class ChaosReport:
     partitions_formed: int = 0
     faults_injected: dict[str, int] = field(default_factory=dict)
     unresolved_conflicts: int = 0
+    crashes: int = 0
+    restarts: int = 0
     #: oracle violations; empty means the run converged
     problems: list[str] = field(default_factory=list)
     #: the (identical) converged name tree, for report consumers
     tree: list[str] = field(default_factory=list)
+    #: flight-recorder dumps written because the oracle failed
+    flight_dumps: list[str] = field(default_factory=list)
 
     @property
     def converged(self) -> bool:
@@ -108,9 +117,30 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
 
     system.network.faults.set_default(config.faults)
     partitioned = False
+    down: dict[str, int] = {}  # crashed host -> rounds left down
     for round_index in range(config.rounds):
+        # reboot hosts whose downtime has elapsed; the restart runs the
+        # shadow-commit recovery sweep, so a second sweep must find nothing
+        for host_name in [h for h, left in down.items() if left <= 1]:
+            del down[host_name]
+            _restart_host(system, host_name, report)
+        for host_name in down:
+            down[host_name] -= 1
         partitioned = _maybe_repartition(system, host_names, rng, partitioned, report, config)
+        # config.crash_prob short-circuits before the rng draw, keeping
+        # crash-free seeds' schedules byte-identical to before
+        if (
+            config.crash_prob
+            and len(down) < len(host_names) - 1
+            and rng.random() < config.crash_prob
+        ):
+            victim = rng.choice(sorted(h for h in host_names if h not in down))
+            system.host(victim).crash()
+            down[victim] = config.crash_down_rounds
+            report.crashes += 1
         for host_name in host_names:
+            if host_name in down:
+                continue
             fs = system.host(host_name).fs()
             for _ in range(config.ops_per_round):
                 report.ops_attempted += 1
@@ -123,11 +153,16 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
         # exercise the daemons (and their retry/degraded-peer policies)
         # while the faults are still live
         for host_name in host_names:
+            if host_name in down:
+                continue
             host = system.host(host_name)
             host.propagation_daemon.tick()
             host.recon_daemon.tick()
 
     # -- quiesce: withdraw every fault, then converge ---------------------
+    for host_name in sorted(down):
+        _restart_host(system, host_name, report)
+    down.clear()
     report.faults_injected = dict(system.network.faults.injected)
     system.heal()
     system.network.faults.clear()
@@ -143,7 +178,47 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
 
     _check_convergence(system, host_names, report)
     report.unresolved_conflicts = system.total_conflicts()
+    if report.problems:
+        _dump_flight_recorders(system, host_names, seed, report)
     return report
+
+
+def _restart_host(system: FicusSystem, host_name: str, report: ChaosReport) -> None:
+    """Reboot a crashed host and assert the recovery sweep ran clean.
+
+    ``FicusHost.restart`` scavenges orphan shadow files as part of crash
+    recovery; a second sweep immediately afterwards must therefore find
+    nothing — residue means the atomic-commit recovery path is broken.
+    """
+    host = system.host(host_name)
+    host.restart(system)
+    report.restarts += 1
+    residue = 0
+    for store in host.physical.stores.values():
+        for dir_fh in store.all_directory_handles():
+            residue += store.scavenge_shadows(dir_fh)
+    if residue:
+        report.problems.append(
+            f"{host_name}: recovery sweep left {residue} shadow file(s) behind"
+        )
+        plane = host.health_plane
+        if plane is not None:
+            plane.anomaly("fsck_violation", host=host_name, shadow_residue=residue)
+
+
+def _dump_flight_recorders(
+    system: FicusSystem, host_names: list[str], seed: int, report: ChaosReport
+) -> None:
+    """The oracle failed: freeze every host's flight recorder to disk."""
+    for host_name in host_names:
+        plane = system.host(host_name).health_plane
+        if plane is None:
+            continue
+        snapshot = plane.anomaly(
+            "chaos_oracle_failure", seed=seed, problems=report.problems[:5]
+        )
+        path = f"ficus_flight_chaos_{seed}_{host_name}.jsonl"
+        report.flight_dumps.append(plane.recorder.write_dump(snapshot, path))
 
 
 def _rename_storm(system: FicusSystem, host_names: list[str]) -> None:
@@ -247,6 +322,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="additionally run this seed with the cross-host rename collision replay",
     )
+    parser.add_argument(
+        "--crash-seed",
+        type=int,
+        default=None,
+        help="additionally run this seed with seeded host crash/restart epochs",
+    )
     parser.add_argument("--hosts", type=int, default=3)
     parser.add_argument("--rounds", type=int, default=8)
     args = parser.parse_args(argv)
@@ -255,21 +336,26 @@ def main(argv: list[str] | None = None) -> int:
     runs = [(seed, base) for seed in args.seeds]
     if args.rename_storm_seed is not None:
         runs.append((args.rename_storm_seed, replace(base, rename_storm=True)))
+    if args.crash_seed is not None:
+        runs.append((args.crash_seed, replace(base, crash_prob=0.25)))
 
     failures = 0
     for seed, config in runs:
         report = run_chaos(seed, config)
         status = "converged" if report.converged else "DIVERGED"
         storm = " +rename-storm" if config.rename_storm else ""
+        crashes = f", {report.crashes} crashes" if config.crash_prob else ""
         print(
             f"seed {seed}{storm}: {status}; "
             f"{report.ops_attempted} ops ({report.ops_failed} failed), "
-            f"{report.partitions_formed} partitions, "
+            f"{report.partitions_formed} partitions{crashes}, "
             f"faults {report.faults_injected or '{}'}, "
             f"{report.unresolved_conflicts} conflicts open"
         )
         for problem in report.problems:
             print(f"  !! {problem}")
+        for path in report.flight_dumps:
+            print(f"  flight recorder dumped: {path}")
         failures += 0 if report.converged else 1
     return 1 if failures else 0
 

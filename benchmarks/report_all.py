@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate the full evaluation in one command.
 
-Prints every experiment table from EXPERIMENTS.md (E1–E16 and the A1–A4
+Prints every experiment table from EXPERIMENTS.md (E1–E18 and the A1–A4
 ablations) by invoking the same measurement code the pytest benchmarks
 use.  Pure stdout, no pytest required:
 
@@ -28,6 +28,9 @@ DELTA_SYNC_JSON = Path(__file__).resolve().parent.parent / "BENCH_delta_sync.jso
 
 #: Where the consistency observability plane export lands.
 HEALTH_JSON = Path(__file__).resolve().parent.parent / "BENCH_health.json"
+
+#: Where the conflict-resolver subsystem export lands.
+RESOLVERS_JSON = Path(__file__).resolve().parent.parent / "BENCH_resolvers.json"
 
 
 def e1_layers() -> None:
@@ -269,6 +272,26 @@ def e17_health() -> None:
     )
 
 
+def e18_resolvers() -> None:
+    from bench_resolvers import check_bounds, resolvers_snapshot
+
+    snap = resolvers_snapshot(fast=True)
+    RESOLVERS_JSON.write_text(json.dumps(snap, indent=2, default=str) + "\n")
+    violations = check_bounds(snap)
+    throughput = snap["throughput"]
+    auto = snap["convergence_with_resolvers"]
+    manual = snap["convergence_manual_baseline"]
+    print(
+        f"[E18] conflict resolvers: {throughput['auto_resolved']}/"
+        f"{throughput['conflicted_files']} covered conflicts cleared in one visit "
+        f"({throughput['resolutions_per_sec']:.0f}/s); convergence in "
+        f"{auto['rounds_to_convergence']} rounds with 0 open conflicts vs manual "
+        f"baseline stuck at {manual['unresolved_conflicts']} "
+        f"-> {RESOLVERS_JSON.name}"
+        + ("".join(f"\n  BOUND VIOLATED: {v}" for v in violations))
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -290,6 +313,7 @@ def main() -> None:
         e15_attr_cache,
         e16_delta_sync,
         e17_health,
+        e18_resolvers,
     ):
         section()
         print()

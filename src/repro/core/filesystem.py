@@ -388,6 +388,52 @@ class FicusFileSystem:
         except FileNotFound:
             return False
 
+    # -- merge policy (automatic conflict resolution) ------------------------------
+
+    def create_file(self, path: str, data: bytes = b"", merge_policy: str = "") -> None:
+        """Create a file, optionally declaring its conflict-resolver tag.
+
+        The tag rides the replica's auxiliary attributes, so every host
+        that later detects a concurrent-update conflict on this file
+        applies the same automatic resolver.
+        """
+        parent, name = self._resolve_parent(path)
+        node = parent.create(name, ctx=self.ctx, merge_policy=merge_policy)
+        if data:
+            assert isinstance(node, LogicalFileVnode)
+            with FicusFile(self, node, "w", self.ctx) as f:
+                f.write(data)
+
+    def set_merge_policy(self, path: str, tag: str) -> None:
+        """Declare (or change) an existing file's conflict-resolver tag.
+
+        Applied through exactly one replica — the policy change bumps the
+        file's version vector there, and reconciliation propagates the
+        tag like any other update.  (Applying it to several replicas at
+        once would mint concurrent versions and manufacture a conflict.)
+        """
+        from repro.physical.wire import op_setpolicy
+
+        node = self.resolve(path)
+        if not isinstance(node, LogicalFileVnode):
+            raise InvalidArgument(f"{path!r} is not a regular file")
+        view = self.logical.select_update_replica(
+            node.volume, node.parent_fh, node.fh, ctx=self.ctx
+        )
+        view.dir_vnode.lookup(op_setpolicy(node.fh, tag), self.ctx)
+        self.logical.notify_update(node.volume, view.location, node.parent_fh, node.fh)
+
+    def merge_policy(self, path: str) -> str:
+        """The file's declared resolver tag (``""`` when none)."""
+        node = self.resolve(path)
+        if not isinstance(node, LogicalFileVnode):
+            raise InvalidArgument(f"{path!r} is not a regular file")
+        view = self.logical.select_update_replica(
+            node.volume, node.parent_fh, node.fh, ctx=self.ctx
+        )
+        aux = view.dir_vnode.getattrs_batch([node.fh], self.ctx).child(node.fh)
+        return aux.merge_policy if aux is not None else ""
+
     # -- conflicts (the "reported to the owner" interface) -----------------------
 
     def conflicts(self, conflict_log) -> list:

@@ -153,10 +153,16 @@ class LogicalDirVnode(Vnode):
             raise FileNotFound(f"{name!r} not found")
         return self._child(entry, ctx)
 
-    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
+    def create(
+        self,
+        name: str,
+        perm: int = 0o644,
+        ctx: OpContext = ROOT_CTX,
+        merge_policy: str = "",
+    ) -> Vnode:
         self.layer.counters.bump("create")
         _record(self.layer, "dir.create", name, ctx)
-        return self._insert_new(name, EntryType.FILE, ctx=ctx)
+        return self._insert_new(name, EntryType.FILE, ctx=ctx, merge_policy=merge_policy)
 
     def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
         self.layer.counters.bump("mkdir")
@@ -171,24 +177,33 @@ class LogicalDirVnode(Vnode):
         return vnode
 
     def _insert_new(
-        self, name: str, etype: EntryType, data: str = "", ctx: OpContext = ROOT_CTX
+        self,
+        name: str,
+        etype: EntryType,
+        data: str = "",
+        ctx: OpContext = ROOT_CTX,
+        merge_policy: str = "",
     ) -> Vnode:
         """Create a brand-new object: the chosen replica mints its ids."""
         tracer = self.layer.telemetry.tracer
         if not tracer.enabled:
-            return self._insert_new_impl(name, etype, data, ctx)
+            return self._insert_new_impl(name, etype, data, ctx, merge_policy)
         with tracer.span(
             "logical.insert", layer="logical", host=self.layer.host_addr, etype=etype.value
         ):
-            return self._insert_new_impl(name, etype, data, ctx)
+            return self._insert_new_impl(name, etype, data, ctx, merge_policy)
 
-    def _insert_new_impl(self, name: str, etype: EntryType, data: str, ctx: OpContext) -> Vnode:
+    def _insert_new_impl(
+        self, name: str, etype: EntryType, data: str, ctx: OpContext, merge_policy: str = ""
+    ) -> Vnode:
         _check_user_name(name)
         replica = self.layer.select_update_replica(self.volume, self.fh, ctx=ctx)
         existing = effective_entries(decode_directory(read_whole(replica.dir_vnode, ctx=ctx)))
         if name in existing:
             raise FileExists(f"{name!r} already exists")
-        replica.dir_vnode.create(op_insert(None, name, None, etype, data=data), ctx=ctx)
+        replica.dir_vnode.create(
+            op_insert(None, name, None, etype, data=data, merge_policy=merge_policy), ctx=ctx
+        )
         entry = self._find_entry_at(replica, name, ctx)
         self.layer.notify_update(self.volume, replica.location, self.fh, entry.fh, objkind="dir")
         return self._child(entry, ctx)

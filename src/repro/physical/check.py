@@ -59,8 +59,18 @@ class FicusCheckReport:
         self.problems.append(message)
 
 
-def ficus_fsck(store: ReplicaStore) -> FicusCheckReport:
-    """Check every structural invariant of one volume replica."""
+def ficus_fsck(store: ReplicaStore, conflict_log=None, resolvers=None) -> FicusCheckReport:
+    """Check every structural invariant of one volume replica.
+
+    With ``conflict_log`` the checker also audits conflict-resolution
+    bookkeeping: a report marked resolved is only believable when the
+    file's current version vector strictly dominates both conflicting
+    vvs the report recorded.  With ``resolvers`` (a registry) it further
+    complains about any file still sitting unresolved in the log whose
+    type a registered resolver covers — automatic resolution should have
+    cleared it.  Both arguments are duck-typed so this module keeps no
+    dependency on the reconciliation layer.
+    """
     report = FicusCheckReport()
     root_fh = volume_root_handle(store.volume)
 
@@ -202,7 +212,44 @@ def ficus_fsck(store: ReplicaStore) -> FicusCheckReport:
         report.complain(
             f"entry-id mint behind: next_seq={next_seq}, max issued={max(issued_seqs)}"
         )
+
+    if conflict_log is not None:
+        _check_conflict_bookkeeping(store, report, conflict_log, resolvers)
     return report
+
+
+def _check_conflict_bookkeeping(
+    store: ReplicaStore, report: FicusCheckReport, conflict_log, resolvers
+) -> None:
+    """Audit the conflict log against the stored replica state."""
+    for conflict in conflict_log.all_reports():
+        if getattr(conflict.kind, "value", conflict.kind) != "file-update":
+            continue
+        if conflict.volume != store.volume:
+            continue
+        try:
+            if not store.has_file(conflict.parent_fh, conflict.fh):
+                continue  # dropped, renamed away, or never propagated here
+            aux = store.read_file_aux(conflict.parent_fh, conflict.fh)
+        except FicusError:
+            continue  # structural problems are complained about elsewhere
+        if conflict.resolved:
+            # a resolution installed local_vv.merge(remote_vv) (or a later
+            # descendant of it), which strictly dominates both inputs of
+            # the concurrent pair; anything weaker means the resolution
+            # was recorded without actually superseding both histories
+            for label, seen in (("local", conflict.local_vv), ("remote", conflict.remote_vv)):
+                if not aux.vv.strictly_dominates(seen):
+                    report.complain(
+                        f"conflict on {conflict.name!r} ({conflict.fh}) marked resolved "
+                        f"but current vv {aux.vv.encode() or '0'} does not strictly "
+                        f"dominate {label} vv {seen.encode() or '0'}"
+                    )
+        elif resolvers is not None and resolvers.covers(conflict.name, aux.merge_policy):
+            report.complain(
+                f"resolver-covered file {conflict.name!r} ({conflict.fh}) "
+                f"sits unresolved in the conflict log"
+            )
 
 
 def _is_handle_hex(name: str) -> bool:

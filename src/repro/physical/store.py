@@ -102,6 +102,11 @@ class ReplicaStore:
         #: memoized subtree recon digests, cleared on every mutation; a
         #: converged replica answers repeated sync probes from memory
         self._subtree_memo: dict[FicusFileHandle, str] = {}
+        #: subtree digest at the last wholesale ancestor refresh, so a
+        #: converged replica pays the refresh walk once per state rather
+        #: than once per recon tick (in-memory: a crash only costs one
+        #: extra walk after reboot)
+        self._ancestor_sync_memo: dict[FicusFileHandle, str] = {}
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self._metrics is not None:
@@ -317,12 +322,27 @@ class ReplicaStore:
             )
 
     def create_file_storage(
-        self, parent: FicusFileHandle, fh: FicusFileHandle, etype: EntryType = EntryType.FILE
+        self,
+        parent: FicusFileHandle,
+        fh: FicusFileHandle,
+        etype: EntryType = EntryType.FILE,
+        merge_policy: str = "",
     ) -> Vnode:
-        """Materialize contents + aux for a new regular file or symlink."""
+        """Materialize contents + aux for a new regular file or symlink.
+
+        The fresh aux record retains the empty file as the merge ancestor:
+        creation is the first sync point (every replica starts from the
+        same nothing).
+        """
         unix_dir = self.dir_unix_vnode(parent)
         contents = unix_dir.create(self._file_key(fh))
-        aux = AuxAttributes(fh=fh.logical, etype=etype, refs=1)
+        aux = AuxAttributes(
+            fh=fh.logical,
+            etype=etype,
+            refs=1,
+            merge_policy=merge_policy,
+            ancestor=AuxAttributes.encode_ancestor([]),
+        )
         unix_dir.create(self._file_key(fh) + AUX_SUFFIX).write(0, aux.to_bytes())
         self._fold_file_into_dir(parent, in_component=file_component(fh, aux.vv))
         return contents
@@ -401,6 +421,9 @@ class ReplicaStore:
         unix_dir.rename(key + SHADOW_SUFFIX, unix_dir, key)
         aux = self.read_file_aux(parent, fh)
         aux.vv = vv
+        # a commit installs contents both replicas now share — a sync
+        # point, so the installed version becomes the retained ancestor
+        aux.ancestor = self._ancestor_record(parent, fh)
         self.write_file_aux(parent, fh, aux)
         self._count("store.shadow_commits")
 
@@ -410,6 +433,60 @@ class ReplicaStore:
             self.dir_unix_vnode(parent).remove(self._file_key(fh) + SHADOW_SUFFIX)
         except FileNotFound:
             pass
+
+    # -- merge-ancestor retention (three-way conflict resolution) ---------------
+
+    def _ancestor_record(self, parent: FicusFileHandle, fh: FicusFileHandle) -> str:
+        """Encode the current contents' block digests as an ancestor record."""
+        contents = self.file_vnode(parent, fh).read_all()
+        return AuxAttributes.encode_ancestor(
+            [content_digest(block) for block in split_blocks(contents)]
+        )
+
+    def note_file_synced(self, parent: FicusFileHandle, fh: FicusFileHandle) -> None:
+        """Refresh the retained merge ancestor at an observed sync point.
+
+        Called when reconciliation sees the local and remote versions
+        EQUAL: the replicas demonstrably share these contents, so they are
+        the latest common ancestor either side can prove.  Local writes
+        never touch the record — only sync points do — which is what lets
+        two later-conflicting hosts hold the *same* ancestor.
+        """
+        aux = self.read_file_aux(parent, fh)
+        record = self._ancestor_record(parent, fh)
+        if aux.ancestor != record:
+            aux.ancestor = record
+            # vv unchanged, so this never disturbs the recon digests
+            self.write_file_aux(parent, fh, aux)
+
+    def note_subtree_synced(self, fh: FicusFileHandle) -> None:
+        """Refresh merge ancestors across a subtree proven equal to a peer.
+
+        Reconciliation calls this when a subtree prune fires: the remote's
+        subtree digest matched ours, so every file below this directory is
+        demonstrably common — the same sync point ``note_file_synced``
+        records per file, observed wholesale.  Without this hook the
+        replica that *originated* an update would never retain an
+        ancestor, because pruning skips the per-file EQUAL visit.
+        """
+        self._note_subtree_synced(fh.logical, set())
+
+    def _note_subtree_synced(self, fh: FicusFileHandle, visiting: set[FicusFileHandle]) -> None:
+        if fh in visiting:
+            return
+        visiting.add(fh)
+        digest = self._subtree_digest(fh, set())
+        if self._ancestor_sync_memo.get(fh) == digest:
+            return  # already refreshed for this exact subtree state
+        for entry in self.read_entries(fh):
+            if not entry.live:
+                continue
+            if entry.etype in (EntryType.DIRECTORY, EntryType.GRAFT_POINT):
+                if self.has_directory(entry.fh):
+                    self._note_subtree_synced(entry.fh.logical, visiting)
+            elif entry.etype == EntryType.FILE and self.has_file(fh, entry.fh):
+                self.note_file_synced(fh, entry.fh)
+        self._ancestor_sync_memo[fh] = digest
 
     def scavenge_shadows(self, fh: FicusFileHandle) -> int:
         """Crash recovery: drop every orphan shadow in one directory."""

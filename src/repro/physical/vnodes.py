@@ -353,6 +353,15 @@ class PhysicalDirVnode(Vnode):
             aux.vv = VersionVector.decode(fields[1])
             self.store.write_file_aux(self.fh, fh, aux)
             return self._child_vnode(self.find_live_by_fh(fh))
+        if op == "setpolicy":
+            fh = FicusFileHandle.from_hex(fields[0])
+            aux = self.store.read_file_aux(self.fh, fh)
+            aux.merge_policy = fields[1]
+            # a policy change is an update: bumping the vv makes the tag
+            # propagate (and win) through normal reconciliation
+            aux.vv = aux.vv.bump(self.store.replica_id)
+            self.store.write_file_aux(self.fh, fh, aux)
+            return self._child_vnode(self.find_live_by_fh(fh))
         raise NotSupported(f"encoded operation {op!r}")
 
     def _merge_dir_vv(self, remote: VersionVector) -> None:
@@ -398,7 +407,11 @@ class PhysicalDirVnode(Vnode):
         data = fields[4]
         link_from = FicusFileHandle.from_hex(fields[5]) if fields[5] else None
         from_recon = bool(fields[6])
-        return self.apply_insert(eid, user_name, fh, etype, data, link_from, from_recon)
+        # pre-resolver encoders send 7 fields; the policy tag is optional
+        merge_policy = fields[7] if len(fields) > 7 else ""
+        return self.apply_insert(
+            eid, user_name, fh, etype, data, link_from, from_recon, merge_policy
+        )
 
     def apply_insert(
         self,
@@ -409,6 +422,7 @@ class PhysicalDirVnode(Vnode):
         data: str = "",
         link_from: FicusFileHandle | None = None,
         from_recon: bool = False,
+        merge_policy: str = "",
     ) -> Vnode:
         """Insert one directory entry and materialize backing storage.
 
@@ -446,7 +460,7 @@ class PhysicalDirVnode(Vnode):
                     # later by update propagation; publish the entry only.
                     pass
                 else:
-                    self.store.create_file_storage(self.fh, fh, etype)
+                    self.store.create_file_storage(self.fh, fh, etype, merge_policy=merge_policy)
         else:
             if self.store.has_directory(fh):
                 daux = self.store.read_dir_aux(fh)

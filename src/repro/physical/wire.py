@@ -230,6 +230,18 @@ class AuxAttributes:
     #: recompute self-heals it).
     dig_entries: str = ""
     dig_files: str = ""
+    #: merge-policy tag naming the automatic conflict resolver for this
+    #: file (regular files only; ``""`` = none declared).  Travels with
+    #: the replica through the attribute plane so every host applies the
+    #: same resolver to the same conflict.
+    merge_policy: str = ""
+    #: retained common-ancestor block digests for three-way merging
+    #: (regular files only).  ``""`` = no ancestor on record; ``"-"`` =
+    #: the ancestor was the empty file; else comma-joined block digests.
+    #: Host-local (refreshed at sync points, never propagated as truth),
+    #: but both ends of a conflict converge on the same record because
+    #: each refresh captures contents the replicas demonstrably shared.
+    ancestor: str = ""
 
     def to_bytes(self) -> bytes:
         rec = {
@@ -244,6 +256,10 @@ class AuxAttributes:
             rec["dige"] = self.dig_entries
         if self.dig_files:
             rec["digf"] = self.dig_files
+        if self.merge_policy:
+            rec["mpol"] = self.merge_policy
+        if self.ancestor:
+            rec["anc"] = self.ancestor
         return encode_record(rec).encode("utf-8")
 
     @classmethod
@@ -258,9 +274,24 @@ class AuxAttributes:
                 graft_volume=rec.get("graftvol", ""),
                 dig_entries=rec.get("dige", ""),
                 dig_files=rec.get("digf", ""),
+                merge_policy=rec.get("mpol", ""),
+                ancestor=rec.get("anc", ""),
             )
         except KeyError as exc:
             raise InvalidArgument(f"aux record missing field {exc}") from exc
+
+    def ancestor_digests(self) -> tuple[str, ...] | None:
+        """The retained ancestor as a digest tuple, or ``None`` if absent."""
+        if not self.ancestor:
+            return None
+        if self.ancestor == "-":
+            return ()
+        return tuple(self.ancestor.split(","))
+
+    @staticmethod
+    def encode_ancestor(digests: list[str] | tuple[str, ...]) -> str:
+        """Encode block digests for the ``ancestor`` field (never ``""``)."""
+        return ",".join(digests) or "-"
 
 
 @dataclass
@@ -465,6 +496,7 @@ def op_insert(
     data: str = "",
     link_from: FicusFileHandle | None = None,
     vv: VersionVector | None = None,
+    merge_policy: str = "",
 ) -> str:
     """Insert a directory entry (the name argument of vnode ``create``).
 
@@ -477,6 +509,8 @@ def op_insert(
     when this insert adds an additional name (a cross-directory link).
     ``vv`` carries the entry's origin version for reconciliation-applied
     inserts; local inserts leave it empty and the physical layer bumps.
+    ``merge_policy`` declares the file's conflict-resolver tag at create
+    time (decoders tolerate its absence for pre-resolver callers).
     """
     return encode_op(
         "insert",
@@ -487,6 +521,7 @@ def op_insert(
         data,
         link_from.to_hex() if link_from is not None else "",
         vv.encode() if vv is not None else "",
+        merge_policy,
     )
 
 
@@ -503,6 +538,12 @@ def op_mergevv(vv: VersionVector) -> str:
 def op_setvv(fh: FicusFileHandle, vv: VersionVector) -> str:
     """Overwrite a child's version vector (conflict resolution)."""
     return encode_op("setvv", fh.to_hex(), vv.encode())
+
+
+def op_setpolicy(fh: FicusFileHandle, tag: str) -> str:
+    """Declare a child file's merge-policy tag (bumps its version vector
+    so the tag propagates with the next reconciliation round)."""
+    return encode_op("setpolicy", fh.to_hex(), tag)
 
 
 #: Overhead the insert encoding steals from the 255-char name budget; the

@@ -92,14 +92,29 @@ class ConflictLog:
     def all_reports(self) -> list[ConflictReport]:
         return list(self._reports)
 
-    def mark_resolved(self, fh: FicusFileHandle) -> int:
-        """Mark every unresolved report about ``fh`` resolved."""
+    def mark_resolved(self, fh: FicusFileHandle, superseding_vv=None) -> int:
+        """Mark unresolved reports about ``fh`` resolved.
+
+        With ``superseding_vv`` (the version vector of the newly installed
+        contents) only reports whose recorded conflicting vvs are *both*
+        strictly dominated are marked: a version that merely replaces our
+        side of one conflict episode does not settle a concurrent third
+        version, and that episode must stay open until a true superseding
+        resolution lands.  Without a vv every report is marked (an
+        operator override).
+        """
         logical = fh.logical
         count = 0
         for report in self._reports:
-            if not report.resolved and report.fh == logical:
-                report.resolved = True
-                count += 1
+            if report.resolved or report.fh != logical:
+                continue
+            if superseding_vv is not None and not (
+                superseding_vv.strictly_dominates(report.local_vv)
+                and superseding_vv.strictly_dominates(report.remote_vv)
+            ):
+                continue
+            report.resolved = True
+            count += 1
         return count
 
     def __len__(self) -> int:

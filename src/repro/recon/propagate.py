@@ -50,6 +50,10 @@ class PullResult:
     bytes_copied: int = 0
     #: bytes the block-delta path did NOT copy (file size minus delta)
     bytes_saved: int = 0
+    #: the remote aux record already fetched for the vv comparison; a
+    #: CONFLICT result carries it so the resolver subsystem can read the
+    #: remote's policy tag and merge ancestor without a second RPC
+    remote_aux: object | None = None
 
 
 def pull_file(
@@ -104,13 +108,15 @@ def pull_file(
     if order in (Ordering.EQUAL, Ordering.DOMINATES):
         return PullResult(PullOutcome.UP_TO_DATE, local_vv, remote_vv)
     if order is Ordering.CONCURRENT:
-        return PullResult(PullOutcome.CONFLICT, local_vv, remote_vv)
+        return PullResult(PullOutcome.CONFLICT, local_vv, remote_vv, remote_aux=remote_aux)
 
     # remote strictly dominates: propagate through shadow + atomic commit.
     # With a local copy to diff against, try the block-delta path first.
     if local_stored:
         delta = _delta_pull(store, parent_fh, fh, remote_dir, local_vv, remote_vv, health)
         if delta is not None:
+            if delta.outcome is PullOutcome.PULLED:
+                _adopt_policy(store, parent_fh, fh, remote_aux.merge_policy)
             return delta
 
     try:
@@ -121,13 +127,31 @@ def pull_file(
         return PullResult(PullOutcome.REMOTE_MISSING, local_vv, remote_vv)
 
     if not local_stored:
-        store.create_file_storage(parent_fh, fh, remote_aux.etype)
+        store.create_file_storage(
+            parent_fh, fh, remote_aux.etype, merge_policy=remote_aux.merge_policy
+        )
     shadow = store.shadow_vnode(parent_fh, fh, create=True)
     shadow.truncate(0)
     if contents:
         shadow.write(0, contents)
     store.commit_shadow(parent_fh, fh, remote_vv)
+    _adopt_policy(store, parent_fh, fh, remote_aux.merge_policy)
     return PullResult(PullOutcome.PULLED, remote_vv, remote_vv, bytes_copied=len(contents))
+
+
+def _adopt_policy(
+    store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle, tag: str
+) -> None:
+    """Make the local policy tag follow an installed dominating version.
+
+    A policy change bumps the file's version vector, so a strictly
+    dominating remote has by definition seen every local tag change —
+    its tag state is the newer one and replaces ours wholesale.
+    """
+    aux = store.read_file_aux(parent_fh, fh)
+    if aux.merge_policy != tag:
+        aux.merge_policy = tag
+        store.write_file_aux(parent_fh, fh, aux)
 
 
 def _delta_pull(

@@ -34,6 +34,7 @@ from repro.physical.wire import op_dir
 from repro.recon.conflicts import ConflictKind, ConflictLog, ConflictReport
 from repro.recon.directory import DirReconResult, reconcile_directory
 from repro.recon.propagate import PullOutcome, pull_file
+from repro.resolvers import ResolveOutcome, ResolverRegistry, auto_resolve_conflict
 from repro.util import FicusFileHandle, VolumeReplicaId
 from repro.vnode.interface import Vnode
 
@@ -55,6 +56,8 @@ class SubtreeReconResult:
     bytes_copied: int = 0
     bytes_saved: int = 0
     file_conflicts: int = 0
+    conflicts_auto_resolved: int = 0
+    resolver_fallbacks: int = 0
     files_declined_by_policy: int = 0
     subtrees_pruned: int = 0
     probe_rpcs: int = 0
@@ -81,6 +84,7 @@ def reconcile_subtree(
     all_replicas: frozenset[int] = frozenset(),
     policy: StoragePolicy | None = None,
     on_directory_changed: Callable[[FicusFileHandle], None] | None = None,
+    resolvers: ResolverRegistry | None = None,
 ) -> SubtreeReconResult:
     """Reconcile the local volume replica against one remote replica.
 
@@ -91,6 +95,11 @@ def reconcile_subtree(
     differ).  ``on_directory_changed`` is invoked once per directory this
     run changed — entries merged or file contents installed — so the
     caller can route the install through the update-notification path.
+
+    ``resolvers`` (optional) enables automatic conflict resolution: a
+    concurrent-update conflict on a resolver-covered file is merged and
+    committed on the spot instead of being reported; the manual conflict
+    log only receives conflicts no resolver handles.
     """
     store = physical.store_for(volrep)
     result = SubtreeReconResult()
@@ -114,6 +123,9 @@ def reconcile_subtree(
                 local_digest = None  # not stored locally yet; walk it fully
         if local_digest is not None and remote_hint == local_digest:
             result.subtrees_pruned += 1
+            # digest equality proves every file below is common with this
+            # peer: a wholesale sync point for merge-ancestor retention
+            store.note_subtree_synced(dir_fh)
             continue  # converged below here — zero RPCs spent
 
         probe = None
@@ -131,6 +143,7 @@ def reconcile_subtree(
                 continue
             if probe is not None and probe.digest == local_digest:
                 result.subtrees_pruned += 1
+                store.note_subtree_synced(dir_fh)
                 continue
 
         try:
@@ -171,13 +184,36 @@ def reconcile_subtree(
                 result.bytes_saved += pull.bytes_saved
                 directory_changed = True
                 if conflict_log is not None:
-                    # a strictly dominating version arrived: any previously
-                    # reported conflict on this file is now settled
-                    conflict_log.mark_resolved(file_fh)
+                    # a strictly dominating version arrived: conflicts it
+                    # supersedes (both recorded vvs dominated) are settled
+                    conflict_log.mark_resolved(file_fh, pull.remote_vv)
             elif pull.outcome is PullOutcome.UP_TO_DATE:
                 if conflict_log is not None and pull.local_vv.strictly_dominates(pull.remote_vv):
-                    conflict_log.mark_resolved(file_fh)
+                    conflict_log.mark_resolved(file_fh, pull.local_vv)
+                if pull.local_vv == pull.remote_vv and store.has_file(dir_fh, file_fh):
+                    # both replicas demonstrably hold these contents: a
+                    # sync point — retain them as the merge ancestor
+                    store.note_file_synced(dir_fh, file_fh)
             elif pull.outcome is PullOutcome.CONFLICT:
+                resolved = ResolveOutcome.NOT_COVERED
+                if resolvers is not None:
+                    resolved = auto_resolve_conflict(
+                        store,
+                        dir_fh,
+                        file_fh,
+                        file_entry.name,
+                        remote_dir,
+                        pull,
+                        resolvers,
+                        conflict_log=conflict_log,
+                        health=physical.health,
+                    )
+                if resolved is ResolveOutcome.RESOLVED:
+                    result.conflicts_auto_resolved += 1
+                    directory_changed = True
+                    continue
+                if resolved is ResolveOutcome.FALLBACK:
+                    result.resolver_fallbacks += 1
                 result.file_conflicts += 1
                 if conflict_log is not None:
                     conflict_log.report(

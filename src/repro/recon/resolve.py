@@ -43,5 +43,5 @@ def resolve_file_conflict(
     store.commit_shadow(parent_fh, fh, resolved_vv)
 
     if conflict_log is not None:
-        conflict_log.mark_resolved(fh)
+        conflict_log.mark_resolved(fh, resolved_vv)
     return resolved_vv

@@ -1,0 +1,36 @@
+"""Automatic conflict resolution (the paper's anticipated endpoint).
+
+"We anticipate providing a number of automatic resolution strategies for
+well-known file types" (paper Section 3.2's outlook).  This package
+supplies them: a registry maps a file's declared or sniffed policy tag
+to a resolver whose merge is a semilattice join over file contents, so
+independent hosts resolving the same conflict commit byte-identical
+results and resolutions never re-conflict.
+"""
+
+from repro.resolvers.base import ConflictPair, Resolver, ResolverError
+from repro.resolvers.engine import ResolveOutcome, auto_resolve_conflict
+from repro.resolvers.library import (
+    SHIPPED_RESOLVERS,
+    AppendLogResolver,
+    KeyValueResolver,
+    LwwBlobResolver,
+    ThreeWayBlockResolver,
+)
+from repro.resolvers.registry import DEFAULT_PATTERNS, ResolverRegistry, default_registry
+
+__all__ = [
+    "AppendLogResolver",
+    "ConflictPair",
+    "DEFAULT_PATTERNS",
+    "KeyValueResolver",
+    "LwwBlobResolver",
+    "ResolveOutcome",
+    "Resolver",
+    "ResolverError",
+    "ResolverRegistry",
+    "SHIPPED_RESOLVERS",
+    "ThreeWayBlockResolver",
+    "auto_resolve_conflict",
+    "default_registry",
+]

@@ -1,0 +1,71 @@
+"""Resolver contract: what an automatic conflict resolver must guarantee.
+
+The paper treats owner-driven resolution as a stopgap: "we anticipate
+providing a number of automatic resolution strategies for well-known file
+types" (mailbox append-append merge is its example).  A resolver here is
+a *pure function* of the two conflicting versions — no clocks, no host
+identity, no I/O — so that two hosts resolving the same conflict
+independently produce byte-identical results.  That purity is what makes
+auto-resolution safe under optimistic replication:
+
+* **Commutative** — ``merge(a, b) == merge(b, a)``.  The two ends of a
+  reconciliation pair see the same conflict with the roles swapped.
+* **Associative** — with three or more concurrent versions, different
+  hosts resolve different *pairs* first; every bracketing must land on
+  the same bytes, or replicas diverge silently at equal version vectors
+  (the one failure reconciliation can never detect).
+* **Idempotent** — ``merge(a, a) == a``: re-resolving is harmless.
+
+In CRDT terms (Ahmed-Nacer/Martin/Urso, "File system on CRDT"): a
+resolver is the join of a semilattice over file contents.  A resolver
+that cannot guarantee a join for some input pair must raise
+:class:`ResolverError` — the conflict then falls back to the manual
+conflict log, which is always safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FicusError
+from repro.vv import VersionVector
+
+
+class ResolverError(FicusError):
+    """A resolver declined the merge; the conflict goes to the owner."""
+
+    errno_name = "ERESOLVE"
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """The two concurrent versions a resolver is asked to join.
+
+    ``local``/``remote`` label which side is which *on the resolving
+    host*; a correct resolver never treats them asymmetrically (the peer
+    host sees the same pair with the labels swapped).  The ancestor
+    fields carry each side's retained common-ancestor block digests
+    (empty tuple = no ancestor on record); only the three-way resolver
+    consumes them.
+    """
+
+    local: bytes
+    remote: bytes
+    local_vv: VersionVector = field(default_factory=VersionVector)
+    remote_vv: VersionVector = field(default_factory=VersionVector)
+    local_ancestor: tuple[str, ...] | None = None
+    remote_ancestor: tuple[str, ...] | None = None
+
+
+class Resolver:
+    """Base class for automatic per-type conflict resolvers."""
+
+    #: the policy tag files carry (aux ``mpol`` field) to select this resolver
+    tag = ""
+
+    def merge(self, pair: ConflictPair) -> bytes:
+        """Join the two versions, or raise :class:`ResolverError`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tag={self.tag!r})"

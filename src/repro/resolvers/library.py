@@ -1,0 +1,156 @@
+"""The shipped resolvers: four semilattice joins over file contents.
+
+Each resolver's merge is commutative, associative, and idempotent (or it
+refuses), so pairwise resolution cascades across any number of replicas
+converge to the same bytes regardless of resolution order — the property
+the registry's determinism contract rests on (see ``base.py``).
+"""
+
+from __future__ import annotations
+
+from repro.physical.wire import content_digest, split_blocks
+from repro.resolvers.base import ConflictPair, Resolver, ResolverError
+
+
+def _log_records(contents: bytes) -> set[bytes]:
+    """A log's record set: its non-empty lines."""
+    return {line for line in contents.split(b"\n") if line}
+
+
+class AppendLogResolver(Resolver):
+    """Append-only logs (the paper's mailbox example): record-set union.
+
+    Each line is one appended record.  The merged log is the union of
+    both sides' record sets, rendered in a deterministic total order
+    (byte order of the records — the role the issue's "(vv, replica_id)"
+    ordering plays: *some* total order every host computes identically).
+    A set join is the only rendering that stays associative through
+    multi-replica cascades: any scheme that preserves one side's local
+    ordering resolves ``merge(merge(a,b),c)`` and ``merge(a,merge(b,c))``
+    to different byte sequences at equal version vectors — silent
+    divergence, the one failure reconciliation cannot detect.  The price
+    is canonicalization: appends should carry their own ordering key
+    (timestamp, sequence number) in the record, as real mailboxes do.
+    """
+
+    tag = "append-log"
+
+    def merge(self, pair: ConflictPair) -> bytes:
+        records = sorted(_log_records(pair.local) | _log_records(pair.remote))
+        return b"\n".join(records) + b"\n" if records else b""
+
+
+def _kv_records(contents: bytes) -> dict[bytes, bytes | None]:
+    """Parse ``key=value`` lines; a bare line is a key with no value."""
+    out: dict[bytes, bytes | None] = {}
+    for line in contents.split(b"\n"):
+        if not line:
+            continue
+        if b"=" in line:
+            key, _, value = line.partition(b"=")
+            existing = out.get(key)
+            # repeated key within one file: keep the join (max) so parsing
+            # itself is idempotent under re-merge
+            out[key] = value if existing is None or value > existing else existing
+        else:
+            out.setdefault(line, None)
+    return out
+
+
+class KeyValueResolver(Resolver):
+    """Property files: per-key merge with a deterministic tie-break.
+
+    Keys present on only one side survive (an unseen assignment is never
+    lost); a key both sides changed takes the greater value under byte
+    order.  Per-key ``max`` is a semilattice join, so any cascade of
+    pairwise resolutions converges key-by-key.  Without synchronized
+    clocks there is no true "last" writer across a partition — the
+    deterministic tie-break is the honest substitute.
+    """
+
+    tag = "kv"
+
+    def merge(self, pair: ConflictPair) -> bytes:
+        local, remote = _kv_records(pair.local), _kv_records(pair.remote)
+        merged: dict[bytes, bytes | None] = dict(local)
+        for key, value in remote.items():
+            existing = merged.get(key)
+            if key not in merged:
+                merged[key] = value
+            elif value is not None and (existing is None or value > existing):
+                merged[key] = value
+        lines = [
+            key if value is None else key + b"=" + value
+            for key, value in sorted(merged.items())
+        ]
+        return b"\n".join(lines) + b"\n" if lines else b""
+
+
+class LwwBlobResolver(Resolver):
+    """Opaque blobs: one whole version wins, chosen deterministically.
+
+    "Last writer" is undefined across a partition (no common clock), so
+    the winner is the maximum under a total order on the candidate
+    contents — ``(digest, bytes)``.  ``max`` over a fixed order is a
+    semilattice join: with three concurrent versions, every pairwise
+    resolution order elects the same global winner, so resolutions of
+    resolutions compare EQUAL instead of re-conflicting.
+    """
+
+    tag = "lww"
+
+    def merge(self, pair: ConflictPair) -> bytes:
+        return max(pair.local, pair.remote, key=lambda c: (content_digest(c), c))
+
+
+class ThreeWayBlockResolver(Resolver):
+    """Three-way merge against the retained common-ancestor block digests.
+
+    Usable only when both replicas retained the *same* ancestor record
+    (``AuxAttributes`` carries it; it is refreshed at every sync point —
+    create, pull commit, observed-equal reconciliation, resolution
+    install).  Per block: a side whose block still matches the ancestor
+    digest lost nothing there, so the other side's block wins; if both
+    sides changed the same block the merge refuses and the conflict goes
+    to the owner.  Refusal rather than guessing keeps the subsystem
+    deterministic: the one case a block merge cannot join is exactly the
+    case the paper reports to the owner.
+    """
+
+    tag = "threeway"
+
+    def merge(self, pair: ConflictPair) -> bytes:
+        anc = pair.local_ancestor
+        if anc is None or pair.remote_ancestor is None:
+            raise ResolverError("no retained common ancestor on one side")
+        if anc != pair.remote_ancestor:
+            raise ResolverError("replicas retained different ancestors")
+        local_blocks = split_blocks(pair.local)
+        remote_blocks = split_blocks(pair.remote)
+        pieces: list[bytes] = []
+        for index in range(max(len(local_blocks), len(remote_blocks), len(anc))):
+            lblk = local_blocks[index] if index < len(local_blocks) else None
+            rblk = remote_blocks[index] if index < len(remote_blocks) else None
+            ablk = anc[index] if index < len(anc) else None
+            ldig = content_digest(lblk) if lblk is not None else None
+            rdig = content_digest(rblk) if rblk is not None else None
+            if ldig == rdig:
+                chosen = lblk  # identical on both sides (or both absent)
+            elif ldig == ablk:
+                chosen = rblk  # only the remote side changed this block
+            elif rdig == ablk:
+                chosen = lblk  # only the local side changed this block
+            else:
+                raise ResolverError(f"both sides changed block {index}")
+            if chosen:
+                pieces.append(chosen)
+        return b"".join(pieces)
+
+
+#: the shipped resolver set, in registry-default order
+SHIPPED_RESOLVERS = (
+    AppendLogResolver(),
+    KeyValueResolver(),
+    LwwBlobResolver(),
+    ThreeWayBlockResolver(),
+)

@@ -1,0 +1,91 @@
+"""Mapping files to resolvers: declared policy tags and name sniffing.
+
+A file selects its resolver through a *policy tag* — either declared (at
+create time, or later via ``set_merge_policy``; the tag lives in the aux
+record and propagates with the replica) or sniffed from the entry name
+against registered glob patterns.  Both inputs are identical on every
+host after directory reconciliation, so tag selection is deterministic:
+two hosts facing the same conflict pick the same resolver.
+
+The one ambiguous case — both sides carry a non-empty tag and they
+disagree (the tags themselves were set concurrently) — selects *no*
+resolver: guessing would let the two hosts merge differently, so the
+conflict goes to the owner instead.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+from repro.resolvers.base import Resolver
+from repro.resolvers.library import SHIPPED_RESOLVERS
+
+
+class ResolverRegistry:
+    """Resolvers by tag, plus name patterns that imply a tag."""
+
+    def __init__(self) -> None:
+        self._by_tag: dict[str, Resolver] = {}
+        #: ordered (pattern, tag) pairs; first match wins, so sniffing is
+        #: deterministic even when patterns overlap
+        self._patterns: list[tuple[str, str]] = []
+
+    def register(self, resolver: Resolver, patterns: tuple[str, ...] = ()) -> None:
+        if not resolver.tag:
+            raise ValueError(f"{resolver!r} has no policy tag")
+        self._by_tag[resolver.tag] = resolver
+        for pattern in patterns:
+            self.add_pattern(pattern, resolver.tag)
+
+    def add_pattern(self, pattern: str, tag: str) -> None:
+        self._patterns.append((pattern, tag))
+
+    def resolver(self, tag: str) -> Resolver | None:
+        return self._by_tag.get(tag)
+
+    def tags(self) -> tuple[str, ...]:
+        return tuple(self._by_tag)
+
+    def sniff(self, name: str) -> str:
+        """The tag implied by an entry name, or ``""``."""
+        for pattern, tag in self._patterns:
+            if fnmatchcase(name, pattern):
+                return tag
+        return ""
+
+    def policy_for(self, name: str, local_tag: str = "", remote_tag: str = "") -> str:
+        """Select the tag governing a conflict on ``name``.
+
+        Returns ``""`` when the file is not resolver-covered, and also
+        when the two sides declared *different* tags — the tags were set
+        concurrently, and resolving under either guess would let the two
+        hosts merge differently.
+        """
+        if local_tag and remote_tag and local_tag != remote_tag:
+            return ""
+        return local_tag or remote_tag or self.sniff(name)
+
+    def covers(self, name: str, tag: str = "") -> bool:
+        """Is a file with this name/declared tag handled automatically?"""
+        selected = tag or self.sniff(name)
+        return bool(selected) and selected in self._by_tag
+
+    def __repr__(self) -> str:
+        return f"ResolverRegistry(tags={sorted(self._by_tag)})"
+
+
+#: default name patterns, in sniff order
+DEFAULT_PATTERNS = {
+    "append-log": ("*.log", "*.mbox"),
+    "kv": ("*.properties", "*.kv", "*.ini"),
+    "lww": ("*.lww",),
+    "threeway": ("*.3way",),
+}
+
+
+def default_registry() -> ResolverRegistry:
+    """The shipped resolver set under the default name patterns."""
+    registry = ResolverRegistry()
+    for resolver in SHIPPED_RESOLVERS:
+        registry.register(resolver, DEFAULT_PATTERNS.get(resolver.tag, ()))
+    return registry

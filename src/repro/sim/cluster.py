@@ -213,11 +213,15 @@ class FicusSystem:
         read_policy: str = READ_LATEST,
         telemetry: Telemetry | None = None,
         health: bool = True,
+        resolvers=None,
     ):
         if not host_names:
             raise InvalidArgument("need at least one host")
         self.clock = VirtualClock()
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: shared ResolverRegistry for automatic conflict resolution (every
+        #: host must run the same registry, or resolutions could diverge)
+        self.resolvers = resolvers
         # all timestamps (spans, events) come from the shared virtual clock
         # so a replayed experiment yields byte-identical telemetry
         self.telemetry.bind_clock(self.clock.now)
@@ -294,7 +298,12 @@ class FicusSystem:
             if loc.host == host.name
         }
         host.recon_daemon = ReconciliationDaemon(
-            host.physical, host.fabric, host.conflict_log, peers, logical=host.logical
+            host.physical,
+            host.fabric,
+            host.conflict_log,
+            peers,
+            logical=host.logical,
+            resolvers=self.resolvers,
         )
         host.graft_prune_daemon = GraftPruneDaemon(
             host.logical, idle_timeout=cfg.graft_idle_timeout
@@ -306,6 +315,21 @@ class FicusSystem:
             self.loop.schedule_every(cfg.recon_period, host.recon_daemon.tick)
         if cfg.graft_prune_period is not None:
             self.loop.schedule_every(cfg.graft_prune_period, host.graft_prune_daemon.tick)
+
+    def enable_resolvers(self, registry=None) -> None:
+        """Turn on automatic conflict resolution cluster-wide.
+
+        Every host gets the *same* registry — resolver determinism assumes
+        the two ends of a conflict select identical merge functions.
+        """
+        if registry is None:
+            from repro.resolvers import default_registry
+
+            registry = default_registry()
+        self.resolvers = registry
+        for host in self.hosts.values():
+            if host.recon_daemon is not None:
+                host.recon_daemon.resolvers = registry
 
     # -- dynamic replica placement -----------------------------------------------
 

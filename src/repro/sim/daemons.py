@@ -287,6 +287,10 @@ class ReconStats:
     def total_pulled(self) -> int:
         return sum(r.files_pulled for r in self.results)
 
+    @property
+    def total_auto_resolved(self) -> int:
+        return sum(r.conflicts_auto_resolved for r in self.results)
+
 
 class ReconciliationDaemon:
     """Periodic subtree reconciliation against rotating remote peers."""
@@ -298,6 +302,7 @@ class ReconciliationDaemon:
         conflict_log: ConflictLog,
         peers: dict[VolumeReplicaId, list[ReplicaLocation]],
         logical: FicusLogicalLayer | None = None,
+        resolvers=None,
     ):
         self.physical = physical
         self.fabric = fabric
@@ -305,6 +310,8 @@ class ReconciliationDaemon:
         #: per hosted volume replica: the other replicas of the volume
         self.peers = peers
         self.logical = logical
+        #: optional ResolverRegistry enabling automatic conflict resolution
+        self.resolvers = resolvers
         self._ring_position: dict[VolumeReplicaId, int] = {}
         self.stats = ReconStats()
         self.peer_health = PeerHealth()
@@ -401,6 +408,12 @@ class ReconciliationDaemon:
             telemetry.metrics.counter("recon.files_pulled").inc(result.files_pulled)
         if result.file_conflicts:
             telemetry.metrics.counter("recon.file_conflicts").inc(result.file_conflicts)
+        if result.conflicts_auto_resolved:
+            telemetry.metrics.counter("recon.conflicts_auto_resolved").inc(
+                result.conflicts_auto_resolved
+            )
+        if result.resolver_fallbacks:
+            telemetry.metrics.counter("recon.resolver_fallbacks").inc(result.resolver_fallbacks)
         if result.subtrees_pruned:
             telemetry.metrics.counter("recon.subtrees_pruned").inc(result.subtrees_pruned)
         if result.probe_rpcs:
@@ -448,6 +461,7 @@ class ReconciliationDaemon:
             all_replicas=all_replicas,
             policy=self.physical.policy_for(volrep),
             on_directory_changed=on_changed,
+            resolvers=self.resolvers,
         )
         # tombstone garbage collection: purge fully-acknowledged deletes
         from repro.recon.gc import collect_volume_replica

@@ -69,6 +69,12 @@ class HostHealth:
     anomalies: dict[str, int] = field(default_factory=dict)
     #: most recent reconciliation outcomes, oldest first
     last_recon: list[dict] = field(default_factory=list)
+    #: conflicts this host merged automatically since boot
+    resolver_auto_resolved: int = 0
+    #: conflicts a resolver covered but had to hand to the owner
+    resolver_fallback_manual: int = 0
+    #: most recent automatic resolutions, oldest first
+    last_resolutions: list[dict] = field(default_factory=list)
 
     @property
     def divergence_suspected(self) -> bool:
@@ -91,6 +97,9 @@ class HostHealth:
             "degraded_peers": list(self.degraded_peers),
             "anomalies": dict(self.anomalies),
             "last_recon": list(self.last_recon),
+            "resolver_auto_resolved": self.resolver_auto_resolved,
+            "resolver_fallback_manual": self.resolver_fallback_manual,
+            "last_resolutions": list(self.last_resolutions),
         }
 
 
@@ -237,6 +246,9 @@ class HealthPlane:
         self.notes_pending = 0
         self.last_recon: deque[dict] = deque(maxlen=MAX_RECON_OUTCOMES)
         self.anomaly_counts: dict[str, int] = {}
+        self.resolver_auto_resolved = 0
+        self.resolver_fallback_manual = 0
+        self.last_resolutions: deque[dict] = deque(maxlen=MAX_RECON_OUTCOMES)
         self.recorder = FlightRecorder(
             host, capacity=ring_capacity, clock=clock, context=self._dump_context
         )
@@ -324,6 +336,54 @@ class HealthPlane:
         if self.telemetry.enabled:
             self.telemetry.metrics.gauge(f"health.notes_pending.{self.host}").set(count)
 
+    # -- automatic conflict resolution ------------------------------------
+
+    def resolution_applied(
+        self, name: str, fh: str, tag: str, local_vv, remote_vv, resolved_vv
+    ) -> None:
+        """A resolver merged a conflict and the result was committed."""
+        self.resolver_auto_resolved += 1
+        entry = {
+            "at": self.now(),
+            "name": name,
+            "fh": fh,
+            "tag": tag,
+            "local_vv": local_vv.encode(),
+            "remote_vv": remote_vv.encode(),
+            "resolved_vv": resolved_vv.encode(),
+        }
+        self.last_resolutions.append(entry)
+        # the op timeline keeps both input vvs so a dump shows exactly
+        # which version pair the merge consumed
+        self.recorder.record(
+            "conflict_auto_resolved",
+            f"{name}[{tag}] {local_vv.encode() or '0'} x {remote_vv.encode() or '0'}",
+        )
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("resolver.auto_resolved").inc()
+            self.telemetry.events.emit(
+                "resolver.auto_resolved", host=self.host, **entry
+            )
+
+    def resolution_fallback(
+        self, name: str, fh: str, tag: str, reason: str, local_vv, remote_vv
+    ) -> None:
+        """A covered conflict could not be merged; it goes to the owner."""
+        self.resolver_fallback_manual += 1
+        self.recorder.record("conflict_resolver_fallback", f"{name}[{tag}] {reason}")
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("resolver.fallback_manual").inc()
+            self.telemetry.events.emit(
+                "resolver.fallback_manual",
+                host=self.host,
+                name=name,
+                fh=fh,
+                tag=tag,
+                reason=reason,
+                local_vv=local_vv.encode(),
+                remote_vv=remote_vv.encode(),
+            )
+
     # -- anomalies ---------------------------------------------------------
 
     def anomaly(self, kind: str, **detail) -> dict:
@@ -344,6 +404,9 @@ class HealthPlane:
             "staleness_ticks": dict(self._staleness),
             "suspected": self.suspected_by_volume(),
             "anomalies": dict(self.anomaly_counts),
+            "resolver_auto_resolved": self.resolver_auto_resolved,
+            "resolver_fallback_manual": self.resolver_fallback_manual,
+            "last_resolutions": list(self.last_resolutions),
         }
 
     def host_health(
@@ -363,6 +426,9 @@ class HealthPlane:
             degraded_peers=sorted(degraded_peers),
             anomalies=dict(self.anomaly_counts),
             last_recon=list(self.last_recon),
+            resolver_auto_resolved=self.resolver_auto_resolved,
+            resolver_fallback_manual=self.resolver_fallback_manual,
+            last_resolutions=list(self.last_resolutions),
         )
 
     def _dump_context(self) -> dict:

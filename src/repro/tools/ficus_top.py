@@ -24,7 +24,7 @@ from repro.telemetry import HostHealth, load_dump
 #: ring-tail length shown per dump by default
 DEFAULT_OPS_SHOWN = 16
 
-_COLUMNS = ["host", "up", "notes", "stale", "degraded", "suspected", "anomalies"]
+_COLUMNS = ["host", "up", "notes", "stale", "degraded", "suspected", "resolved", "anomalies"]
 
 
 def _table(rows: list[list[str]]) -> str:
@@ -52,6 +52,9 @@ def _row(health: HostHealth) -> list[str]:
         str(health.max_staleness),
         ",".join(health.degraded_peers) or "-",
         suspected or "-",
+        f"{health.resolver_auto_resolved}+{health.resolver_fallback_manual}m"
+        if health.resolver_auto_resolved or health.resolver_fallback_manual
+        else "-",
         str(sum(health.anomalies.values())) or "0",
     ]
 
@@ -93,10 +96,24 @@ def render_dump(path: str, ops_shown: int = DEFAULT_OPS_SHOWN) -> str:
                         staleness_ticks=health.get("staleness_ticks", {}),
                         suspected=health.get("suspected", {}),
                         anomalies=health.get("anomalies", {}),
+                        resolver_auto_resolved=health.get("resolver_auto_resolved", 0),
+                        resolver_fallback_manual=health.get("resolver_fallback_manual", 0),
+                        last_resolutions=health.get("last_resolutions", []),
                     )
                 ]
             )
         )
+
+    resolutions = (health or {}).get("last_resolutions") or []
+    if resolutions:
+        lines.append("")
+        lines.append("  recent automatic conflict resolutions:")
+        for entry in resolutions:
+            lines.append(
+                f"    t={entry.get('at', 0.0)} {entry.get('name')}[{entry.get('tag')}] "
+                f"{entry.get('local_vv')} x {entry.get('remote_vv')} "
+                f"-> {entry.get('resolved_vv')}"
+            )
 
     recon = snapshot.get("last_recon") or []
     if recon:

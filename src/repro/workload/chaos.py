@@ -75,6 +75,10 @@ class ChaosConfig:
     crash_prob: float = 0.0
     #: rounds a crashed host stays down before the harness reboots it
     crash_down_rounds: int = 2
+    #: enable the automatic conflict-resolution registry and mix covered
+    #: append-log operations into the schedule (False keeps the rng
+    #: schedule of resolver-free seeds byte-identical)
+    resolvers: bool = False
 
 
 @dataclass
@@ -88,6 +92,8 @@ class ChaosReport:
     partitions_formed: int = 0
     faults_injected: dict[str, int] = field(default_factory=dict)
     unresolved_conflicts: int = 0
+    #: concurrent-update conflicts the resolver subsystem merged away
+    auto_resolved: int = 0
     crashes: int = 0
     restarts: int = 0
     #: oracle violations; empty means the run converged
@@ -111,6 +117,8 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
     host_names = [f"h{i}" for i in range(config.host_count)]
     system = FicusSystem(host_names, daemon_config=_QUIET)
     system.network.faults.reseed(seed)
+    if config.resolvers:
+        system.enable_resolvers()
 
     if config.rename_storm:
         _rename_storm(system, host_names)
@@ -176,8 +184,11 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
         for host_name in host_names:
             system.host(host_name).propagation_daemon.tick()
 
-    _check_convergence(system, host_names, report)
+    _check_convergence(system, host_names, report, config)
     report.unresolved_conflicts = system.total_conflicts()
+    report.auto_resolved = sum(
+        system.host(h).recon_daemon.stats.total_auto_resolved for h in host_names
+    )
     if report.problems:
         _dump_flight_recorders(system, host_names, seed, report)
     return report
@@ -258,8 +269,20 @@ def _maybe_repartition(
     return partitioned
 
 
+def _append_log_line(fs, path: str, line: str) -> None:
+    """Append one record to a mailbox-style log file (read-modify-write)."""
+    existing = fs.read_file(path) if fs.exists(path) else b""
+    fs.write_file(path, existing + line.encode() + b"\n")
+
+
 def _random_op(fs, rng: random.Random, config: ChaosConfig, host_name: str, round_index: int):
     """One namespace operation drawn from a deliberately small namespace."""
+    # the resolvers gate short-circuits before any rng draw, so seeds run
+    # without resolvers keep their historical schedules byte-identical
+    if config.resolvers and rng.random() < 0.35:
+        line = f"{host_name}:{round_index}:{rng.randrange(1000)}"
+        _append_log_line(fs, f"/box{rng.randrange(2)}.log", line)
+        return
     roll = rng.random()
     fname = f"/f{rng.randrange(config.file_names)}"
     dname = f"/d{rng.randrange(config.dir_names)}"
@@ -279,11 +302,16 @@ def _random_op(fs, rng: random.Random, config: ChaosConfig, host_name: str, roun
             fs.unlink(fname)
 
 
-def _check_convergence(system: FicusSystem, host_names: list[str], report: ChaosReport) -> None:
+def _check_convergence(
+    system: FicusSystem, host_names: list[str], report: ChaosReport, config: ChaosConfig
+) -> None:
+    registry = system.resolvers if config.resolvers else None
     for host_name in host_names:
         host = system.host(host_name)
         for volrep, store in host.physical.stores.items():
-            fsck = ficus_fsck(store)
+            # the conflict log rides along so fsck can audit resolution
+            # bookkeeping (resolved vvs must strictly dominate both inputs)
+            fsck = ficus_fsck(store, conflict_log=host.conflict_log, resolvers=registry)
             for problem in fsck.problems:
                 report.problems.append(f"{host_name}/{volrep}: {problem}")
 
@@ -297,6 +325,32 @@ def _check_convergence(system: FicusSystem, host_names: list[str], report: Chaos
                 f"{host_name}={trees[host_name]}"
             )
     report.tree = baseline
+
+    # resolver-covered files get the strong oracle: the registry merged
+    # every concurrent update, so zero unresolved conflicts may mention
+    # them and every replica must hold byte-identical contents — even
+    # when hosts resolved the same conflict independently
+    if registry is not None and not report.problems:
+        for path in baseline:
+            name = path.rsplit("/", 1)[-1]
+            if not registry.covers(name):
+                continue
+            contents = set()
+            for host_name in host_names:
+                fs = system.host(host_name).fs()
+                if fs.stat(path).is_file:
+                    contents.add(fs.read_file(path))
+            if len(contents) > 1:
+                report.problems.append(
+                    f"{path}: resolver-covered contents diverged across replicas"
+                )
+        for host_name in host_names:
+            for open_conflict in system.host(host_name).conflict_log.unresolved():
+                if registry.covers(open_conflict.name):
+                    report.problems.append(
+                        f"{host_name}: resolver-covered file "
+                        f"{open_conflict.name!r} left unresolved"
+                    )
 
     # contents must agree wherever no conflict is on record; a reported
     # update conflict legitimately preserves both versions until resolved
@@ -328,6 +382,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="additionally run this seed with seeded host crash/restart epochs",
     )
+    parser.add_argument(
+        "--resolver-seed",
+        type=int,
+        default=None,
+        help="additionally run this seed with automatic conflict resolvers "
+        "and covered append-log traffic in the mix",
+    )
     parser.add_argument("--hosts", type=int, default=3)
     parser.add_argument("--rounds", type=int, default=8)
     args = parser.parse_args(argv)
@@ -338,12 +399,16 @@ def main(argv: list[str] | None = None) -> int:
         runs.append((args.rename_storm_seed, replace(base, rename_storm=True)))
     if args.crash_seed is not None:
         runs.append((args.crash_seed, replace(base, crash_prob=0.25)))
+    if args.resolver_seed is not None:
+        runs.append((args.resolver_seed, replace(base, resolvers=True)))
 
     failures = 0
     for seed, config in runs:
         report = run_chaos(seed, config)
         status = "converged" if report.converged else "DIVERGED"
         storm = " +rename-storm" if config.rename_storm else ""
+        if config.resolvers:
+            storm += f" +resolvers({report.auto_resolved} auto-resolved)"
         crashes = f", {report.crashes} crashes" if config.crash_prob else ""
         print(
             f"seed {seed}{storm}: {status}; "

@@ -280,8 +280,8 @@ class TestCrashChaos:
 
         real_check = chaos_module._check_convergence
 
-        def failing_check(system, host_names, report):
-            real_check(system, host_names, report)
+        def failing_check(system, host_names, report, config):
+            real_check(system, host_names, report, config)
             report.problems.append("synthetic oracle failure (test)")
 
         monkeypatch.setattr(chaos_module, "_check_convergence", failing_check)

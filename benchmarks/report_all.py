@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate the full evaluation in one command.
 
-Prints every experiment table from EXPERIMENTS.md (E1–E18 and the A1–A4
+Prints every experiment table from EXPERIMENTS.md (E1–E19 and the A1–A4
 ablations) by invoking the same measurement code the pytest benchmarks
 use.  Pure stdout, no pytest required:
 
@@ -31,6 +31,9 @@ HEALTH_JSON = Path(__file__).resolve().parent.parent / "BENCH_health.json"
 
 #: Where the conflict-resolver subsystem export lands.
 RESOLVERS_JSON = Path(__file__).resolve().parent.parent / "BENCH_resolvers.json"
+
+#: Where the fused hot-path throughput export lands.
+OPEN_IO_JSON = Path(__file__).resolve().parent.parent / "BENCH_open_io.json"
 
 
 def e1_layers() -> None:
@@ -292,6 +295,25 @@ def e18_resolvers() -> None:
     )
 
 
+def e19_open_io_throughput() -> None:
+    from bench_open_io import check_bounds, open_io_throughput
+
+    snap = open_io_throughput(fast=True)
+    OPEN_IO_JSON.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    violations = check_bounds(snap)
+    ops = snap["ops_per_second"]
+    fusion = snap["fusion"]
+    print(
+        f"[E19] fused hot path: {ops['legacy']:.0f} -> {ops['optimized']:.0f} ops/s "
+        f"({ops['speedup']:.1f}x, bound {ops['bound']}); fusion hit rate "
+        f"{fusion['hit_rate']:.2f} over {fusion['members']} transparent members, "
+        f"per-crossing {snap['per_crossing_us']['unfused_us']:.2f} -> "
+        f"{snap['per_crossing_us']['fused_us']:.2f} us "
+        f"-> {OPEN_IO_JSON.name}"
+        + ("".join(f"\n  BOUND VIOLATED: {v}" for v in violations))
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -314,6 +336,7 @@ def main() -> None:
         e16_delta_sync,
         e17_health,
         e18_resolvers,
+        e19_open_io_throughput,
     ):
         section()
         print()

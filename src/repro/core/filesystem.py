@@ -171,6 +171,8 @@ class FicusFileSystem:
         self.ctx = ctx
         self.client_id = client_id or f"client@{logical.host_addr}"
         self._handle_serial = 0
+        # stable per Telemetry hub — bound once to shorten the per-op path
+        self._tracer = logical.telemetry.tracer
 
     def _next_handle_id(self) -> int:
         self._handle_serial += 1
@@ -246,7 +248,7 @@ class FicusFileSystem:
         """
         if not any(m in mode for m in "rwa"):
             raise InvalidArgument(f"bad mode {mode!r}")
-        tracer = self.logical.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             return self._open(path, mode)
         with tracer.span(
@@ -277,7 +279,7 @@ class FicusFileSystem:
         return FicusFile(self, node, mode, self.ctx)
 
     def read_file(self, path: str) -> bytes:
-        tracer = self.logical.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             with self.open(path, "r") as f:
                 return f.read()
@@ -308,7 +310,7 @@ class FicusFileSystem:
     def write_file(self, path: str, data: bytes) -> None:
         # the whole open -> write -> close(update notify) session becomes
         # one trace tree rooted here
-        tracer = self.logical.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             with self.open(path, "w") as f:
                 f.write(data)
@@ -318,7 +320,7 @@ class FicusFileSystem:
                 f.write(data)
 
     def append_file(self, path: str, data: bytes) -> None:
-        tracer = self.logical.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             with self.open(path, "a") as f:
                 f.write(data)

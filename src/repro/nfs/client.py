@@ -90,6 +90,8 @@ class NfsClientLayer(FileSystemLayer):
         self.service = service
         self.config = config or NfsClientConfig()
         self.telemetry = telemetry or NULL_TELEMETRY
+        # stable per Telemetry hub — bound once to shorten the per-RPC path
+        self.tracer = self.telemetry.tracer
         #: the client host's HealthPlane; an ambiguous non-idempotent
         #: timeout (executed? reply lost?) fires its anomaly recorder
         self.health = health
@@ -112,10 +114,18 @@ class NfsClientLayer(FileSystemLayer):
         retransmissions) is one ``nfs-client`` span whose context replaces
         ``ctx.trace`` on the wire, stitching client and server trees.
         """
-        tracer = self.telemetry.tracer
+        tracer = self.tracer
         if not tracer.enabled:
             wire = ctx.to_wire()
-            kwargs: dict[str, object] = {CTX_FIELD: wire} if wire else {}
+            if not wire:
+                return self._call_with_retries(op, args, {}, NULL_SPAN)
+            # like the wire form itself, the single-field kwargs dict is
+            # immutable in practice (the transport spreads it; the server
+            # pops from its own copy), so cache it on the context too
+            kwargs: dict[str, object] | None = ctx.__dict__.get("_wire_kwargs")
+            if kwargs is None:
+                kwargs = {CTX_FIELD: wire}
+                object.__setattr__(ctx, "_wire_kwargs", kwargs)
             return self._call_with_retries(op, args, kwargs, NULL_SPAN)
         with tracer.span(f"nfs.{op}", layer="nfs-client", host=self.client_addr) as span:
             span.set_tag("server", self.server_addr)

@@ -30,6 +30,9 @@ directory, a consequence of concurrent renames) needs no extra mechanism.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro import fastpath
 from repro.errors import FileNotFound, InvalidArgument
 from repro.telemetry import MetricsRegistry
 from repro.physical.wire import (
@@ -76,8 +79,24 @@ def entries_fold(entries: list[DirectoryEntry]) -> str:
     """Order-independent fold of a directory's entry records."""
     fold = ""
     for entry in entries:
-        fold = xor_fold(fold, content_digest(encode_record(entry.to_record())))
+        fold = xor_fold(fold, entry.fold_component())
     return fold
+
+
+def _find_cache_epoch(root: Vnode) -> object | None:
+    """Walk down a vnode chain to the storage bottom's epoch provider.
+
+    Returns the first object exposing ``cache_epoch`` (the UFS vnode
+    adaptor; see :attr:`BufferCache.epoch`), or ``None`` when the stack
+    has no such bottom — decoded caches then rely purely on write-side
+    invalidation through this store.
+    """
+    node: object | None = root
+    while node is not None:
+        if hasattr(node, "cache_epoch"):
+            return node
+        node = getattr(node, "lower", None)
+    return None
 
 
 def file_component(fh: FicusFileHandle, vv) -> str:
@@ -107,6 +126,44 @@ class ReplicaStore:
         #: than once per recon tick (in-memory: a crash only costs one
         #: extra walk after reboot)
         self._ancestor_sync_memo: dict[FicusFileHandle, str] = {}
+        # -- decoded-metadata caches (the PR-8 hot path) ------------------
+        # Every entry is stamped with the storage bottom's buffer-cache
+        # epoch: when the block cache goes cold (invalidate_all, fault
+        # injection) the decoded caches go cold with it, preserving the
+        # paper's E3/E4 disk-I/O accounting byte for byte.  Mutations
+        # through this store update or drop the affected keys directly.
+        self._epoch_node = _find_cache_epoch(lower_root)
+        # A storage bottom with caching disabled (the A2 "no caches"
+        # ablation) disables the decoded caches with it; stacks without
+        # an epoch provider (NFS-hopped storage) keep them on and rely
+        # on write-side invalidation.
+        self._caches_enabled = getattr(self._epoch_node, "caches_enabled", True)
+        self._dir_vnode_cache: dict[str, tuple[int, Vnode]] = {}
+        self._child_vnode_cache: dict[tuple[str, str], tuple[int, Vnode]] = {}
+        self._entries_cache: dict[str, tuple[int, list[DirectoryEntry]]] = {}
+        self._dir_aux_cache: dict[str, tuple[int, AuxAttributes]] = {}
+        self._file_aux_cache: dict[str, tuple[int, AuxAttributes]] = {}
+
+    def _epoch(self) -> int:
+        node = self._epoch_node
+        return node.cache_epoch if node is not None else 0
+
+    def _cache_get(self, cache: dict, key) -> object | None:
+        if not fastpath.ENABLED or not self._caches_enabled:
+            return None
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        if entry[0] != self._epoch():
+            del cache[key]
+            return None
+        return entry[1]
+
+    def _cache_put(self, cache: dict, key, value) -> None:
+        if fastpath.ENABLED and self._caches_enabled:
+            cache[key] = (self._epoch(), value)
+        else:
+            cache.pop(key, None)
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self._metrics is not None:
@@ -171,12 +228,20 @@ class ReplicaStore:
 
     # -- id mints (persisted in .meta) ------------------------------------------
 
+    def _meta_vnode(self) -> Vnode:
+        # stable name, rewritten in place — the vnode never goes stale
+        meta = self.__dict__.get("_meta")
+        if meta is None:
+            meta = self._base.lookup(META_NAME)
+            if fastpath.ENABLED:
+                self._meta = meta
+        return meta
+
     def _read_meta(self) -> dict[str, str]:
-        meta = self._base.lookup(META_NAME)
-        return decode_record(meta.read_all().decode("utf-8"))
+        return decode_record(self._meta_vnode().read_all().decode("utf-8"))
 
     def _write_meta(self, rec: dict[str, str]) -> None:
-        meta = self._base.lookup(META_NAME)
+        meta = self._meta_vnode()
         data = encode_record(rec).encode("utf-8")
         meta.truncate(0)
         meta.write(0, data)
@@ -205,14 +270,31 @@ class ReplicaStore:
 
     def has_directory(self, fh: FicusFileHandle) -> bool:
         try:
-            self._nodes.lookup(self._dir_key(fh))
+            self.dir_unix_vnode(fh)
             return True
         except FileNotFound:
             return False
 
     def dir_unix_vnode(self, fh: FicusFileHandle) -> Vnode:
         """The underlying Unix directory of a Ficus directory."""
-        return self._nodes.lookup(self._dir_key(fh))
+        key = self._dir_key(fh)
+        vnode = self._cache_get(self._dir_vnode_cache, key)
+        if vnode is None:
+            vnode = self._nodes.lookup(key)
+            self._cache_put(self._dir_vnode_cache, key, vnode)
+        return vnode
+
+    def _unix_child(self, fh: FicusFileHandle, name: str) -> Vnode:
+        """Look up (with caching) one reserved file inside a directory's
+        underlying Unix directory.  Mutations that rebind a cached name
+        (shadow commit's rename, unlink, directory removal) drop the
+        affected keys."""
+        key = (self._dir_key(fh), name)
+        vnode = self._cache_get(self._child_vnode_cache, key)
+        if vnode is None:
+            vnode = self.dir_unix_vnode(fh).lookup(name)
+            self._cache_put(self._child_vnode_cache, key, vnode)
+        return vnode
 
     def create_directory_storage(
         self,
@@ -221,34 +303,62 @@ class ReplicaStore:
         graft_volume: str = "",
     ) -> Vnode:
         """Materialize storage for a new Ficus directory (or graft point)."""
-        unix_dir = self._nodes.mkdir(self._dir_key(fh))
-        unix_dir.create(FDIR_NAME)
+        key = self._dir_key(fh)
+        unix_dir = self._nodes.mkdir(key)
+        fdir = unix_dir.create(FDIR_NAME)
         aux = AuxAttributes(fh=fh.logical, etype=etype, refs=1, graft_volume=graft_volume)
-        unix_dir.create(FAUX_NAME).write(0, aux.to_bytes())
+        faux = unix_dir.create(FAUX_NAME)
+        faux.write(0, aux.to_bytes())
+        self._cache_put(self._dir_vnode_cache, key, unix_dir)
+        self._cache_put(self._child_vnode_cache, (key, FDIR_NAME), fdir)
+        self._cache_put(self._child_vnode_cache, (key, FAUX_NAME), faux)
+        self._cache_put(self._entries_cache, key, [])
+        self._cache_put(self._dir_aux_cache, key, replace(aux))
         self._subtree_memo.clear()
         return unix_dir
 
     def remove_directory_storage(self, fh: FicusFileHandle) -> None:
         """Reclaim a dead directory's storage (refs reached zero)."""
+        key = self._dir_key(fh)
         unix_dir = self.dir_unix_vnode(fh)
         for entry in unix_dir.readdir():
             if entry.name in (".", ".."):
                 continue
             unix_dir.remove(entry.name)
-        self._nodes.rmdir(self._dir_key(fh))
+            self._file_aux_cache.pop(entry.name, None)
+        self._nodes.rmdir(key)
+        self._dir_vnode_cache.pop(key, None)
+        self._entries_cache.pop(key, None)
+        self._dir_aux_cache.pop(key, None)
+        for child_key in [k for k in self._child_vnode_cache if k[0] == key]:
+            del self._child_vnode_cache[child_key]
         self._subtree_memo.clear()
 
     def read_entries(self, fh: FicusFileHandle) -> list[DirectoryEntry]:
         """All entries of a Ficus directory, tombstones included."""
-        fdir = self.dir_unix_vnode(fh).lookup(FDIR_NAME)
-        return decode_directory(fdir.read_all())
+        key = self._dir_key(fh)
+        cached = self._cache_get(self._entries_cache, key)
+        if cached is not None:
+            # fresh list: callers append/replace before writing back
+            return list(cached)
+        fdir = self._unix_child(fh, FDIR_NAME)
+        entries = decode_directory(fdir.read_all())
+        self._cache_put(self._entries_cache, key, list(entries))
+        return entries
 
     def write_entries(self, fh: FicusFileHandle, entries: list[DirectoryEntry]) -> None:
-        fdir = self.dir_unix_vnode(fh).lookup(FDIR_NAME)
+        fdir = self._unix_child(fh, FDIR_NAME)
         data = encode_directory(entries)
-        fdir.truncate(0)
-        if data:
-            fdir.write(0, data)
+        key = self._dir_key(fh)
+        try:
+            fdir.truncate(0)
+            if data:
+                fdir.write(0, data)
+        except BaseException:
+            # the rewrite may have half-landed: decoded copy is untrusted
+            self._entries_cache.pop(key, None)
+            raise
+        self._cache_put(self._entries_cache, key, list(entries))
         self._subtree_memo.clear()
         # keep the entry fold in the aux record current (it already holds
         # the in-memory entry list, so the fold is one pass, no re-read)
@@ -259,18 +369,31 @@ class ReplicaStore:
             self._write_dir_aux_raw(fh, aux)
 
     def read_dir_aux(self, fh: FicusFileHandle) -> AuxAttributes:
-        faux = self.dir_unix_vnode(fh).lookup(FAUX_NAME)
-        return AuxAttributes.from_bytes(faux.read_all())
+        key = self._dir_key(fh)
+        cached = self._cache_get(self._dir_aux_cache, key)
+        if cached is not None:
+            # clone: callers mutate the returned record in place
+            return replace(cached)
+        faux = self._unix_child(fh, FAUX_NAME)
+        aux = AuxAttributes.from_bytes(faux.read_all())
+        self._cache_put(self._dir_aux_cache, key, replace(aux))
+        return aux
 
     def write_dir_aux(self, fh: FicusFileHandle, aux: AuxAttributes) -> None:
         self._subtree_memo.clear()
         self._write_dir_aux_raw(fh, aux)
 
     def _write_dir_aux_raw(self, fh: FicusFileHandle, aux: AuxAttributes) -> None:
-        faux = self.dir_unix_vnode(fh).lookup(FAUX_NAME)
+        faux = self._unix_child(fh, FAUX_NAME)
         data = aux.to_bytes()
-        faux.truncate(0)
-        faux.write(0, data)
+        key = self._dir_key(fh)
+        try:
+            faux.truncate(0)
+            faux.write(0, data)
+        except BaseException:
+            self._dir_aux_cache.pop(key, None)
+            raise
+        self._cache_put(self._dir_aux_cache, key, replace(aux))
 
     def _fold_file_into_dir(
         self,
@@ -298,22 +421,37 @@ class ReplicaStore:
 
     def file_vnode(self, parent: FicusFileHandle, fh: FicusFileHandle) -> Vnode:
         """The contents vnode of a regular-file replica."""
-        return self.dir_unix_vnode(parent).lookup(self._file_key(fh))
+        return self._unix_child(parent, self._file_key(fh))
 
     def aux_vnode(self, parent: FicusFileHandle, fh: FicusFileHandle) -> Vnode:
-        return self.dir_unix_vnode(parent).lookup(self._file_key(fh) + AUX_SUFFIX)
+        return self._unix_child(parent, self._file_key(fh) + AUX_SUFFIX)
 
     def read_file_aux(self, parent: FicusFileHandle, fh: FicusFileHandle) -> AuxAttributes:
-        return AuxAttributes.from_bytes(self.aux_vnode(parent, fh).read_all())
+        # Keyed by the FILE (not the ⟨parent, file⟩ pair): a hard-linked
+        # file's aux is one shared inode, so a write through any naming
+        # directory must be seen through every other name.
+        key = self._file_key(fh)
+        cached = self._cache_get(self._file_aux_cache, key)
+        if cached is not None:
+            return replace(cached)
+        aux = AuxAttributes.from_bytes(self.aux_vnode(parent, fh).read_all())
+        self._cache_put(self._file_aux_cache, key, replace(aux))
+        return aux
 
     def write_file_aux(
         self, parent: FicusFileHandle, fh: FicusFileHandle, aux: AuxAttributes
     ) -> None:
         vnode = self.aux_vnode(parent, fh)
-        old = AuxAttributes.from_bytes(vnode.read_all())
+        old = self.read_file_aux(parent, fh)
         data = aux.to_bytes()
-        vnode.truncate(0)
-        vnode.write(0, data)
+        key = self._file_key(fh)
+        try:
+            vnode.truncate(0)
+            vnode.write(0, data)
+        except BaseException:
+            self._file_aux_cache.pop(key, None)
+            raise
+        self._cache_put(self._file_aux_cache, key, replace(aux))
         if old.vv != aux.vv:
             self._fold_file_into_dir(
                 parent,
@@ -335,7 +473,8 @@ class ReplicaStore:
         same nothing).
         """
         unix_dir = self.dir_unix_vnode(parent)
-        contents = unix_dir.create(self._file_key(fh))
+        key = self._file_key(fh)
+        contents = unix_dir.create(key)
         aux = AuxAttributes(
             fh=fh.logical,
             etype=etype,
@@ -343,7 +482,12 @@ class ReplicaStore:
             merge_policy=merge_policy,
             ancestor=AuxAttributes.encode_ancestor([]),
         )
-        unix_dir.create(self._file_key(fh) + AUX_SUFFIX).write(0, aux.to_bytes())
+        aux_file = unix_dir.create(key + AUX_SUFFIX)
+        aux_file.write(0, aux.to_bytes())
+        dir_key = self._dir_key(parent)
+        self._cache_put(self._child_vnode_cache, (dir_key, key), contents)
+        self._cache_put(self._child_vnode_cache, (dir_key, key + AUX_SUFFIX), aux_file)
+        self._cache_put(self._file_aux_cache, key, replace(aux))
         self._fold_file_into_dir(parent, in_component=file_component(fh, aux.vv))
         return contents
 
@@ -381,6 +525,10 @@ class ReplicaStore:
             unix_dir.remove(key + SHADOW_SUFFIX)
         except FileNotFound:
             pass
+        dir_key = self._dir_key(parent)
+        self._child_vnode_cache.pop((dir_key, key), None)
+        self._child_vnode_cache.pop((dir_key, key + AUX_SUFFIX), None)
+        self._file_aux_cache.pop(key, None)
         if aux is not None:
             self._fold_file_into_dir(parent, out_component=file_component(fh, aux.vv))
         else:
@@ -419,6 +567,9 @@ class ReplicaStore:
         unix_dir = self.dir_unix_vnode(parent)
         key = self._file_key(fh)
         unix_dir.rename(key + SHADOW_SUFFIX, unix_dir, key)
+        # the rename rebound the contents name to the shadow's inode: any
+        # cached contents vnode for this name is now the WRONG file
+        self._child_vnode_cache.pop((self._dir_key(parent), key), None)
         aux = self.read_file_aux(parent, fh)
         aux.vv = vv
         # a commit installs contents both replicas now share — a sync

@@ -124,6 +124,8 @@ class PhysicalDirVnode(Vnode):
         self.layer = layer
         self.store = store
         self.fh = fh.logical
+        # stable per Telemetry hub — bound once to shorten the per-op path
+        self._tracer = layer.telemetry.tracer
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -307,7 +309,7 @@ class PhysicalDirVnode(Vnode):
         encoded = is_encoded_op(name)
         # enabled-check before building span arguments: lookup is the
         # hottest vnode operation and must stay free when not tracing
-        tracer = self.layer.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             return self._encoded_lookup(name) if encoded else self._plain_lookup(name)
         with tracer.span(
@@ -387,7 +389,7 @@ class PhysicalDirVnode(Vnode):
         op, fields = decode_op(name)
         if op != "insert":
             raise NotSupported(f"create cannot carry operation {op!r}")
-        tracer = self.layer.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             return self._create_decoded(fields)
         with tracer.span("physical.insert", layer="physical", host=self.layer.host_addr):
@@ -517,7 +519,7 @@ class PhysicalDirVnode(Vnode):
         op, fields = decode_op(name)
         if op != "remove":
             raise NotSupported(f"remove cannot carry operation {op!r}")
-        tracer = self.layer.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             self.apply_remove(EntryId.decode(fields[0]), from_recon=bool(fields[1]))
             return
@@ -632,6 +634,7 @@ class PhysicalFileVnode(Vnode):
         self.parent_fh = parent_fh.logical
         self.fh = fh.logical
         self.etype = etype
+        self._tracer = layer.telemetry.tracer
 
     def _contents(self) -> Vnode:
         return self.store.file_vnode(self.parent_fh, self.fh)
@@ -670,7 +673,7 @@ class PhysicalFileVnode(Vnode):
 
     def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
         self.layer.counters.bump("read")
-        tracer = self.layer.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             return self._contents().read(offset, length, ctx)
         with tracer.span("physical.read", layer="physical", host=self.layer.host_addr):
@@ -678,7 +681,7 @@ class PhysicalFileVnode(Vnode):
 
     def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
         self.layer.counters.bump("write")
-        tracer = self.layer.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             return self._write_impl(offset, data, ctx)
         with tracer.span(
@@ -693,7 +696,7 @@ class PhysicalFileVnode(Vnode):
 
     def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
         self.layer.counters.bump("truncate")
-        tracer = self.layer.telemetry.tracer
+        tracer = self._tracer
         if not tracer.enabled:
             self._contents().truncate(size, ctx)
             self.layer.note_update(self.store, self.parent_fh, self.fh)

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import enum
 import hashlib
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
+from repro import fastpath
 from repro.errors import InvalidArgument, NameTooLong
 from repro.ufs.layout import MAX_NAME_LEN
 from repro.util import FicusFileHandle, decode_record, encode_record, escape_value, unescape_value
@@ -112,7 +114,12 @@ class EntryId:
     seq: int
 
     def encode(self) -> str:
-        return f"{self.replica_id:x}:{self.seq:x}"
+        # Frozen value object: encode once (hot in directory folds).
+        cached = self.__dict__.get("_enc")
+        if cached is None:
+            cached = f"{self.replica_id:x}:{self.seq:x}"
+            object.__setattr__(self, "_enc", cached)
+        return cached
 
     @classmethod
     def decode(cls, text: str) -> "EntryId":
@@ -186,6 +193,32 @@ class DirectoryEntry:
         if self.acks2:
             rec["acks2"] = ",".join(str(r) for r in sorted(self.acks2))
         return rec
+
+    def encoded_line(self) -> str:
+        """This entry's serialized record line, memoized per instance.
+
+        Entries are never mutated in place (``killed``/``with_acks``
+        derive new objects), so the encoding of one instance is stable;
+        rewriting a directory then re-encodes only the entries that
+        actually changed.
+        """
+        if not fastpath.ENABLED:
+            return encode_record(self.to_record())
+        cached = self.__dict__.get("_line")
+        if cached is None:
+            cached = encode_record(self.to_record())
+            self._line = cached
+        return cached
+
+    def fold_component(self) -> str:
+        """This entry's contribution to the directory entry fold."""
+        if not fastpath.ENABLED:
+            return content_digest(encode_record(self.to_record()))
+        cached = self.__dict__.get("_fold")
+        if cached is None:
+            cached = content_digest(self.encoded_line())
+            self._fold = cached
+        return cached
 
     @classmethod
     def from_record(cls, rec: dict[str, str]) -> "DirectoryEntry":
@@ -264,9 +297,15 @@ class AuxAttributes:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "AuxAttributes":
+        if fastpath.ENABLED:
+            cached = _DECODE_AUX_MEMO.get(data)
+            if cached is not None:
+                _DECODE_AUX_MEMO.move_to_end(data)
+                # clone: callers mutate the returned record in place
+                return replace(cached)
         rec = decode_record(data.decode("utf-8"))
         try:
-            return cls(
+            aux = cls(
                 fh=FicusFileHandle.from_hex(rec["fh"]),
                 etype=EntryType(rec["type"]),
                 vv=VersionVector.decode(rec.get("vv", "")),
@@ -279,6 +318,11 @@ class AuxAttributes:
             )
         except KeyError as exc:
             raise InvalidArgument(f"aux record missing field {exc}") from exc
+        if fastpath.ENABLED:
+            _DECODE_AUX_MEMO[data] = replace(aux)
+            while len(_DECODE_AUX_MEMO) > _DECODE_AUX_CAP:
+                _DECODE_AUX_MEMO.popitem(last=False)
+        return aux
 
     def ancestor_digests(self) -> tuple[str, ...] | None:
         """The retained ancestor as a digest tuple, or ``None`` if absent."""
@@ -411,16 +455,38 @@ def split_blocks(data: bytes, block_size: int = DELTA_BLOCK_SIZE) -> list[bytes]
 
 def encode_directory(entries: list[DirectoryEntry]) -> bytes:
     """Serialize a Ficus directory to its UFS file contents."""
-    lines = [encode_record(entry.to_record()) for entry in entries]
-    return "\n".join(lines).encode("utf-8")
+    return "\n".join(entry.encoded_line() for entry in entries).encode("utf-8")
+
+
+#: Memoized directory decodes, keyed by the raw file bytes.  Entries are
+#: immutable by convention, so handing the same objects to every decoder
+#: of identical bytes is safe; the returned *list* is always fresh
+#: (callers append/replace elements before rewriting).
+_DECODE_DIR_MEMO: OrderedDict[bytes, list[DirectoryEntry]] = OrderedDict()
+_DECODE_DIR_CAP = 512
+
+#: Memoized aux-record decodes; values are masters, callers get clones
+#: (callers mutate vv/refs/digests in place before writing back).
+_DECODE_AUX_MEMO: OrderedDict[bytes, "AuxAttributes"] = OrderedDict()
+_DECODE_AUX_CAP = 1024
 
 
 def decode_directory(data: bytes) -> list[DirectoryEntry]:
     """Parse a Ficus directory file back into entries."""
+    if fastpath.ENABLED:
+        cached = _DECODE_DIR_MEMO.get(data)
+        if cached is not None:
+            _DECODE_DIR_MEMO.move_to_end(data)
+            return list(cached)
     text = data.decode("utf-8")
     if not text:
         return []
-    return [DirectoryEntry.from_record(decode_record(line)) for line in text.split("\n")]
+    entries = [DirectoryEntry.from_record(decode_record(line)) for line in text.split("\n")]
+    if fastpath.ENABLED:
+        _DECODE_DIR_MEMO[data] = list(entries)
+        while len(_DECODE_DIR_MEMO) > _DECODE_DIR_CAP:
+            _DECODE_DIR_MEMO.popitem(last=False)
+    return entries
 
 
 # ---------------------------------------------------------------------------
@@ -548,12 +614,18 @@ def op_setpolicy(fh: FicusFileHandle, tag: str) -> str:
 
 #: Overhead the insert encoding steals from the 255-char name budget; the
 #: paper reports the usable component length drops to "about 200".
+_MAX_USER_NAME_LEN: int | None = None
+
+
 def max_user_name_length() -> int:
     """Longest user name component guaranteed to survive encoding."""
-    probe = op_insert(
-        EntryId(0xFFFFFFFF, 0xFFFFFFFF),
-        "",
-        FicusFileHandle.from_hex("ffffffff.ffffffff.ffffffff.ffffffff.fffffffe"),
-        EntryType.GRAFT_POINT,
-    )
-    return MAX_NAME_LEN - len(probe)
+    global _MAX_USER_NAME_LEN
+    if _MAX_USER_NAME_LEN is None:
+        probe = op_insert(
+            EntryId(0xFFFFFFFF, 0xFFFFFFFF),
+            "",
+            FicusFileHandle.from_hex("ffffffff.ffffffff.ffffffff.ffffffff.fffffffe"),
+            EntryType.GRAFT_POINT,
+        )
+        _MAX_USER_NAME_LEN = MAX_NAME_LEN - len(probe)
+    return _MAX_USER_NAME_LEN

@@ -140,9 +140,18 @@ class PropagationDaemon:
         reachable) stay pending for a few ticks instead of burning a full
         retry cycle each round; reconciliation covers the gap regardless.
         """
-        now = self.physical.clock.now()
+        physical = self.physical
+        if not physical.new_version_cache_size:
+            # idle fast path: an empty cache means no note can be aged,
+            # skipped, or serviced — one length check and out (this is
+            # the common case for every quiescent host in a large sim)
+            health = physical.health
+            if health is not None:
+                health.set_notes_pending(0)
+            return 0
+        now = physical.clock.now()
         pulled = 0
-        for note in self.physical.pending_new_versions():
+        for note in physical.pending_new_versions():
             if now - note.noted_at < self.min_age:
                 continue
             if self.peer_health.should_skip(note.src_addr):
@@ -309,6 +318,11 @@ class ReconciliationDaemon:
         self.conflict_log = conflict_log
         #: per hosted volume replica: the other replicas of the volume
         self.peers = peers
+        #: peer host names per replica, precomputed so the per-tick health
+        #: aging pass does not rebuild the same list every round
+        self._peer_hosts: dict[VolumeReplicaId, list[str]] = {
+            volrep: [loc.host for loc in locations] for volrep, locations in peers.items()
+        }
         self.logical = logical
         #: optional ResolverRegistry enabling automatic conflict resolution
         self.resolvers = resolvers
@@ -318,9 +332,9 @@ class ReconciliationDaemon:
         self.tombstones_purged = 0
 
     def set_peers(self, volrep: VolumeReplicaId, locations: list[ReplicaLocation]) -> None:
-        self.peers[volrep] = [
-            loc for loc in locations if loc.volrep != volrep
-        ]
+        peers = [loc for loc in locations if loc.volrep != volrep]
+        self.peers[volrep] = peers
+        self._peer_hosts[volrep] = [loc.host for loc in peers]
 
     def tick(self) -> list[SubtreeReconResult]:
         """Reconcile each hosted replica against its next usable ring peer.
@@ -339,7 +353,12 @@ class ReconciliationDaemon:
                 continue
             if health is not None:
                 # every ring peer ages one tick; a completed round resets it
-                health.recon_tick(volrep.volume, [p.host for p in peers])
+                hosts = self._peer_hosts.get(volrep)
+                if hosts is None or len(hosts) != len(peers):
+                    # peers mutated without set_peers: refresh the memo
+                    hosts = [p.host for p in peers]
+                    self._peer_hosts[volrep] = hosts
+                health.recon_tick(volrep.volume, hosts)
             position = self._ring_position.get(volrep, 0)
             chosen = None
             saw_unreachable = False
@@ -485,6 +504,8 @@ class GraftPruneDaemon:
         self.pruned_total = 0
 
     def tick(self) -> int:
+        if not self.logical.grafter.active_grafts:
+            return 0  # idle fast path: nothing mounted, nothing to age
         pruned = self.logical.grafter.prune(self.idle_timeout)
         self.pruned_total += pruned
         return pruned

@@ -57,7 +57,20 @@ class BufferCache:
         self.device = device
         self.capacity = capacity
         self.stats = CacheStats()
+        #: Coherence stamp for decoded-object caches layered above this
+        #: one (inode cache, replica-store metadata caches).  Bumped when
+        #: blocks are invalidated, so "cold buffer cache" also means
+        #: "cold decoded caches" and the paper's E3/E4 disk-I/O counts
+        #: stay byte-for-byte intact.
+        self.epoch = 0
         self._lru: OrderedDict[int, bytes] = OrderedDict()
+
+    @property
+    def caching_enabled(self) -> bool:
+        """False when capacity is 0 (the "no caches" ablation): decoded
+        caches layered above must disable with the block cache, or a
+        "warm" open would dodge the disk I/O the ablation measures."""
+        return self.capacity > 0
 
     def read(self, blockno: int) -> bytes:
         """Read a block, hitting the cache when possible."""
@@ -84,10 +97,12 @@ class BufferCache:
             self._lru.popitem(last=False)
 
     def invalidate(self, blockno: int) -> None:
+        self.epoch += 1
         self._lru.pop(blockno, None)
 
     def invalidate_all(self) -> None:
         """Drop every cached block (simulates a cold cache / reboot)."""
+        self.epoch += 1
         self._lru.clear()
 
     def __contains__(self, blockno: int) -> bool:

@@ -11,6 +11,9 @@ and name cache the paper's performance notes rely on.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro import fastpath
 from repro.errors import (
     DirectoryNotEmpty,
     FicusError,
@@ -60,6 +63,12 @@ class Ufs:
         self.cache = BufferCache(device, capacity=cache_blocks)
         self.namecache = NameCache(capacity=name_cache_size)
         self._next_generation = 1
+        # Decoded-inode cache: ino -> (buffer-cache epoch, master Inode).
+        # Avoids re-unpacking the same inode block on every crossing; all
+        # reads hand out CLONES (Inode is mutable) and every entry is
+        # dropped when the buffer-cache epoch moves, so an invalidated
+        # buffer cache also means cold decoded inodes (E3/E4 accounting).
+        self._icache: dict[int, tuple[int, Inode]] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -127,11 +136,22 @@ class Ufs:
     # -- inode table ----------------------------------------------------------
 
     def _get_inode_raw(self, ino: int) -> Inode:
+        if fastpath.ENABLED and self.cache.capacity:
+            entry = self._icache.get(ino)
+            if entry is not None and entry[0] == self.cache.epoch:
+                master = entry[1]
+                return replace(master, direct=list(master.direct))
         block, offset = self.sb.inode_location(ino)
         data = self.cache.read(block)
         from repro.ufs.layout import INODE_SIZE
 
-        return Inode.unpack(ino, data[offset : offset + INODE_SIZE])
+        inode = Inode.unpack(ino, data[offset : offset + INODE_SIZE])
+        if fastpath.ENABLED and self.cache.capacity:
+            self._icache[ino] = (
+                self.cache.epoch,
+                replace(inode, direct=list(inode.direct)),
+            )
+        return inode
 
     def get_inode(self, ino: int) -> Inode:
         """Read an inode; raises FileNotFound for a free slot."""
@@ -145,7 +165,20 @@ class Ufs:
         data = bytearray(self.cache.read(block))
         packed = inode.pack()
         data[offset : offset + len(packed)] = packed
-        self.cache.write(block, bytes(data))
+        try:
+            self.cache.write(block, bytes(data))
+        except BaseException:
+            # The block write may not have landed (fault injection): the
+            # decoded copy can no longer be trusted to match the device.
+            self._icache.pop(inode.ino, None)
+            raise
+        if fastpath.ENABLED and self.cache.capacity:
+            self._icache[inode.ino] = (
+                self.cache.epoch,
+                replace(inode, direct=list(inode.direct)),
+            )
+        else:
+            self._icache.pop(inode.ino, None)
 
     def _alloc_inode(self, ftype: FileType, perm: int = 0o644, uid: int = 0) -> Inode:
         for ino in range(ROOT_INO, self.sb.num_inodes + 1):

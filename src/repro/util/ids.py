@@ -44,7 +44,12 @@ class VolumeId:
         _check_u32(self.volume_num, "volume-num")
 
     def to_hex(self) -> str:
-        return f"{self.allocator_id:08x}.{self.volume_num:08x}"
+        # Frozen value object: encode once, reuse on every store lookup.
+        cached = self.__dict__.get("_hex")
+        if cached is None:
+            cached = f"{self.allocator_id:08x}.{self.volume_num:08x}"
+            object.__setattr__(self, "_hex", cached)
+        return cached
 
     @classmethod
     def from_hex(cls, text: str) -> "VolumeId":
@@ -70,7 +75,11 @@ class FileId:
         _check_u32(self.unique, "unique-id")
 
     def to_hex(self) -> str:
-        return f"{self.issuing_replica:08x}.{self.unique:08x}"
+        cached = self.__dict__.get("_hex")
+        if cached is None:
+            cached = f"{self.issuing_replica:08x}.{self.unique:08x}"
+            object.__setattr__(self, "_hex", cached)
+        return cached
 
     @classmethod
     def from_hex(cls, text: str) -> "FileId":
@@ -95,7 +104,11 @@ class VolumeReplicaId:
         _check_u32(self.replica_id, "replica-id")
 
     def to_hex(self) -> str:
-        return f"{self.volume.to_hex()}.{self.replica_id:08x}"
+        cached = self.__dict__.get("_hex")
+        if cached is None:
+            cached = f"{self.volume.to_hex()}.{self.replica_id:08x}"
+            object.__setattr__(self, "_hex", cached)
+        return cached
 
     @classmethod
     def from_hex(cls, text: str) -> "VolumeReplicaId":
@@ -139,7 +152,11 @@ class FicusFileHandle:
         """The replica-independent handle for the same logical file."""
         if self.replica_id is None:
             return self
-        return FicusFileHandle(self.volume, self.file_id, None)
+        cached = self.__dict__.get("_logical")
+        if cached is None:
+            cached = FicusFileHandle(self.volume, self.file_id, None)
+            object.__setattr__(self, "_logical", cached)
+        return cached
 
     def at_replica(self, replica_id: int) -> "FicusFileHandle":
         """Bind this handle to a specific volume replica."""
@@ -151,8 +168,12 @@ class FicusFileHandle:
         "This second mapping is implemented by encoding the Ficus file
         handle into a hexadecimal string used by the UFS as a pathname."
         """
-        rep = "ffffffff" if self.replica_id is None else f"{self.replica_id:08x}"
-        return f"{self.volume.to_hex()}.{self.file_id.to_hex()}.{rep}"
+        cached = self.__dict__.get("_hex")
+        if cached is None:
+            rep = "ffffffff" if self.replica_id is None else f"{self.replica_id:08x}"
+            cached = f"{self.volume.to_hex()}.{self.file_id.to_hex()}.{rep}"
+            object.__setattr__(self, "_hex", cached)
+        return cached
 
     @classmethod
     def from_hex(cls, text: str) -> "FicusFileHandle":

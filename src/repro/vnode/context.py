@@ -59,7 +59,16 @@ class OpContext:
     # -- wire form (one structured field on the NFS RPC) --------------------
 
     def to_wire(self) -> dict[str, object]:
-        """Compact dict form; omits defaulted fields to keep RPCs small."""
+        """Compact dict form; omits defaulted fields to keep RPCs small.
+
+        The context is frozen, so the encoded form is computed once and
+        cached — a session's worth of NFS RPCs reuses one dict instead of
+        rebuilding it per call.  Receivers treat the payload as read-only
+        (:meth:`from_wire` only reads it), so sharing is safe.
+        """
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            return cached
         wire: dict[str, object] = {}
         if self.cred.uid:
             wire["u"] = self.cred.uid
@@ -71,6 +80,7 @@ class OpContext:
             wire["rh"] = self.replica_hint
         if self.no_cache:
             wire["nc"] = True
+        object.__setattr__(self, "_wire", wire)
         return wire
 
     @classmethod

@@ -1,0 +1,297 @@
+"""Mount-time layer fusion — collapse pure-passthrough crossings.
+
+The paper (Section 6) prices a layer crossing at "one additional procedure
+call, one pointer indirection, and storage for another vnode block" and
+argues the cost is tolerable because stacks are short.  Stacks in this
+reproduction are not always short: a replicated volume viewed through
+auth + crypt + monitor crosses six layers before touching storage, and
+most of those crossings forward most operations unchanged.
+
+Fusion removes the crossings that provably do nothing.  At fuse time the
+stack's transparent prefix (every :class:`NullLayer` descendant above the
+first opaque layer) declares, per operation, whether it interposes
+(:meth:`FileSystemLayer.intercepted_ops`).  The fused vnode then
+dispatches each operation either
+
+* straight to the base vnode (no member intercepts it — zero transparent
+  crossings), or
+* through a *shortened* wrapped chain containing only the members that do
+  intercept it (a disabled monitor, a null layer, crypt's non-data ops
+  all drop out).
+
+Correctness contract: a fused stack returns byte-identical results,
+raises the same errors, and produces the same interposition side effects
+(auth denials, crypt transforms, monitor profiles when enabled) as the
+unfused stack.  What it deliberately omits is the per-crossing
+bookkeeping of *elided* members — their ``counters`` no longer see fused
+ops, which is the point (E2 measures unfused stacks; fusion is opt-in
+via :func:`fuse_stack`).
+
+Plans are stamped with the sum of the member layers' ``_fusion_epoch``
+values; a layer whose interposition changes at runtime (e.g.
+:meth:`MonitorLayer.set_enabled`) bumps its epoch and every fused stack
+over it rebuilds its plan on the next dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ufs.inode import FileAttributes
+from repro.vnode.interface import (
+    ROOT_CTX,
+    DirEntry,
+    FileSystemLayer,
+    OpContext,
+    SetAttrs,
+    Vnode,
+)
+from repro.vnode.passthrough import NullLayer, PassthroughVnode
+
+if TYPE_CHECKING:
+    from repro.physical.wire import AttrBatch, BlockDigests, EntryId, SyncProbe
+
+__all__ = ["FusedStack", "FusedVnode", "fuse_stack"]
+
+
+def fuse_stack(top: FileSystemLayer) -> "FusedStack":
+    """Fuse the transparent prefix of ``top``'s stack into one layer.
+
+    The returned layer is a drop-in replacement for ``top``: same root,
+    same semantics, fewer crossings.  Layers below the first opaque layer
+    (Ficus logical, a mount table, UFS...) are untouched — fusion only
+    ever elides :class:`NullLayer` descendants, whose wrap/forward
+    behaviour is mechanical.
+    """
+    return FusedStack(top)
+
+
+class FusedStack(FileSystemLayer):
+    """A fused view over a stack's transparent prefix.
+
+    Keeps a per-operation dispatch plan mapping each vnode operation to
+    the tuple of member layers (top to bottom) that intercept it.  The
+    plan is rebuilt whenever a member's fusion epoch changes.
+    """
+
+    layer_name = "fused"
+
+    def __init__(self, top: FileSystemLayer):
+        super().__init__()
+        members: list[NullLayer] = []
+        layer = top
+        while isinstance(layer, NullLayer):
+            members.append(layer)
+            layer = layer.lower_layer
+        self.top = top
+        #: transparent members, top to bottom (possibly empty)
+        self.members: tuple[NullLayer, ...] = tuple(members)
+        #: first opaque layer — the dispatch target for fully fused ops
+        self.base_layer: FileSystemLayer = layer
+        self._plan: dict[str, tuple[NullLayer, ...]] = {}
+        self._plan_stamp = -1
+        self._seen_generation = -1
+        #: dispatches that skipped every transparent crossing
+        self.fused_dispatches = 0
+        #: dispatches routed through a (shortened) interposing chain
+        self.chained_dispatches = 0
+        #: dispatch-plan rebuilds (1 = initial build; more = invalidations)
+        self.rebuilds = 0
+
+    def _stamp(self) -> int:
+        return sum(member._fusion_epoch for member in self.members)
+
+    def plan(self) -> dict[str, tuple[NullLayer, ...]]:
+        """The current per-op dispatch plan, rebuilt if any member changed.
+
+        The steady-state check is one class-attribute read and compare;
+        the per-member epoch sum only runs after SOME layer, anywhere,
+        invalidated fusion — and the plan is rebuilt only when one of
+        *this* stack's members was among them.
+        """
+        generation = FileSystemLayer._fusion_generation
+        if generation == self._seen_generation and self._plan:
+            return self._plan
+        stamp = self._stamp()
+        if stamp != self._plan_stamp or not self._plan:
+            plan: dict[str, tuple[NullLayer, ...]] = {}
+            for op in Vnode.OPERATIONS:
+                plan[op] = tuple(
+                    member for member in self.members if op in member.intercepted_ops()
+                )
+            self._plan = plan
+            self._plan_stamp = stamp
+            self.rebuilds += 1
+        self._seen_generation = generation
+        return self._plan
+
+    def root(self) -> "FusedVnode":
+        return FusedVnode(self, self.base_layer.root())
+
+    def hit_rate(self) -> float:
+        """Fraction of dispatches that crossed zero transparent layers."""
+        total = self.fused_dispatches + self.chained_dispatches
+        return self.fused_dispatches / total if total else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        return {
+            "members": len(self.members),
+            "fused_dispatches": self.fused_dispatches,
+            "chained_dispatches": self.chained_dispatches,
+            "hit_rate": self.hit_rate(),
+            "plan_rebuilds": self.rebuilds,
+        }
+
+
+def _unwrap_to_base(node: Vnode) -> Vnode:
+    """Peel transparent wrappers down to the opaque base vnode."""
+    while isinstance(node, PassthroughVnode):
+        node = node.lower
+    return node
+
+
+class FusedVnode(Vnode):
+    """A vnode dispatching through the fused plan.
+
+    Holds the *base-layer* vnode and, per interposing chain actually in
+    use, a lazily built wrapped vnode (``chain[-1].wrap`` innermost,
+    ``chain[0].wrap`` outermost) so interposed ops run the exact same
+    layer code they would unfused — just without the transparent hops.
+    """
+
+    def __init__(self, stack: FusedStack, base: Vnode):
+        self.layer = stack
+        self.base = base
+        # wrapped-chain memo, keyed by the chain tuple (plans are rebuilt
+        # on invalidation, producing new tuples, so stale chains age out)
+        self._wrapped: dict[tuple[NullLayer, ...], Vnode] = {}
+
+    def _target(self, op: str) -> Vnode:
+        """The vnode that should execute ``op`` — base or wrapped chain."""
+        chain = self.layer.plan()[op]
+        if not chain:
+            self.layer.fused_dispatches += 1
+            return self.base
+        self.layer.chained_dispatches += 1
+        wrapped = self._wrapped.get(chain)
+        if wrapped is None:
+            wrapped = self.base
+            for member in reversed(chain):
+                wrapped = member.wrap(wrapped)
+            self._wrapped[chain] = wrapped
+        return wrapped
+
+    def _refuse(self, result: Vnode) -> "FusedVnode":
+        """Re-fuse a vnode-valued result (peeling any chain wrappers)."""
+        return FusedVnode(self.layer, _unwrap_to_base(result))
+
+    @staticmethod
+    def _unfuse_arg(node: Vnode) -> Vnode:
+        """Lower a vnode-valued argument to its base for dispatch."""
+        return node.base if isinstance(node, FusedVnode) else node
+
+    # -- lifetime --
+
+    def open(self, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("open").open(ctx)
+
+    def close(self, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("close").close(ctx)
+
+    def inactive(self) -> None:
+        self._target("inactive").inactive()
+
+    # -- data --
+
+    def read(self, offset: int, length: int, ctx: OpContext = ROOT_CTX) -> bytes:
+        return self._target("read").read(offset, length, ctx)
+
+    def write(self, offset: int, data: bytes, ctx: OpContext = ROOT_CTX) -> int:
+        return self._target("write").write(offset, data, ctx)
+
+    def truncate(self, size: int, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("truncate").truncate(size, ctx)
+
+    def fsync(self, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("fsync").fsync(ctx)
+
+    def ioctl(self, command: str, argument: object = None, ctx: OpContext = ROOT_CTX) -> object:
+        return self._target("ioctl").ioctl(command, argument, ctx)
+
+    # -- attributes --
+
+    def getattr(self, ctx: OpContext = ROOT_CTX) -> FileAttributes:
+        return self._target("getattr").getattr(ctx)
+
+    def setattr(self, attrs: SetAttrs, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("setattr").setattr(attrs, ctx)
+
+    def access(self, mode: int, ctx: OpContext = ROOT_CTX) -> bool:
+        return self._target("access").access(mode, ctx)
+
+    # -- namespace --
+
+    def lookup(self, name: str, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self._refuse(self._target("lookup").lookup(name, ctx))
+
+    def create(self, name: str, perm: int = 0o644, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self._refuse(self._target("create").create(name, perm, ctx))
+
+    def remove(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("remove").remove(name, ctx)
+
+    def link(self, target: Vnode, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("link").link(self._unfuse_arg(target), name, ctx)
+
+    def rename(
+        self,
+        src_name: str,
+        dst_dir: Vnode,
+        dst_name: str,
+        ctx: OpContext = ROOT_CTX,
+    ) -> None:
+        self._target("rename").rename(src_name, self._unfuse_arg(dst_dir), dst_name, ctx)
+
+    def mkdir(self, name: str, perm: int = 0o755, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self._refuse(self._target("mkdir").mkdir(name, perm, ctx))
+
+    def rmdir(self, name: str, ctx: OpContext = ROOT_CTX) -> None:
+        self._target("rmdir").rmdir(name, ctx)
+
+    def readdir(self, ctx: OpContext = ROOT_CTX) -> list[DirEntry]:
+        return self._target("readdir").readdir(ctx)
+
+    def symlink(self, name: str, target: str, ctx: OpContext = ROOT_CTX) -> Vnode:
+        return self._refuse(self._target("symlink").symlink(name, target, ctx))
+
+    def readlink(self, ctx: OpContext = ROOT_CTX) -> str:
+        return self._target("readlink").readlink(ctx)
+
+    # -- Ficus extensions --
+
+    def session_open(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> None:
+        self._target("session_open").session_open(fh, ctx)
+
+    def session_close(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> bool:
+        return self._target("session_close").session_close(fh, ctx)
+
+    def getattrs_batch(
+        self,
+        fhs: list["EntryId"] | None = None,
+        ctx: OpContext = ROOT_CTX,
+    ) -> "AttrBatch":
+        return self._target("getattrs_batch").getattrs_batch(fhs, ctx)
+
+    def sync_probe(self, fh: "EntryId | None" = None, ctx: OpContext = ROOT_CTX) -> "SyncProbe":
+        return self._target("sync_probe").sync_probe(fh, ctx)
+
+    def block_digests(self, fh: "EntryId", ctx: OpContext = ROOT_CTX) -> "BlockDigests":
+        return self._target("block_digests").block_digests(fh, ctx)
+
+    def read_blocks(
+        self, fh: "EntryId", indices: list[int], ctx: OpContext = ROOT_CTX
+    ) -> dict[int, bytes]:
+        return self._target("read_blocks").read_blocks(fh, indices, ctx)
+
+    def __repr__(self) -> str:
+        return f"FusedVnode({len(self.layer.members)} members, {self.base!r})"

@@ -31,6 +31,20 @@ class UfsVnode(Vnode):
     def fs(self) -> Ufs:
         return self.layer.fs
 
+    @property
+    def cache_epoch(self) -> int:
+        """Coherence stamp for decoded-object caches layered above this
+        storage bottom (see :attr:`BufferCache.epoch`).  Layers that keep
+        decoded metadata (the replica store) walk down to this provider
+        so "buffer cache went cold" also invalidates their caches."""
+        return self.fs.cache.epoch
+
+    @property
+    def caches_enabled(self) -> bool:
+        """Whether the storage bottom caches at all (see
+        :attr:`BufferCache.caching_enabled`)."""
+        return self.fs.cache.caching_enabled
+
     def _node(self, ino: int) -> "UfsVnode":
         return UfsVnode(self.layer, ino)
 

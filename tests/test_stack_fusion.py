@@ -1,0 +1,208 @@
+"""Fused vs unfused stack equivalence (the fusion correctness contract).
+
+Mount-time fusion (``repro.vnode.fusion``) may elide transparent
+crossings but must never change what a stack *does*: same results, same
+errors, same interposition side effects (auth denials, crypt transforms,
+monitor profiles when enabled).  Every stack shape here is built twice
+from scratch — once driven unfused, once fused — and the observable
+outcomes are compared verbatim.
+"""
+
+import pytest
+
+from repro.errors import FileNotFound, PermissionDenied
+from repro.layers import AccessPolicy, AuthLayer, CryptLayer, MonitorLayer
+from repro.net import Network
+from repro.nfs import NfsClientLayer, NfsServer
+from repro.sim import DaemonConfig, FicusSystem
+from repro.storage import BlockDevice
+from repro.ufs import Ufs
+from repro.vnode import Credential, FusedVnode, OpContext, UfsLayer, fuse_stack
+from repro.vnode.passthrough import build_null_stack
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+
+def _ufs():
+    return UfsLayer(Ufs.mkfs(BlockDevice(8192), num_inodes=512))
+
+
+def make_plain_nulls():
+    """Four pure pass-through layers: fusion elides everything."""
+    return build_null_stack(_ufs(), depth=4)
+
+
+def make_auth_crypt():
+    """Interposing members (auth gates, crypt transforms) between nulls."""
+    crypt = CryptLayer(build_null_stack(_ufs(), depth=1), key=b"disk-key")
+    auth = AuthLayer(crypt, AccessPolicy(read_only_uids={9}, root_bypasses=True))
+    return build_null_stack(auth, depth=1)
+
+
+def make_monitor_on():
+    mon = MonitorLayer(build_null_stack(_ufs(), depth=2))
+    return build_null_stack(mon, depth=1)
+
+
+def make_monitor_off():
+    mon = MonitorLayer(build_null_stack(_ufs(), depth=2))
+    mon.set_enabled(False)
+    return build_null_stack(mon, depth=1)
+
+
+def make_nfs_hopped():
+    """Null layers over an NFS client: the hop is the opaque base."""
+    net = Network()
+    net.add_host("server")
+    net.add_host("client")
+    exported = UfsLayer(Ufs.mkfs(BlockDevice(8192), num_inodes=512, clock=net.clock))
+    NfsServer(net, "server", exported)
+    return build_null_stack(NfsClientLayer(net, "client", "server"), depth=3)
+
+
+def make_ficus_monitored():
+    """The full replicated stack under monitor + nulls."""
+    system = FicusSystem(["solo"], daemon_config=QUIET)
+    return build_null_stack(MonitorLayer(system.host("solo").logical), depth=2)
+
+
+STACKS = {
+    "plain-nulls": make_plain_nulls,
+    "auth-crypt": make_auth_crypt,
+    "monitor-on": make_monitor_on,
+    "monitor-off": make_monitor_off,
+    "nfs-hopped": make_nfs_hopped,
+    "ficus-monitored": make_ficus_monitored,
+}
+
+
+def _names(dirv):
+    # UFS lists './..' but Ficus directories have no dot entries
+    return b",".join(e.name.encode() for e in dirv.readdir() if e.name not in (".", ".."))
+
+
+def op_script(root) -> list[bytes]:
+    """Namespace churn + file I/O + a deliberate error, all recorded."""
+    out = []
+    d = root.mkdir("work")
+    f = d.create("data.bin")
+    f.write(0, b"0123456789" * 20)
+    out.append(root.walk("work/data.bin").read_all())
+    d.create("second").write(0, b"more")
+    d.rename("second", d, "renamed")
+    out.append(_names(d))
+    out.append(d.lookup("renamed").read_all())
+    d.lookup("renamed").truncate(2)
+    out.append(d.lookup("renamed").read_all())
+    d.remove("renamed")
+    out.append(_names(d))
+    try:
+        d.lookup("renamed")
+        out.append(b"no-error")
+    except FileNotFound:
+        out.append(b"FileNotFound")
+    out.append(root.walk("work").getattr().ftype.name.encode())
+    link_src = d.create("orig")
+    link_src.write(0, b"linked")
+    d.link(d.lookup("orig"), "alias")
+    out.append(d.lookup("alias").read_all())
+    sym = d.symlink("ptr", "orig")
+    out.append(sym.readlink().encode())
+    return out
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("stack", list(STACKS))
+    def test_same_results_and_errors(self, stack):
+        unfused = op_script(STACKS[stack]().root())
+        fused = op_script(fuse_stack(STACKS[stack]()).root())
+        assert fused == unfused, f"fused {stack} diverged"
+
+    def test_plain_nulls_fully_elided(self):
+        fused = fuse_stack(make_plain_nulls())
+        op_script(fused.root())
+        stats = fused.stats()
+        assert stats["members"] == 4
+        assert stats["chained_dispatches"] == 0
+        assert stats["hit_rate"] == 1.0
+
+    def test_namespace_results_stay_fused(self):
+        """lookup/create/mkdir results are re-fused, not chain-wrapped."""
+        root = fuse_stack(make_plain_nulls()).root()
+        child = root.mkdir("d").create("f")
+        assert isinstance(child, FusedVnode)
+
+    def test_auth_still_denies_when_fused(self):
+        top = make_auth_crypt()
+        reader = OpContext(cred=Credential(uid=9))
+        for root in (top.root(), fuse_stack(top).root()):
+            root.create("shared").write(0, b"x")
+            assert root.lookup("shared", reader).read(0, 1, reader) == b"x"
+            with pytest.raises(PermissionDenied):
+                root.create("nope", ctx=reader)
+            root.remove("shared")
+
+    def test_crypt_still_transforms_when_fused(self):
+        """The lower layer must see ciphertext through the fused path."""
+        ufs = _ufs()
+        crypt = build_null_stack(CryptLayer(ufs, key=b"k"), depth=2)
+        fuse_stack(crypt).root().create("f").write(0, b"plaintext")
+        below = ufs.root().lookup("f").read_all()
+        assert below != b"plaintext"
+        assert crypt.root().lookup("f").read_all() == b"plaintext"
+
+    def test_monitor_profiles_identically_when_fused(self):
+        mon_a = MonitorLayer(build_null_stack(_ufs(), depth=2))
+        mon_b = MonitorLayer(build_null_stack(_ufs(), depth=2))
+        op_script(build_null_stack(mon_a, depth=1).root())
+        op_script(fuse_stack(build_null_stack(mon_b, depth=1)).root())
+        for op in ("create", "write", "read", "lookup", "remove", "mkdir"):
+            assert mon_a.profile[op].calls == mon_b.profile[op].calls, op
+            assert mon_a.profile[op].bytes_in == mon_b.profile[op].bytes_in, op
+            assert mon_a.profile[op].bytes_out == mon_b.profile[op].bytes_out, op
+        assert mon_b.profile["lookup"].errors == mon_a.profile["lookup"].errors
+
+
+class TestFusionInvalidation:
+    def test_mid_run_monitor_toggle_rebuilds_the_plan(self):
+        mon = MonitorLayer(build_null_stack(_ufs(), depth=2))
+        mon.set_enabled(False)
+        fused = fuse_stack(build_null_stack(mon, depth=1))
+        root = fused.root()
+
+        f = root.create("f")
+        f.write(0, b"unobserved")
+        assert fused.stats()["plan_rebuilds"] == 1
+        assert fused.stats()["chained_dispatches"] == 0
+        assert "write" not in mon.profile
+
+        # Toggle ON mid-run: next dispatch rebuilds the plan and the
+        # monitor starts seeing its intercepted ops again.
+        mon.set_enabled(True)
+        root.lookup("f").write(0, b"observed!!")
+        assert fused.stats()["plan_rebuilds"] == 2
+        assert fused.stats()["chained_dispatches"] > 0
+        assert mon.profile["write"].calls == 1
+        assert mon.profile["write"].bytes_in == 10
+
+        # Toggle OFF again: third plan, profile stops growing.
+        mon.set_enabled(False)
+        root.lookup("f").write(0, b"dark again")
+        assert fused.stats()["plan_rebuilds"] == 3
+        assert mon.profile["write"].calls == 1
+
+    def test_unchanged_toggle_is_a_no_op(self):
+        mon = MonitorLayer(build_null_stack(_ufs(), depth=1))
+        fused = fuse_stack(build_null_stack(mon, depth=1))
+        fused.root().create("f")
+        rebuilds = fused.stats()["plan_rebuilds"]
+        mon.set_enabled(True)  # already enabled: no epoch bump
+        fused.root().lookup("f")
+        assert fused.stats()["plan_rebuilds"] == rebuilds
+
+    def test_disabled_monitor_matches_plain_stack(self):
+        """Disabled-monitor output is indistinguishable from no monitor,
+        fused or not — the disabled vnode early-outs."""
+        plain = op_script(build_null_stack(_ufs(), depth=3).root())
+        assert op_script(make_monitor_off().root()) == plain
+        assert op_script(fuse_stack(make_monitor_off()).root()) == plain

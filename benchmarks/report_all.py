@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate the full evaluation in one command.
 
-Prints every experiment table from EXPERIMENTS.md (E1–E19 and the A1–A4
+Prints every experiment table from EXPERIMENTS.md (E1–E20 and the A1–A4
 ablations) by invoking the same measurement code the pytest benchmarks
 use.  Pure stdout, no pytest required:
 
@@ -34,6 +34,9 @@ RESOLVERS_JSON = Path(__file__).resolve().parent.parent / "BENCH_resolvers.json"
 
 #: Where the fused hot-path throughput export lands.
 OPEN_IO_JSON = Path(__file__).resolve().parent.parent / "BENCH_open_io.json"
+
+#: Where the scale-out anti-entropy export lands.
+SCALE_OUT_JSON = Path(__file__).resolve().parent.parent / "BENCH_scale_out.json"
 
 
 def e1_layers() -> None:
@@ -314,6 +317,28 @@ def e19_open_io_throughput() -> None:
     )
 
 
+def e20_scale_out() -> None:
+    from bench_scale_out import check_bounds, scale_out_snapshot
+
+    snap = scale_out_snapshot(fast=True)
+    SCALE_OUT_JSON.write_text(json.dumps(snap, indent=2, default=str) + "\n")
+    violations = check_bounds(snap)
+    gossip = snap["gossip"]
+    mesh = snap["full_mesh_baseline"]
+    print(
+        f"[E20] scale-out anti-entropy: {snap['hosts']} hosts, "
+        f"{gossip['volumes']} volumes; gossip converged in "
+        f"{gossip['rounds_to_converge']} rounds (bound "
+        f"{snap['bounds']['rounds_bound']}) at <= "
+        f"{gossip['max_host_rpcs_per_round']} RPCs/host/round (bound "
+        f"{snap['bounds']['rpc_bound']}); full-mesh baseline peaked at "
+        f"{mesh['max_host_rpcs_per_round']} RPCs/host/round "
+        f"({snap['load_ratio_full_mesh_over_gossip']:.1f}x gossip) "
+        f"-> {SCALE_OUT_JSON.name}"
+        + ("".join(f"\n  BOUND VIOLATED: {v}" for v in violations))
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -337,6 +362,7 @@ def main() -> None:
         e17_health,
         e18_resolvers,
         e19_open_io_throughput,
+        e20_scale_out,
     ):
         section()
         print()

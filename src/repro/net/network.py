@@ -127,6 +127,21 @@ class NetworkStats:
                 "net.datagrams_delivered" if delivered else "net.datagrams_lost"
             ).inc()
 
+    def rpcs_by_host(self) -> dict[str, int]:
+        """Total RPCs issued per source host, folded from the per-peer
+        detail — the per-host load signal the scale-out benchmarks gate."""
+        out: dict[str, int] = {}
+        for (src, _dst), peer in self.per_peer.items():
+            out[src] = out.get(src, 0) + peer.rpcs
+        return out
+
+    def bytes_by_host(self) -> dict[str, int]:
+        """Total RPC payload bytes moved per source host (both directions)."""
+        out: dict[str, int] = {}
+        for (src, _dst), peer in self.per_peer.items():
+            out[src] = out.get(src, 0) + peer.bytes_sent + peer.bytes_received
+        return out
+
     def snapshot(self) -> "NetworkStats":
         return NetworkStats(
             self.rpcs_sent,

@@ -9,16 +9,30 @@ from repro.sim.daemons import (
     ReconStats,
 )
 from repro.sim.events import EventLoop
+from repro.sim.topology import (
+    TOPOLOGIES,
+    FullMeshTopology,
+    GossipTopology,
+    RingTopology,
+    Topology,
+    make_topology,
+)
 
 __all__ = [
     "DaemonConfig",
     "EventLoop",
     "FicusHost",
     "FicusSystem",
+    "FullMeshTopology",
+    "GossipTopology",
     "GraftPruneDaemon",
     "HostConfig",
     "PropagationDaemon",
     "PropagationStats",
     "ReconStats",
     "ReconciliationDaemon",
+    "RingTopology",
+    "TOPOLOGIES",
+    "Topology",
+    "make_topology",
 ]

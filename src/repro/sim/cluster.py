@@ -9,6 +9,7 @@ and a shared event loop.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.errors import InvalidArgument
@@ -19,6 +20,7 @@ from repro.physical import FicusPhysicalLayer
 from repro.recon import ConflictLog
 from repro.sim.daemons import GraftPruneDaemon, PropagationDaemon, ReconciliationDaemon
 from repro.sim.events import EventLoop
+from repro.sim.topology import Topology, make_topology
 from repro.storage import BlockDevice
 from repro.telemetry import NULL_TELEMETRY, HealthPlane, HostHealth, Telemetry
 from repro.ufs import Ufs
@@ -120,16 +122,26 @@ class FicusHost:
         for daemon in (self.propagation_daemon, self.recon_daemon):
             if daemon is not None:
                 degraded.update(daemon.peer_health.degraded_hosts())
+        topology_name = "full_mesh"
+        fanout = 0
+        if self.recon_daemon is not None:
+            topology = self.recon_daemon.topology
+            topology_name = topology.name
+            fanout = topology.fanout(self.recon_daemon.max_peer_count())
         if self.health_plane is None:
             return HostHealth(
                 host=self.name,
                 up=self.network.host_is_up(self.name),
                 degraded_peers=sorted(degraded),
+                topology=topology_name,
+                fanout=fanout,
             )
         return self.health_plane.host_health(
             up=self.network.host_is_up(self.name),
             notes_pending=self.physical.new_version_cache_size,
             degraded_peers=degraded,
+            topology=topology_name,
+            fanout=fanout,
         )
 
     def _degraded_probe(self, peer: str) -> bool:
@@ -194,6 +206,11 @@ class FicusHost:
         self.recon_daemon.physical = self.physical
         self.recon_daemon.fabric = self.fabric
         self.recon_daemon.logical = self.logical
+        # volatile daemon policy state dies with the host: a rebooted host
+        # must not keep routing around peers on pre-crash skip credits or
+        # resume a pre-crash ring/gossip schedule
+        self.propagation_daemon.reboot()
+        self.recon_daemon.reboot()
         self.graft_prune_daemon.logical = self.logical
         self.network.set_host_up(self.name, True)
 
@@ -214,11 +231,15 @@ class FicusSystem:
         telemetry: Telemetry | None = None,
         health: bool = True,
         resolvers=None,
+        topology: str | Topology | None = None,
     ):
         if not host_names:
             raise InvalidArgument("need at least one host")
         self.clock = VirtualClock()
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: the cluster-wide peer-selection strategy both daemons consult;
+        #: defaults to the historical full mesh
+        self.topology = make_topology(topology)
         #: shared ResolverRegistry for automatic conflict resolution (every
         #: host must run the same registry, or resolutions could diverge)
         self.resolvers = resolvers
@@ -273,24 +294,70 @@ class FicusSystem:
             locations.append(ReplicaLocation(volrep, host_name))
         return locations
 
-    def create_volume(self, placements: list[str]) -> tuple[VolumeId, list[ReplicaLocation]]:
-        """Mint a new volume and create its replicas on ``placements``."""
+    def create_volume(
+        self, placements: list[str], learn_locations: bool = False
+    ) -> tuple[VolumeId, list[ReplicaLocation]]:
+        """Mint a new volume and create its replicas on ``placements``.
+
+        With ``learn_locations`` every replica host's graft table learns
+        the replica set immediately, so reconciliation can send update
+        notifications without the volume ever being grafted into a
+        namespace — what a fleet-scale benchmark wants.  The default
+        leaves discovery to grafting, the paper's path.
+        """
         minting_host = self.hosts[placements[0]]
         volume = minting_host.allocator.new_volume_id()
         locations = self._place_volume(volume, placements)
-        for host in self.hosts.values():
-            if host.recon_daemon is not None:
-                for location in locations:
-                    if location.host == host.name:
-                        host.recon_daemon.set_peers(location.volrep, locations)
+        for location in locations:
+            daemon = self.hosts[location.host].recon_daemon
+            if daemon is not None:
+                daemon.set_peers(location.volrep, locations)
+            if learn_locations:
+                self.hosts[location.host].graft_table.learn(volume, locations)
         return volume, locations
+
+    def place_volumes(
+        self, count: int, replicas_per_volume: int = 2
+    ) -> list[tuple[VolumeId, list[ReplicaLocation]]]:
+        """Mint ``count`` volumes, sharding their replicas by stable hash.
+
+        Replica sets are placed consistent-hash style: volume *i*'s first
+        replica lands on the host at ``crc32("shard:i") mod n`` in sorted
+        host order and the remaining replicas on that host's successors,
+        so a 500-host cluster ends up with every host storing roughly
+        ``count * replicas / n`` replicas instead of one root volume
+        replicated everywhere.  The mapping is a pure function of the
+        volume index and the sorted host list — no coordination, stable
+        across runs.
+        """
+        if count < 0:
+            raise InvalidArgument("count must be >= 0")
+        names = sorted(self.hosts)
+        if not 1 <= replicas_per_volume <= len(names):
+            raise InvalidArgument(
+                f"replicas_per_volume must be in [1, {len(names)}], "
+                f"got {replicas_per_volume}"
+            )
+        placed = []
+        for index in range(count):
+            start = zlib.crc32(f"shard:{index}".encode()) % len(names)
+            placements = [
+                names[(start + offset) % len(names)]
+                for offset in range(replicas_per_volume)
+            ]
+            placed.append(self.create_volume(placements, learn_locations=True))
+        return placed
 
     # -- daemons ------------------------------------------------------------
 
     def _wire_daemons(self, host: FicusHost) -> None:
         cfg = self.daemon_config
         host.propagation_daemon = PropagationDaemon(
-            host.physical, host.fabric, min_age=cfg.propagation_min_age, logical=host.logical
+            host.physical,
+            host.fabric,
+            min_age=cfg.propagation_min_age,
+            logical=host.logical,
+            topology=self.topology,
         )
         peers = {
             loc.volrep: [o for o in self.root_locations if o.volrep != loc.volrep]
@@ -304,10 +371,13 @@ class FicusSystem:
             peers,
             logical=host.logical,
             resolvers=self.resolvers,
+            topology=self.topology,
         )
         host.graft_prune_daemon = GraftPruneDaemon(
             host.logical, idle_timeout=cfg.graft_idle_timeout
         )
+        if host.health_plane is not None:
+            host.health_plane.topology = self.topology.name
         host.logical.degraded_probe = host._degraded_probe
         if cfg.propagation_period is not None:
             self.loop.schedule_every(cfg.propagation_period, host.propagation_daemon.tick)
@@ -404,22 +474,26 @@ class FicusSystem:
     def reconcile_everything(self, rounds: int | None = None) -> None:
         """Force reconciliation to convergence (for tests and examples).
 
-        Runs every host's reconciliation daemon ``rounds`` times (default:
-        enough for any update to cross the whole replica ring).
+        Runs topology rounds: each round gives every host's daemon enough
+        ticks for one sweep of its strategy — under the default full mesh
+        that is one tick per peer (the historical O(hosts x peers)
+        behavior, byte-identical), under ring/gossip a single tick whose
+        fanout the strategy chooses.  The default round count is the
+        topology's convergence bound: O(n) full-mesh/ring, O(log n)
+        gossip.
         """
+        topology = self.topology
         if rounds is None:
-            rounds = max(2, len(self.hosts))
+            rounds = topology.default_rounds(len(self.hosts))
         for _ in range(rounds):
             for host in self.hosts.values():
-                peer_count = max(
-                    (len(p) for p in host.recon_daemon.peers.values()), default=0
-                )
+                peer_count = host.recon_daemon.max_peer_count()
                 if not peer_count:
                     # a peerless daemon's tick is a guaranteed no-op; in a
                     # large cluster of single-replica hosts this keeps each
                     # convergence round O(1) per idle host
                     continue
-                for _ in range(peer_count):
+                for _ in range(topology.sweep_ticks(peer_count)):
                     host.recon_daemon.tick()
 
     def total_conflicts(self) -> int:

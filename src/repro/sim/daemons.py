@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 from repro.errors import FicusError, HostUnreachable
 from repro.logical import Fabric, FicusLogicalLayer
@@ -31,6 +32,7 @@ from repro.recon import (
     push_notify_pull,
     reconcile_subtree,
 )
+from repro.sim.topology import FullMeshTopology, Topology
 from repro.util import VolumeReplicaId
 from repro.volume import ReplicaLocation
 
@@ -95,6 +97,9 @@ class PropagationStats:
     bytes_saved: int = 0
     #: notes left pending this tick because their source is degraded
     notes_deferred: int = 0
+    #: notes left pending because their source was outside the topology's
+    #: fanout this tick (ring/gossip only; full mesh never gates)
+    notes_gated: int = 0
     #: notes dropped because the named entry died before servicing
     stale_notes: int = 0
 
@@ -116,13 +121,26 @@ class PropagationDaemon:
         fabric: Fabric,
         min_age: float = 0.0,
         logical: FicusLogicalLayer | None = None,
+        topology: Topology | None = None,
     ):
         self.physical = physical
         self.fabric = fabric
         self.min_age = min_age
         self.logical = logical
+        self.topology = topology if topology is not None else FullMeshTopology()
         self.stats = PropagationStats()
         self.peer_health = PeerHealth()
+        self._tick_index = 0
+
+    def reboot(self) -> None:
+        """Forget all volatile state (crash recovery).
+
+        Skip credits and the topology tick schedule are in-memory policy
+        state; a rebooted host must not route around peers based on
+        pre-crash failure history.
+        """
+        self.peer_health = PeerHealth()
+        self._tick_index = 0
 
     def _notify_installed(self, volrep, parent_fh, fh, objkind: str) -> None:
         """Announce a version this daemon just installed (origin="sync")."""
@@ -139,6 +157,10 @@ class PropagationDaemon:
         Notes from a degraded source (one that kept failing while
         reachable) stay pending for a few ticks instead of burning a full
         retry cycle each round; reconciliation covers the gap regardless.
+        Under a ring/gossip topology only notes whose source falls inside
+        this tick's fanout are serviced — the rest stay pending for a
+        tick where their source is selected, bounding the number of
+        distinct peers one round contacts.
         """
         physical = self.physical
         if not physical.new_version_cache_size:
@@ -151,8 +173,21 @@ class PropagationDaemon:
             return 0
         now = physical.clock.now()
         pulled = 0
-        for note in physical.pending_new_versions():
+        notes = physical.pending_new_versions()
+        allowed: set[str] | None = None
+        if not self.topology.is_full_mesh:
+            sources = sorted({note.src_addr for note in notes})
+            selected = self.topology.select(
+                physical.host_addr, sources, self._tick_index
+            )
+            allowed = {sources[i] for i in selected}
+        self._tick_index += 1
+        for note in notes:
             if now - note.noted_at < self.min_age:
+                continue
+            if allowed is not None and note.src_addr not in allowed:
+                self.stats.notes_gated += 1
+                self.physical.telemetry.metrics.counter("propagation.notes_gated").inc()
                 continue
             if self.peer_health.should_skip(note.src_addr):
                 self.stats.notes_deferred += 1
@@ -312,94 +347,148 @@ class ReconciliationDaemon:
         peers: dict[VolumeReplicaId, list[ReplicaLocation]],
         logical: FicusLogicalLayer | None = None,
         resolvers=None,
+        topology: Topology | None = None,
     ):
         self.physical = physical
         self.fabric = fabric
         self.conflict_log = conflict_log
-        #: per hosted volume replica: the other replicas of the volume
-        self.peers = peers
+        #: per hosted volume replica: the other replicas of the volume,
+        #: stored as tuples behind a read-only view — all mutation goes
+        #: through :meth:`set_peers`, which keeps the host-name memo
+        #: coherent (a same-length in-place swap used to defeat the old
+        #: length-based staleness heuristic and serve stale hosts to the
+        #: health plane)
+        self._peers: dict[VolumeReplicaId, tuple[ReplicaLocation, ...]] = {}
         #: peer host names per replica, precomputed so the per-tick health
         #: aging pass does not rebuild the same list every round
-        self._peer_hosts: dict[VolumeReplicaId, list[str]] = {
-            volrep: [loc.host for loc in locations] for volrep, locations in peers.items()
-        }
+        self._peer_hosts: dict[VolumeReplicaId, list[str]] = {}
+        for volrep, locations in peers.items():
+            self._peers[volrep] = tuple(locations)
+            self._peer_hosts[volrep] = [loc.host for loc in locations]
         self.logical = logical
         #: optional ResolverRegistry enabling automatic conflict resolution
         self.resolvers = resolvers
+        self.topology = topology if topology is not None else FullMeshTopology()
         self._ring_position: dict[VolumeReplicaId, int] = {}
+        self._tick_index = 0
         self.stats = ReconStats()
         self.peer_health = PeerHealth()
         self.tombstones_purged = 0
 
+    @property
+    def peers(self) -> MappingProxyType:
+        """Read-only view of the per-replica peer sets.
+
+        Mutate via :meth:`set_peers` only; direct assignment or in-place
+        edits would desynchronize the precomputed host-name memo.
+        """
+        return MappingProxyType(self._peers)
+
     def set_peers(self, volrep: VolumeReplicaId, locations: list[ReplicaLocation]) -> None:
-        peers = [loc for loc in locations if loc.volrep != volrep]
-        self.peers[volrep] = peers
+        peers = tuple(loc for loc in locations if loc.volrep != volrep)
+        self._peers[volrep] = peers
         self._peer_hosts[volrep] = [loc.host for loc in peers]
 
-    def tick(self) -> list[SubtreeReconResult]:
-        """Reconcile each hosted replica against its next usable ring peer.
+    def max_peer_count(self) -> int:
+        """The widest peer set across hosted replicas (0 when peerless)."""
+        return max((len(p) for p in self._peers.values()), default=0)
 
-        Degraded peers (failing while reachable) are passed over for a few
-        ticks so the round does useful work against someone else instead
-        of stalling on retry cycles; unreachable peers cost one cheap
-        check and surface as an aborted result, as before.
+    def reboot(self) -> None:
+        """Forget all volatile state (crash recovery).
+
+        Skip credits, ring cursors, and the topology tick schedule are
+        in-memory policy state the docstring of ``FicusHost.restart``
+        declares lost; carrying them across a reboot would let a host
+        route around peers based on pre-crash history.
+        """
+        self.peer_health = PeerHealth()
+        self._ring_position.clear()
+        self._tick_index = 0
+
+    def tick(self) -> list[SubtreeReconResult]:
+        """Reconcile each hosted replica against its topology-chosen peers.
+
+        Under the default full mesh every peer is a candidate and the
+        rotating ring cursor picks one, exactly the historical behavior.
+        Under ring/gossip the topology names this tick's fanout — one
+        successor, or an O(log n) deterministic sample — and the daemon
+        reconciles with every usable peer in it.  Degraded peers (failing
+        while reachable) are passed over for a few ticks so the round
+        does useful work against someone else instead of stalling on
+        retry cycles; unreachable peers cost one cheap check and surface
+        as an aborted result routed through the health plane.
         """
         telemetry = self.physical.telemetry
         outcomes = []
         health = self.physical.health
+        topology = self.topology
+        tick_index = self._tick_index
+        self._tick_index += 1
         for volrep in list(self.physical.stores):
-            peers = self.peers.get(volrep, [])
+            peers = self._peers.get(volrep)
             if not peers:
                 continue
+            hosts = self._peer_hosts[volrep]
             if health is not None:
                 # every ring peer ages one tick; a completed round resets it
-                hosts = self._peer_hosts.get(volrep)
-                if hosts is None or len(hosts) != len(peers):
-                    # peers mutated without set_peers: refresh the memo
-                    hosts = [p.host for p in peers]
-                    self._peer_hosts[volrep] = hosts
                 health.recon_tick(volrep.volume, hosts)
-            position = self._ring_position.get(volrep, 0)
-            chosen = None
+            if topology.is_full_mesh:
+                position = self._ring_position.get(volrep, 0)
+                order = [(position + offset) % len(peers) for offset in range(len(peers))]
+            else:
+                position = 0
+                order = topology.select(self.physical.host_addr, hosts, tick_index)
+                if order:
+                    telemetry.metrics.counter("recon.peers_selected").inc(len(order))
+            reconciled = False
             saw_unreachable = False
-            for offset in range(len(peers)):
-                peer = peers[(position + offset) % len(peers)]
+            unreachable_hosts: list[str] = []
+            for scanned, index in enumerate(order):
+                peer = peers[index]
                 if not self.fabric.network.reachable(self.physical.host_addr, peer.host):
                     saw_unreachable = True
+                    unreachable_hosts.append(peer.host)
                     continue
                 if self.peer_health.should_skip(peer.host):
                     self.stats.peers_skipped += 1
                     telemetry.metrics.counter("recon.peers_skipped").inc()
                     continue
-                chosen = peer
-                self._ring_position[volrep] = position + offset + 1
-                break
-            if chosen is None:
-                self._ring_position[volrep] = position + 1
+                if topology.is_full_mesh:
+                    self._ring_position[volrep] = position + scanned + 1
+                result = self.reconcile_with(volrep, peer)
+                if result.aborted_by_partition:
+                    # it was reachable when chosen, so the failure was a
+                    # transient fault, not a partition: degrade the peer
+                    self.peer_health.record_failure(peer.host)
+                else:
+                    self.peer_health.record_success(peer.host)
+                outcomes.append(result)
+                reconciled = True
+                if not topology.reconcile_selected:
+                    break
+            if not reconciled:
+                if topology.is_full_mesh:
+                    self._ring_position[volrep] = position + 1
                 if saw_unreachable:
                     # same observable outcome a doomed run would have had,
-                    # without paying for its RPC attempts
+                    # without paying for its RPC attempts — including the
+                    # health accounting: an unreachable ring must raise
+                    # divergence suspicion exactly like an aborted run
                     result = SubtreeReconResult(aborted_by_partition=True)
                     self.stats.runs += 1
                     self.stats.results.append(result)
                     telemetry.metrics.counter("recon.runs").inc()
                     telemetry.metrics.counter("recon.aborted_by_partition").inc()
+                    if health is not None:
+                        for peer_host in unreachable_hosts:
+                            health.recon_result(volrep.volume, peer_host, ok=False)
                     outcomes.append(result)
-                continue
-            result = self.reconcile_with(volrep, chosen)
-            if result.aborted_by_partition:
-                # it was reachable when chosen, so the failure was a
-                # transient fault, not a partition: degrade the peer
-                self.peer_health.record_failure(chosen.host)
-            else:
-                self.peer_health.record_success(chosen.host)
-            outcomes.append(result)
         return outcomes
 
     def volume_replica_ids(self, volrep: VolumeReplicaId) -> frozenset[int]:
         """The full replica-id set of a volume (self + known peers)."""
         ids = {volrep.replica_id}
-        for peer in self.peers.get(volrep, []):
+        for peer in self._peers.get(volrep, ()):
             ids.add(peer.volrep.replica_id)
         return frozenset(ids)
 

@@ -57,6 +57,10 @@ class HostHealth:
 
     host: str
     up: bool = True
+    #: the peer-selection strategy this host's daemons run
+    topology: str = "full_mesh"
+    #: peers one reconciliation tick considers under that strategy
+    fanout: int = 0
     #: new-version cache depth: updates heard about but not yet pulled
     notes_pending: int = 0
     #: peer -> recon ticks since the last completed round with it
@@ -91,6 +95,8 @@ class HostHealth:
         return {
             "host": self.host,
             "up": self.up,
+            "topology": self.topology,
+            "fanout": self.fanout,
             "notes_pending": self.notes_pending,
             "staleness_ticks": dict(self.staleness_ticks),
             "suspected": {v: list(p) for v, p in self.suspected.items()},
@@ -239,6 +245,9 @@ class HealthPlane:
         self.host = host
         self._clock = clock
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: the peer-selection strategy the host's daemons run (stamped by
+        #: the cluster builder so offline dumps name it)
+        self.topology = "full_mesh"
         #: (volume, peer host) -> why divergence is suspected
         self._suspected: dict[tuple[object, str], str] = {}
         #: peer host -> recon ticks since the last completed round
@@ -400,6 +409,7 @@ class HealthPlane:
     def state_dict(self) -> dict:
         return {
             "host": self.host,
+            "topology": self.topology,
             "notes_pending": self.notes_pending,
             "staleness_ticks": dict(self._staleness),
             "suspected": self.suspected_by_volume(),
@@ -414,12 +424,16 @@ class HealthPlane:
         up: bool = True,
         notes_pending: int | None = None,
         degraded_peers: Iterable[str] = (),
+        topology: str | None = None,
+        fanout: int = 0,
     ) -> HostHealth:
         if notes_pending is not None:
             self.set_notes_pending(notes_pending)
         return HostHealth(
             host=self.host,
             up=up,
+            topology=topology if topology is not None else self.topology,
+            fanout=fanout,
             notes_pending=self.notes_pending,
             staleness_ticks=dict(self._staleness),
             suspected=self.suspected_by_volume(),

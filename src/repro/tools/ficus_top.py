@@ -24,7 +24,18 @@ from repro.telemetry import HostHealth, load_dump
 #: ring-tail length shown per dump by default
 DEFAULT_OPS_SHOWN = 16
 
-_COLUMNS = ["host", "up", "notes", "stale", "degraded", "suspected", "resolved", "anomalies"]
+_COLUMNS = [
+    "host",
+    "up",
+    "topo",
+    "fanout",
+    "notes",
+    "stale",
+    "degraded",
+    "suspected",
+    "resolved",
+    "anomalies",
+]
 
 
 def _table(rows: list[list[str]]) -> str:
@@ -48,6 +59,8 @@ def _row(health: HostHealth) -> list[str]:
     return [
         health.host,
         "up" if health.up else "DOWN",
+        health.topology,
+        str(health.fanout),
         str(health.notes_pending),
         str(health.max_staleness),
         ",".join(health.degraded_peers) or "-",
@@ -92,6 +105,8 @@ def render_dump(path: str, ops_shown: int = DEFAULT_OPS_SHOWN) -> str:
                 [
                     HostHealth(
                         host=health.get("host", snapshot.get("host", "?")),
+                        topology=health.get("topology", "full_mesh"),
+                        fanout=health.get("fanout", 0),
                         notes_pending=health.get("notes_pending", 0),
                         staleness_ticks=health.get("staleness_ticks", {}),
                         suspected=health.get("suspected", {}),

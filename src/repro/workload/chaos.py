@@ -36,7 +36,7 @@ from dataclasses import dataclass, field, replace
 from repro.errors import FicusError
 from repro.net import LinkFaults
 from repro.physical import ficus_fsck
-from repro.sim import DaemonConfig, FicusSystem
+from repro.sim import TOPOLOGIES, DaemonConfig, FicusSystem, make_topology
 
 #: seed under which the harness always replays the cross-host rename
 #: collision (the PR's headline bug) inside the chaos schedule
@@ -79,6 +79,11 @@ class ChaosConfig:
     #: append-log operations into the schedule (False keeps the rng
     #: schedule of resolver-free seeds byte-identical)
     resolvers: bool = False
+    #: peer-selection strategy both daemons run ("full_mesh", "ring",
+    #: "gossip"); full_mesh replays historical schedules byte-identically,
+    #: and the gossip schedule is seeded from the chaos seed so a failing
+    #: run replays its peer selections exactly
+    topology: str = "full_mesh"
 
 
 @dataclass
@@ -115,7 +120,11 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
     report = ChaosReport(seed=seed)
 
     host_names = [f"h{i}" for i in range(config.host_count)]
-    system = FicusSystem(host_names, daemon_config=_QUIET)
+    system = FicusSystem(
+        host_names,
+        daemon_config=_QUIET,
+        topology=make_topology(config.topology, seed=seed),
+    )
     system.network.faults.reseed(seed)
     if config.resolvers:
         system.enable_resolvers()
@@ -391,9 +400,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--hosts", type=int, default=3)
     parser.add_argument("--rounds", type=int, default=8)
+    parser.add_argument(
+        "--topology",
+        choices=sorted(TOPOLOGIES),
+        default="full_mesh",
+        help="peer-selection strategy for both daemons (default: full_mesh, "
+        "which replays historical seed schedules byte-identically)",
+    )
     args = parser.parse_args(argv)
 
-    base = ChaosConfig(host_count=args.hosts, rounds=args.rounds)
+    base = ChaosConfig(host_count=args.hosts, rounds=args.rounds, topology=args.topology)
     runs = [(seed, base) for seed in args.seeds]
     if args.rename_storm_seed is not None:
         runs.append((args.rename_storm_seed, replace(base, rename_storm=True)))
@@ -406,7 +422,8 @@ def main(argv: list[str] | None = None) -> int:
     for seed, config in runs:
         report = run_chaos(seed, config)
         status = "converged" if report.converged else "DIVERGED"
-        storm = " +rename-storm" if config.rename_storm else ""
+        storm = "" if config.topology == "full_mesh" else f" [{config.topology}]"
+        storm += " +rename-storm" if config.rename_storm else ""
         if config.resolvers:
             storm += f" +resolvers({report.auto_resolved} auto-resolved)"
         crashes = f", {report.crashes} crashes" if config.crash_prob else ""

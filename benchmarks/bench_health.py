@@ -6,7 +6,8 @@ Two claims:
   checks, dict scans, and one bounded-deque append per vnode operation,
   so a steady-state write+read with the health plane enabled must stay
   within ``OVERHEAD_BOUND`` of the same workload with it disabled
-  (telemetry off in both; its cost is measured separately in E14).
+  (telemetry off in both, its cost is measured separately in E14; the
+  provenance ledger off in both, its cost is measured in E21).
 
 * **The gauges tell the truth.**  A write during a partition raises
   divergence suspicion for the unreachable replica hosts immediately;
@@ -36,6 +37,12 @@ OVERHEAD_BOUND = 1.05
 
 def _steady_state_fs(health: bool):
     system = FicusSystem(["solo"], daemon_config=QUIET, health=health)
+    if health:
+        # isolate the health plane's own cost: the provenance ledger it
+        # hosts is a separate plane, A/B-measured by bench_provenance
+        # (E21) the same way telemetry is measured by E14
+        for host in system.hosts.values():
+            host.health_plane.provenance.enabled = False
     fs = system.host("solo").fs()
     fs.write_file("/f", b"warm")
     return fs

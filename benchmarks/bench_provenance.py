@@ -1,0 +1,265 @@
+"""E21: the provenance plane — cost, lineage fidelity, and replay verify.
+
+Three claims:
+
+* **The ledger is effectively free.**  Recording a provenance event is
+  one bounded-deque append behind an ``enabled`` check, so a steady-state
+  write+read with the ledger on must stay within ``OVERHEAD_BOUND`` of
+  the identical workload with it off (health plane on in both — its own
+  cost is E17's claim).
+
+* **The DAG tells the truth.**  After a partition conflict and an
+  automatic resolve, the composed cross-host DAG holds the invariants
+  ARCHITECTURE.md promises: every live ``(fh, vv)`` has a node, the
+  merge head has >= 2 parents, and ``feeds_of_conflict`` names exactly
+  the per-branch write sets.
+
+* **Histories replay byte-identically.**  A recorded chaos workload
+  re-executed on a fresh cluster converges to the same trees, version
+  vectors, and provenance ledgers (replicate-and-verify).
+
+``provenance_snapshot()`` produces the BENCH_provenance.json payload
+that report_all.py writes.  Run directly (``python
+benchmarks/bench_provenance.py --fast``) it sizes the workload down and
+exits non-zero if any bound is violated — the CI gate.
+"""
+
+import json
+import sys
+import time
+
+from repro.sim import DaemonConfig, FicusSystem
+from repro.workload.chaos import ChaosConfig, run_chaos
+
+QUIET = DaemonConfig(propagation_period=None, recon_period=None, graft_prune_period=None)
+
+#: enabled/disabled steady-state cost ratio the CI gate enforces
+OVERHEAD_BOUND = 1.05
+
+#: the chaos seed replicate-and-verify replays (must stay deterministic)
+VERIFY_SEED = 7
+
+
+def _steady_state_fs(ledger_on: bool):
+    system = FicusSystem(["solo"], daemon_config=QUIET)
+    for host in system.hosts.values():
+        host.health_plane.provenance.enabled = ledger_on
+    fs = system.host("solo").fs()
+    fs.write_file("/f", b"warm")
+    return fs
+
+
+def measure_overhead(
+    ops: int = 200, repeats: int = 9
+) -> tuple[float, float, float]:
+    """(disabled_s_per_op, enabled_s_per_op, ratio) for a write+read loop.
+
+    The two arms alternate chunk-by-chunk so a machine-load spike hits
+    both rather than skewing one; the gated ratio is the **median of the
+    paired per-chunk ratios** (robust to spikes in either direction),
+    while the reported absolute times are each arm's best chunk.
+    """
+    fs_off = _steady_state_fs(ledger_on=False)
+    fs_on = _steady_state_fs(ledger_on=True)
+    best = {False: float("inf"), True: float("inf")}
+    ratios = []
+    for _ in range(repeats):
+        pair = {}
+        for ledger_on, fs in ((False, fs_off), (True, fs_on)):
+            start = time.perf_counter()
+            for _ in range(ops):
+                fs.write_file("/f", b"x" * 64)
+                fs.read_file("/f")
+            pair[ledger_on] = (time.perf_counter() - start) / ops
+            best[ledger_on] = min(best[ledger_on], pair[ledger_on])
+        ratios.append(pair[True] / pair[False])
+    ratios.sort()
+    return best[False], best[True], ratios[len(ratios) // 2]
+
+
+def lineage_scenario() -> dict:
+    """Conflict + auto-resolve; check the published DAG invariants."""
+    system = FicusSystem(["west", "east"])
+    system.enable_resolvers()
+    west = system.host("west").fs()
+    east = system.host("east").fs()
+    west.mkdir("/d")
+    west.write_file("/d/box.log", b"base\n")
+    west.set_merge_policy("/d/box.log", "append-log")
+    system.reconcile_everything()
+
+    system.partition([{"west"}, {"east"}])
+    west.write_file("/d/box.log", b"base\nwest\n")
+    east.write_file("/d/box.log", b"base\neast\n")
+
+    # snapshot the feed sets while the conflict is open
+    pre = system.provenance_dag()
+    conflicted = [fh for fh in pre.file_handles() if len(pre.heads(fh)) >= 2]
+    feeds_exact = False
+    if conflicted:
+        feeds = pre.feeds_of_conflict(conflicted[0])
+        hosts_per_branch = sorted(
+            tuple(sorted({e.host for e in events})) for events in feeds.values()
+        )
+        feeds_exact = hosts_per_branch == [("east",), ("west",)]
+
+    system.heal()
+    system.reconcile_everything(rounds=6)
+    dag = system.provenance_dag()
+
+    merge_parent_counts = []
+    live_versions = 0
+    versions_ledgered = 0
+    for name in ("west", "east"):
+        host = system.host(name)
+        for store in host.physical.stores.values():
+            for dir_fh in store.all_directory_handles():
+                for entry in store.read_entries(dir_fh):
+                    fh = entry.fh.logical
+                    if not entry.live or not store.has_file(dir_fh, fh):
+                        continue
+                    vv = store.read_file_aux(dir_fh, fh).vv
+                    if not vv:
+                        continue
+                    live_versions += 1
+                    if dag.node(fh.to_hex(), vv.encode()) is not None:
+                        versions_ledgered += 1
+    for fh in dag.file_handles():
+        for node in dag.nodes_for(fh):
+            if node.is_merge:
+                merge_parent_counts.append(len(node.parents))
+    return {
+        "conflict_detected": bool(conflicted),
+        "feeds_of_conflict_exact": feeds_exact,
+        "converged_identical": (
+            west.read_file("/d/box.log") == east.read_file("/d/box.log")
+        ),
+        "open_conflicts_after": system.total_conflicts(),
+        "live_versions": live_versions,
+        "versions_ledgered": versions_ledgered,
+        "every_live_version_has_node": live_versions == versions_ledgered,
+        "merge_nodes": len(merge_parent_counts),
+        "all_merges_have_2plus_parents": bool(merge_parent_counts)
+        and all(n >= 2 for n in merge_parent_counts),
+    }
+
+
+def verify_scenario(seed: int = VERIFY_SEED) -> dict:
+    """Record one chaos run and replay it on a fresh cluster."""
+    report = run_chaos(seed, ChaosConfig(verify_replication=True))
+    verify = report.verify
+    return {
+        "seed": seed,
+        "converged": report.converged,
+        "ops_recorded": len(report.history),
+        "ops_replayed": verify.ops_replayed if verify else 0,
+        "replay_identical": bool(verify and verify.identical),
+        "problems": list(verify.problems) if verify else ["verify did not run"],
+    }
+
+
+def provenance_snapshot(fast: bool = False) -> dict:
+    """The BENCH_provenance.json payload."""
+    ops = 120 if fast else 300
+    off, on, ratio = measure_overhead(ops=ops)
+    return {
+        "overhead": {
+            "disabled_us_per_op": off * 1e6,
+            "enabled_us_per_op": on * 1e6,
+            "ratio": ratio,
+            "bound": f"<= {OVERHEAD_BOUND}x (median of paired chunks)",
+        },
+        "lineage_scenario": lineage_scenario(),
+        "replicate_and_verify": verify_scenario(),
+    }
+
+
+def check_bounds(snapshot: dict) -> list[str]:
+    """The CI gate: returns a list of violated bounds (empty = pass)."""
+    violations = []
+    ratio = snapshot["overhead"]["ratio"]
+    if ratio > OVERHEAD_BOUND:
+        violations.append(
+            f"provenance ledger overhead {ratio:.3f}x (bound: {OVERHEAD_BOUND}x)"
+        )
+    scenario = snapshot["lineage_scenario"]
+    for key in (
+        "conflict_detected",
+        "feeds_of_conflict_exact",
+        "converged_identical",
+        "every_live_version_has_node",
+        "all_merges_have_2plus_parents",
+    ):
+        if not scenario[key]:
+            violations.append(f"lineage scenario: {key} is False")
+    if scenario["open_conflicts_after"] != 0:
+        violations.append(
+            f"lineage scenario left {scenario['open_conflicts_after']} open conflicts"
+        )
+    verify = snapshot["replicate_and_verify"]
+    if not verify["converged"]:
+        violations.append(f"chaos seed {verify['seed']} did not converge")
+    if not verify["replay_identical"]:
+        violations.append(
+            f"replicate-and-verify diverged on seed {verify['seed']}: "
+            + "; ".join(verify["problems"][:3])
+        )
+    return violations
+
+
+class TestShape:
+    def test_lineage_scenario_invariants(self):
+        scenario = lineage_scenario()
+        assert scenario["conflict_detected"]
+        assert scenario["feeds_of_conflict_exact"]
+        assert scenario["converged_identical"]
+        assert scenario["open_conflicts_after"] == 0
+        assert scenario["every_live_version_has_node"]
+        assert scenario["all_merges_have_2plus_parents"]
+
+    def test_replicate_and_verify_identical(self):
+        verify = verify_scenario()
+        assert verify["converged"]
+        assert verify["replay_identical"], verify["problems"]
+        assert verify["ops_replayed"] > 0
+
+    def test_overhead_is_small(self):
+        # the hard 1.05x gate runs in main(); under pytest parallel load
+        # timing is too noisy for that, so only guard against regressions
+        # an order of magnitude past the budget
+        _, _, ratio = measure_overhead(ops=80, repeats=3)
+        assert ratio < 1.5
+
+
+def test_bench_write_read_ledger_off(benchmark):
+    fs = _steady_state_fs(ledger_on=False)
+
+    def op():
+        fs.write_file("/f", b"x" * 64)
+        return fs.read_file("/f")
+
+    benchmark(op)
+
+
+def test_bench_write_read_ledger_on(benchmark):
+    fs = _steady_state_fs(ledger_on=True)
+
+    def op():
+        fs.write_file("/f", b"x" * 64)
+        return fs.read_file("/f")
+
+    benchmark(op)
+
+
+def main(argv: list[str]) -> int:
+    fast = "--fast" in argv
+    snapshot = provenance_snapshot(fast=fast)
+    print(json.dumps(snapshot, indent=2, default=str))
+    violations = check_bounds(snapshot)
+    for violation in violations:
+        print(f"BOUND VIOLATED: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

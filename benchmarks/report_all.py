@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate the full evaluation in one command.
 
-Prints every experiment table from EXPERIMENTS.md (E1–E20 and the A1–A4
+Prints every experiment table from EXPERIMENTS.md (E1–E21 and the A1–A4
 ablations) by invoking the same measurement code the pytest benchmarks
 use.  Pure stdout, no pytest required:
 
@@ -37,6 +37,9 @@ OPEN_IO_JSON = Path(__file__).resolve().parent.parent / "BENCH_open_io.json"
 
 #: Where the scale-out anti-entropy export lands.
 SCALE_OUT_JSON = Path(__file__).resolve().parent.parent / "BENCH_scale_out.json"
+
+#: Where the provenance-plane export lands.
+PROVENANCE_JSON = Path(__file__).resolve().parent.parent / "BENCH_provenance.json"
 
 
 def e1_layers() -> None:
@@ -339,6 +342,27 @@ def e20_scale_out() -> None:
     )
 
 
+def e21_provenance() -> None:
+    from bench_provenance import check_bounds, provenance_snapshot
+
+    snap = provenance_snapshot(fast=True)
+    PROVENANCE_JSON.write_text(json.dumps(snap, indent=2, default=str) + "\n")
+    violations = check_bounds(snap)
+    overhead = snap["overhead"]
+    lineage = snap["lineage_scenario"]
+    verify = snap["replicate_and_verify"]
+    print(
+        f"[E21] provenance plane: overhead {overhead['ratio']:.3f}x "
+        f"(bound {overhead['bound']}); {lineage['versions_ledgered']}/"
+        f"{lineage['live_versions']} live versions ledgered, feeds-of-conflict "
+        f"exact: {lineage['feeds_of_conflict_exact']}; replicate-and-verify "
+        f"seed {verify['seed']}: {verify['ops_replayed']}/{verify['ops_recorded']} "
+        f"ops replayed, identical: {verify['replay_identical']} "
+        f"-> {PROVENANCE_JSON.name}"
+        + ("".join(f"\n  BOUND VIOLATED: {v}" for v in violations))
+    )
+
+
 def main() -> None:
     print("=" * 72)
     print("Ficus reproduction — full evaluation regeneration")
@@ -363,6 +387,7 @@ def main() -> None:
         e18_resolvers,
         e19_open_io_throughput,
         e20_scale_out,
+        e21_provenance,
     ):
         section()
         print()

@@ -16,6 +16,7 @@ Run:  python examples/partitioned_update.py
       python examples/partitioned_update.py --trace   # + telemetry dump
 """
 
+import os
 import sys
 
 from repro.recon import resolve_file_conflict
@@ -89,10 +90,12 @@ def main(trace: bool = False) -> None:
     print("unresolved conflicts:", system.total_conflicts())
 
     if telemetry is not None:
-        export.write_chrome_trace("partitioned_update_trace.json", telemetry.tracer.finished)
+        os.makedirs("out", exist_ok=True)
+        trace_path = os.path.join("out", "partitioned_update_trace.json")
+        export.write_chrome_trace(trace_path, telemetry.tracer.finished)
         print("\n== telemetry (--trace) ==")
         print(export.summary(telemetry))
-        print("wrote partitioned_update_trace.json (open in chrome://tracing)")
+        print(f"wrote {trace_path} (open in chrome://tracing)")
 
 
 if __name__ == "__main__":

@@ -13,11 +13,15 @@ process row and the cross-host pull aligned on the virtual-time axis.
 Run:  python examples/trace_propagation.py
 """
 
+import os
+
 from repro.sim import FicusSystem
 from repro.telemetry import Telemetry
 from repro.telemetry import export
 
-TRACE_PATH = "ficus_trace.json"
+#: example artifacts land under out/, never in the repo root
+OUT_DIR = "out"
+TRACE_PATH = os.path.join(OUT_DIR, "ficus_trace.json")
 
 
 def main() -> None:
@@ -53,6 +57,7 @@ def main() -> None:
 
     show(root)
 
+    os.makedirs(OUT_DIR, exist_ok=True)
     export.write_chrome_trace(TRACE_PATH, tracer.finished)
     print(f"\nwrote {len(list(tracer.finished))} spans to {TRACE_PATH} "
           "(open in chrome://tracing or Perfetto)")

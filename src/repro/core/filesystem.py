@@ -485,7 +485,13 @@ class FicusFileSystem:
                 "conflict resolution currently requires a locally hosted replica"
             )
         resolve_file_conflict(
-            store, report.parent_fh, report.fh, chosen, observed, conflict_log
+            store,
+            report.parent_fh,
+            report.fh,
+            chosen,
+            observed,
+            conflict_log,
+            health=local_physical.health,
         )
 
     def walk_tree(self, path: str = "/") -> list[str]:

@@ -536,6 +536,21 @@ class Network:
         """Subscribe ``addr`` to incoming datagrams."""
         self._host(addr).datagram_handlers.append(handler)
 
+    def unregister_datagram_handler(self, addr: str, handler: DatagramHandler) -> None:
+        """Drop one subscription (a host reboot tears down its old layers).
+
+        Without this, every restart leaks the dead layers' handlers: each
+        incoming notification then feeds the new stack AND every pre-crash
+        stack, double-counting flight-recorder and ledger entries and
+        growing dead new-version caches forever.  Unknown handlers are
+        ignored (the registration died with volatile state).
+        """
+        handlers = self._host(addr).datagram_handlers
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            pass
+
     def multicast(self, src: str, dsts: Iterable[str], payload: object) -> int:
         """Best-effort datagram to each destination; returns deliveries.
 

@@ -266,8 +266,35 @@ class FicusPhysicalLayer(FileSystemLayer):
         self, store: ReplicaStore, parent_fh: FicusFileHandle, fh: FicusFileHandle
     ) -> None:
         aux = store.read_file_aux(parent_fh, fh)
+        prior = aux.vv
         aux.vv = aux.vv.bump(store.replica_id)
         store.write_file_aux(parent_fh, fh, aux)
+        self.record_version("write", fh, aux.vv, parents=(prior,))
+
+    def record_version(self, kind, fh, vv, parents=(), origin="", detail="") -> None:
+        """Append one minted/installed version to the provenance ledger.
+
+        Hot path (every vv bump lands here): one attribute check when the
+        health plane is off, one ring append of raw immutable references
+        when on — the ledger encodes lazily at query time.
+        """
+        health = self.health
+        if health is None or not health.provenance.enabled:
+            return
+        trace = ""
+        if self.telemetry.enabled:
+            tc = self.telemetry.tracer.current_context()
+            if tc is not None:
+                trace = f"{tc.trace_id:x}:{tc.span_id:x}"
+        health.provenance.record(
+            kind,
+            fh.logical,
+            vv,
+            parents=parents,
+            origin=origin,
+            detail=detail,
+            trace=trace,
+        )
 
     # -- new-version cache (update notification receive side) ------------------
 

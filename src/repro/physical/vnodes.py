@@ -361,8 +361,10 @@ class PhysicalDirVnode(Vnode):
             aux.merge_policy = fields[1]
             # a policy change is an update: bumping the vv makes the tag
             # propagate (and win) through normal reconciliation
+            prior = aux.vv
             aux.vv = aux.vv.bump(self.store.replica_id)
             self.store.write_file_aux(self.fh, fh, aux)
+            self.layer.record_version("write", fh, aux.vv, parents=(prior,), detail="setpolicy")
             return self._child_vnode(self.find_live_by_fh(fh))
         raise NotSupported(f"encoded operation {op!r}")
 
@@ -463,6 +465,9 @@ class PhysicalDirVnode(Vnode):
                     pass
                 else:
                     self.store.create_file_storage(self.fh, fh, etype, merge_policy=merge_policy)
+                    # the genesis node: an empty-vv version every later
+                    # write chains back to through its parent edge
+                    self.layer.record_version("create", fh, VersionVector(), detail=name)
         else:
             if self.store.has_directory(fh):
                 daux = self.store.read_dir_aux(fh)

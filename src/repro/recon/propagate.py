@@ -62,6 +62,7 @@ def pull_file(
     fh: FicusFileHandle,
     remote_dir: Vnode,
     health=None,
+    origin: str = "",
 ) -> PullResult:
     """Bring the local replica of one file up to the remote version.
 
@@ -70,7 +71,9 @@ def pull_file(
     shadow first and replace the original atomically.  ``health``
     (optional) is the pulling host's HealthPlane: a fetched block that
     fails digest verification fires its ``pull_digest_mismatch`` anomaly
-    before the pull falls back to the whole-file copy.
+    before the pull falls back to the whole-file copy, and an installed
+    version is appended to its provenance ledger with ``origin`` (the
+    host pulled from) as the sync-origin annotation.
     """
     parent_fh = parent_fh.logical
     fh = fh.logical
@@ -113,7 +116,7 @@ def pull_file(
     # remote strictly dominates: propagate through shadow + atomic commit.
     # With a local copy to diff against, try the block-delta path first.
     if local_stored:
-        delta = _delta_pull(store, parent_fh, fh, remote_dir, local_vv, remote_vv, health)
+        delta = _delta_pull(store, parent_fh, fh, remote_dir, local_vv, remote_vv, health, origin)
         if delta is not None:
             if delta.outcome is PullOutcome.PULLED:
                 _adopt_policy(store, parent_fh, fh, remote_aux.merge_policy)
@@ -136,7 +139,21 @@ def pull_file(
         shadow.write(0, contents)
     store.commit_shadow(parent_fh, fh, remote_vv)
     _adopt_policy(store, parent_fh, fh, remote_aux.merge_policy)
+    _record_pull(health, fh, local_vv, remote_vv, origin)
     return PullResult(PullOutcome.PULLED, remote_vv, remote_vv, bytes_copied=len(contents))
+
+
+def _record_pull(health, fh, local_vv, remote_vv, origin: str) -> None:
+    """Ledger an installed version: node (fh, remote_vv), parent = the
+    local version the install superseded, origin = the host pulled from."""
+    if health is not None:
+        health.provenance.record(
+            "pull",
+            fh.to_hex(),
+            remote_vv.encode(),
+            parents=(local_vv.encode(),),
+            origin=origin,
+        )
 
 
 def _adopt_policy(
@@ -162,6 +179,7 @@ def _delta_pull(
     local_vv: VersionVector,
     remote_vv: VersionVector,
     health=None,
+    origin: str = "",
 ) -> PullResult | None:
     """Try to install the remote version by copying only changed blocks.
 
@@ -231,6 +249,7 @@ def _delta_pull(
     if contents:
         shadow.write(0, contents)
     store.commit_shadow(parent_fh, fh, remote_vv)
+    _record_pull(health, fh, local_vv, remote_vv, origin)
     delta_bytes = sum(len(block) for block in fetched.values())
     return PullResult(
         PullOutcome.PULLED,
@@ -249,7 +268,12 @@ def push_notify_pull(
     """Service one new-version cache entry (what the daemon does)."""
     store = physical.store_for(note.key.volrep)
     result = pull_file(
-        store, note.key.parent_fh, note.key.fh, remote_dir, health=physical.health
+        store,
+        note.key.parent_fh,
+        note.key.fh,
+        remote_dir,
+        health=physical.health,
+        origin=note.src_addr,
     )
     if result.outcome in (PullOutcome.UP_TO_DATE, PullOutcome.PULLED):
         physical.clear_new_version(note.key)

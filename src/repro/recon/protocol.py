@@ -177,7 +177,9 @@ def reconcile_subtree(
                 result.files_declined_by_policy += 1
                 continue
             result.files_checked += 1
-            pull = pull_file(store, dir_fh, file_fh, remote_dir, health=physical.health)
+            pull = pull_file(
+                store, dir_fh, file_fh, remote_dir, health=physical.health, origin=remote_host
+            )
             if pull.outcome is PullOutcome.PULLED:
                 result.files_pulled += 1
                 result.bytes_copied += pull.bytes_copied

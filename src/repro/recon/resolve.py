@@ -22,16 +22,21 @@ def resolve_file_conflict(
     chosen_contents: bytes,
     observed_vvs: list[VersionVector],
     conflict_log: ConflictLog | None = None,
+    health=None,
 ) -> VersionVector:
     """Install ``chosen_contents`` as the post-conflict version.
 
     The new version vector is the merge of every observed conflicting
     vector, bumped at this replica: it strictly dominates all of them, so
     normal update propagation carries the resolution to every replica.
+    ``health`` (optional, the resolving host's HealthPlane) ledgers the
+    resolution as a merge-kind provenance node whose parents are every
+    observed conflicting version.
     """
     parent_fh = parent_fh.logical
     fh = fh.logical
-    merged = store.read_file_aux(parent_fh, fh).vv
+    local_vv = store.read_file_aux(parent_fh, fh).vv
+    merged = local_vv
     for vv in observed_vvs:
         merged = merged.merge(vv)
     resolved_vv = merged.bump(store.replica_id)
@@ -44,4 +49,13 @@ def resolve_file_conflict(
 
     if conflict_log is not None:
         conflict_log.mark_resolved(fh, resolved_vv)
+    if health is not None:
+        parents = {local_vv.encode(), *(vv.encode() for vv in observed_vvs)}
+        health.provenance.record(
+            "resolve",
+            fh.to_hex(),
+            resolved_vv.encode(),
+            parents=tuple(sorted(parents)),
+            detail="owner",
+        )
     return resolved_vv

@@ -166,6 +166,13 @@ class FicusHost:
         the crash are scavenged.
         """
         hosted = list(self.physical.stores)
+        # the dying stack's datagram subscriptions go with it — leaking
+        # them would deliver every future notification to the dead layers
+        # too, double-recording flight/ledger entries via the (surviving)
+        # health plane and growing the dead new-version cache forever
+        self.network.unregister_datagram_handler(self.name, self.physical._on_datagram)
+        if self.logical is not None:
+            self.network.unregister_datagram_handler(self.name, self.logical._on_datagram)
         self.ufs = self.ufs.remount()
         self.ufs_layer = UfsLayer(self.ufs)
         self.physical = FicusPhysicalLayer(
@@ -498,3 +505,9 @@ class FicusSystem:
 
     def total_conflicts(self) -> int:
         return sum(len(h.conflict_log.unresolved()) for h in self.hosts.values())
+
+    def provenance_dag(self):
+        """The cluster-wide version DAG composed from every host's ledger."""
+        from repro.telemetry import compose_system_dag
+
+        return compose_system_dag(self)

@@ -300,7 +300,14 @@ class PropagationDaemon:
             file_fh = file_entry.fh
             if not store.has_file(dir_fh, file_fh) and not policy.wants(file_entry):
                 continue  # selective replication: entry-only here
-            pull = pull_file(store, dir_fh, file_fh, remote_dir, health=self.physical.health)
+            pull = pull_file(
+                store,
+                dir_fh,
+                file_fh,
+                remote_dir,
+                health=self.physical.health,
+                origin=note.src_addr,
+            )
             if pull.outcome is PullOutcome.PULLED:
                 pulled += 1
                 self.stats.bytes_copied += pull.bytes_copied

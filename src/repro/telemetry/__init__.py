@@ -80,7 +80,17 @@ class Telemetry:
 #: Telemetry instead.
 NULL_TELEMETRY = Telemetry(enabled=False)
 
-# imported last: health builds on Telemetry/NULL_TELEMETRY defined above
+# provenance depends only on repro.vv; health builds on it and on
+# Telemetry/NULL_TELEMETRY defined above, so both import last
+from repro.telemetry.provenance import (  # noqa: E402
+    MINT_KINDS,
+    PROVENANCE_RING_CAPACITY,
+    ProvEvent,
+    ProvenanceLedger,
+    VersionDAG,
+    VersionNode,
+    compose_system_dag,
+)
 from repro.telemetry.health import (  # noqa: E402
     FLIGHT_RING_CAPACITY,
     FlightRecorder,
@@ -100,10 +110,17 @@ __all__ = [
     "HealthPlane",
     "Histogram",
     "HostHealth",
+    "MINT_KINDS",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TELEMETRY",
+    "PROVENANCE_RING_CAPACITY",
+    "ProvEvent",
+    "ProvenanceLedger",
     "Span",
+    "VersionDAG",
+    "VersionNode",
+    "compose_system_dag",
     "Telemetry",
     "TelemetryEvent",
     "TraceContext",

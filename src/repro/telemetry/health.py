@@ -42,6 +42,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.provenance import ProvenanceLedger
 
 #: ring capacity of the per-host flight recorder
 FLIGHT_RING_CAPACITY = 256
@@ -65,6 +66,10 @@ class HostHealth:
     notes_pending: int = 0
     #: peer -> recon ticks since the last completed round with it
     staleness_ticks: dict[str, int] = field(default_factory=dict)
+    #: peer -> virtual seconds since the last completed round with it —
+    #: the wall-clock staleness SLO signal ("no replica serves data older
+    #: than T seconds after heal")
+    staleness_seconds: dict[str, float] = field(default_factory=dict)
     #: volume (hex) -> peers suspected of holding diverged state
     suspected: dict[str, list[str]] = field(default_factory=dict)
     #: peers the daemons currently route around (flapping)
@@ -91,6 +96,10 @@ class HostHealth:
     def max_staleness(self) -> int:
         return max(self.staleness_ticks.values(), default=0)
 
+    @property
+    def max_staleness_seconds(self) -> float:
+        return max(self.staleness_seconds.values(), default=0.0)
+
     def to_dict(self) -> dict:
         return {
             "host": self.host,
@@ -99,6 +108,7 @@ class HostHealth:
             "fanout": self.fanout,
             "notes_pending": self.notes_pending,
             "staleness_ticks": dict(self.staleness_ticks),
+            "staleness_seconds": dict(self.staleness_seconds),
             "suspected": {v: list(p) for v, p in self.suspected.items()},
             "degraded_peers": list(self.degraded_peers),
             "anomalies": dict(self.anomalies),
@@ -195,6 +205,8 @@ def snapshot_to_jsonl(snapshot: dict) -> list[str]:
         lines.append(json.dumps({"type": "health", **snapshot["health"]}))
     for outcome in snapshot.get("last_recon", []):
         lines.append(json.dumps({"type": "recon", **outcome}))
+    for event in snapshot.get("prov", []):
+        lines.append(json.dumps({"type": "prov", **event}))
     if snapshot.get("metrics"):
         lines.append(json.dumps({"type": "metrics", "values": snapshot["metrics"]}))
     return lines
@@ -202,7 +214,7 @@ def snapshot_to_jsonl(snapshot: dict) -> list[str]:
 
 def load_dump(path: str) -> dict:
     """Rebuild a snapshot dict from a JSONL flight-recorder dump."""
-    snapshot: dict = {"ops": [], "last_recon": [], "health": {}, "metrics": {}}
+    snapshot: dict = {"ops": [], "last_recon": [], "health": {}, "metrics": {}, "prov": []}
     with open(path, encoding="utf-8") as fp:
         for raw in fp:
             raw = raw.strip()
@@ -220,6 +232,8 @@ def load_dump(path: str) -> dict:
                 snapshot["health"] = record
             elif kind == "recon":
                 snapshot["last_recon"].append(record)
+            elif kind == "prov":
+                snapshot["prov"].append(record)
             elif kind == "metrics":
                 snapshot["metrics"] = record.get("values", {})
     return snapshot
@@ -252,7 +266,15 @@ class HealthPlane:
         self._suspected: dict[tuple[object, str], str] = {}
         #: peer host -> recon ticks since the last completed round
         self._staleness: dict[str, int] = {}
+        #: peer host -> virtual time of the last completed round (or the
+        #: moment we first started tracking the peer): the wall-clock
+        #: staleness SLO is ``now - this``
+        self._fresh_since: dict[str, float] = {}
         self.notes_pending = 0
+        #: the always-on per-host version-provenance ledger (see
+        #: :mod:`repro.telemetry.provenance`); like the flight recorder it
+        #: survives crashes — the plane plays the black box
+        self.provenance = ProvenanceLedger(host, clock=clock)
         self.last_recon: deque[dict] = deque(maxlen=MAX_RECON_OUTCOMES)
         self.anomaly_counts: dict[str, int] = {}
         self.resolver_auto_resolved = 0
@@ -317,6 +339,10 @@ class HealthPlane:
         """One recon-daemon tick considered these peers: staleness grows."""
         for peer in peer_hosts:
             self._staleness[peer] = self._staleness.get(peer, 0) + 1
+            # a peer becomes SLO-tracked the first time a round considers
+            # it; until a round completes, its staleness clock runs from
+            # this moment
+            self._fresh_since.setdefault(peer, self.now())
         self._mirror_staleness()
 
     def recon_result(self, volume, peer: str, ok: bool, conflicts: int = 0) -> None:
@@ -335,10 +361,24 @@ class HealthPlane:
             # *suspected* — either the replicas now agree or a conflict is
             # on record in the conflict log (and fired an anomaly)
             self._staleness[peer] = 0
+            self._fresh_since[peer] = self.now()
             self.clear_suspicion(volume, peer)
             self._mirror_staleness()
         else:
             self.suspect(volume, peer, "recon-aborted")
+
+    def staleness_seconds(self) -> dict[str, float]:
+        """Per peer: virtual seconds since the last completed round.
+
+        Zero for a peer whose round just completed; grows while partitions
+        (or a broken daemon) keep rounds from finishing — the signal the
+        wall-clock staleness SLO gates on.
+        """
+        now = self.now()
+        return {
+            peer: max(0.0, now - self._fresh_since.get(peer, now))
+            for peer in self._staleness
+        }
 
     def set_notes_pending(self, count: int) -> None:
         self.notes_pending = count
@@ -362,6 +402,15 @@ class HealthPlane:
             "resolved_vv": resolved_vv.encode(),
         }
         self.last_resolutions.append(entry)
+        # a resolver merge mints a version whose parents are exactly the
+        # two concurrent inputs — the >= 2-parent merge node of the DAG
+        self.provenance.record(
+            "merge",
+            fh,
+            resolved_vv.encode(),
+            parents=(local_vv.encode(), remote_vv.encode()),
+            detail=f"{name}[{tag}]",
+        )
         # the op timeline keeps both input vvs so a dump shows exactly
         # which version pair the merge consumed
         self.recorder.record(
@@ -412,6 +461,7 @@ class HealthPlane:
             "topology": self.topology,
             "notes_pending": self.notes_pending,
             "staleness_ticks": dict(self._staleness),
+            "staleness_seconds": self.staleness_seconds(),
             "suspected": self.suspected_by_volume(),
             "anomalies": dict(self.anomaly_counts),
             "resolver_auto_resolved": self.resolver_auto_resolved,
@@ -436,6 +486,7 @@ class HealthPlane:
             fanout=fanout,
             notes_pending=self.notes_pending,
             staleness_ticks=dict(self._staleness),
+            staleness_seconds=self.staleness_seconds(),
             suspected=self.suspected_by_volume(),
             degraded_peers=sorted(degraded_peers),
             anomalies=dict(self.anomaly_counts),
@@ -451,6 +502,9 @@ class HealthPlane:
             "health": self.state_dict(),
             "last_recon": list(self.last_recon),
             "metrics": metrics,
+            # the provenance ring rides along in every anomaly dump, so an
+            # offline ficus_prov can rebuild the version DAG of an incident
+            "prov": self.provenance.snapshot(),
         }
 
     def _mirror_suspicion(self) -> None:

@@ -31,6 +31,7 @@ _COLUMNS = [
     "fanout",
     "notes",
     "stale",
+    "stale_s",
     "degraded",
     "suspected",
     "resolved",
@@ -63,6 +64,7 @@ def _row(health: HostHealth) -> list[str]:
         str(health.fanout),
         str(health.notes_pending),
         str(health.max_staleness),
+        f"{health.max_staleness_seconds:g}",
         ",".join(health.degraded_peers) or "-",
         suspected or "-",
         f"{health.resolver_auto_resolved}+{health.resolver_fallback_manual}m"
@@ -109,6 +111,7 @@ def render_dump(path: str, ops_shown: int = DEFAULT_OPS_SHOWN) -> str:
                         fanout=health.get("fanout", 0),
                         notes_pending=health.get("notes_pending", 0),
                         staleness_ticks=health.get("staleness_ticks", {}),
+                        staleness_seconds=health.get("staleness_seconds", {}),
                         suspected=health.get("suspected", {}),
                         anomalies=health.get("anomalies", {}),
                         resolver_auto_resolved=health.get("resolver_auto_resolved", 0),
@@ -152,6 +155,61 @@ def render_dump(path: str, ops_shown: int = DEFAULT_OPS_SHOWN) -> str:
     return "\n".join(lines)
 
 
+def render_timeline(paths: list[str], ops_shown: int = 0) -> str:
+    """Merge several hosts' flight dumps into one incident timeline.
+
+    Every recorded operation and provenance event from every dump lands
+    on the shared virtual clock (the simulation has one clock, so ``at``
+    values are directly comparable across hosts), prefixed with the host
+    it happened on.  Trace ids that appear on more than one host are
+    flagged — those are the cross-host causal threads (a write on one
+    host surfacing as a pull on another) an operator follows first.
+    """
+    entries: list[tuple[float, str, str, str]] = []  # (at, host, text, trace)
+    anomalies: list[str] = []
+    for path in paths:
+        snapshot = load_dump(path)
+        host = snapshot.get("host", path)
+        if snapshot.get("kind"):
+            anomalies.append(
+                f"  t={snapshot.get('at', 0.0):g} {host}: ANOMALY {snapshot['kind']}"
+            )
+        for at, op, target, trace in snapshot.get("ops", []):
+            entries.append((float(at), host, f"{op} {target}", trace or ""))
+        for rec in snapshot.get("prov", []):
+            vv = rec.get("vv") or "genesis"
+            origin = f" from {rec['origin']}" if rec.get("origin") else ""
+            detail = f" [{rec['detail']}]" if rec.get("detail") else ""
+            entries.append(
+                (
+                    float(rec.get("at", 0.0)),
+                    rec.get("host", host),
+                    f"version {rec.get('kind')} {rec.get('fh', '')[:8]} -> {vv}{origin}{detail}",
+                    rec.get("trace", ""),
+                )
+            )
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    if ops_shown:
+        entries = entries[-ops_shown:]
+
+    trace_hosts: dict[str, set[str]] = {}
+    for _, host, _, trace in entries:
+        if trace:
+            trace_hosts.setdefault(trace, set()).add(host)
+    cross = {trace for trace, hosts in trace_hosts.items() if len(hosts) > 1}
+
+    width = max((len(host) for _, host, _, _ in entries), default=4)
+    lines = [f"incident timeline from {len(paths)} dump(s), {len(entries)} events"]
+    lines.extend(anomalies)
+    for at, host, text, trace in entries:
+        suffix = ""
+        if trace:
+            marker = " <-- spans hosts" if trace in cross else ""
+            suffix = f"  [trace {trace}]{marker}"
+        lines.append(f"  t={at:<8g} {host.ljust(width)}  {text}{suffix}")
+    return "\n".join(lines)
+
+
 def _demo_system():
     """A tiny partitioned cluster whose health table is worth looking at."""
     from repro.sim import FicusSystem
@@ -175,12 +233,20 @@ def main(argv: list[str] | None = None) -> int:
         "--demo", action="store_true", help="render a small partitioned demo cluster"
     )
     parser.add_argument("--ops", type=int, default=DEFAULT_OPS_SHOWN)
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="merge all dumps into one cross-host incident timeline",
+    )
     args = parser.parse_args(argv)
 
     if not args.dumps and not args.demo:
         parser.error("give at least one dump file, or --demo")
     if args.demo:
         print(render_system(_demo_system()))
+    if args.timeline and args.dumps:
+        print(render_timeline(args.dumps))
+        return 0
     for path in args.dumps:
         print(render_dump(path, ops_shown=args.ops))
     return 0

@@ -23,6 +23,7 @@ from repro.workload.replay import (
     synthesize_trace,
 )
 from repro.workload.updates import BurstyUpdateGenerator, SteadyUpdateGenerator, UpdateEvent
+from repro.workload.verify import VerifyReport, replicate_and_verify, state_fingerprint
 
 __all__ = [
     "AvailabilityExperiment",
@@ -39,7 +40,10 @@ __all__ = [
     "SteadyUpdateGenerator",
     "TraceOp",
     "UpdateEvent",
+    "VerifyReport",
     "ZipfReferenceGenerator",
+    "replicate_and_verify",
+    "state_fingerprint",
     "apply_epoch",
     "decode_trace",
     "encode_trace",

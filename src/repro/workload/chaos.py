@@ -84,6 +84,21 @@ class ChaosConfig:
     #: and the gossip schedule is seeded from the chaos seed so a failing
     #: run replays its peer selections exactly
     topology: str = "full_mesh"
+    #: record the exact call history (every fs call, tick, partition and
+    #: heal) as a replayable trace on the report; consumes no randomness,
+    #: so recorded and unrecorded runs of a seed are byte-identical
+    record_history: bool = False
+    #: after convergence, re-execute the recorded history on a fresh
+    #: cluster and byte-diff the two (implies ``record_history``)
+    verify_replication: bool = False
+    #: oracle gate: after the quiesce no replica may report reconciliation
+    #: staleness older than this many virtual seconds (None = ungated)
+    staleness_slo_seconds: float | None = None
+    #: advance the shared virtual clock this much at the top of every
+    #: round, so wall-clock staleness accrues during partitions (0.0
+    #: keeps historical seeds' timestamps byte-identical; the advance
+    #: draws no randomness either way)
+    clock_step: float = 0.0
 
 
 @dataclass
@@ -107,10 +122,66 @@ class ChaosReport:
     tree: list[str] = field(default_factory=list)
     #: flight-recorder dumps written because the oracle failed
     flight_dumps: list[str] = field(default_factory=list)
+    #: the recorded call history (``config.record_history``), replayable
+    #: through :func:`~repro.workload.replay.replay_trace`
+    history: list = field(default_factory=list)
+    #: worst per-host wall-clock staleness observed after the quiesce
+    max_staleness_seconds: float = 0.0
+    #: the replicate-and-verify outcome (``config.verify_replication``)
+    verify: object = None
 
     @property
     def converged(self) -> bool:
         return not self.problems
+
+
+class _RecordingFs:
+    """Transparent recorder around the path-based filesystem facade.
+
+    Every call is appended to the history *before* it runs, so attempts
+    the fault plane failed are recorded too — replaying them re-issues
+    the same RPCs and therefore consumes the same fault-plane draws,
+    which is what makes the re-execution schedule byte-identical.
+    """
+
+    def __init__(self, fs, host_name: str, clock, history: list):
+        self._fs = fs
+        self._host = host_name
+        self._clock = clock
+        self._history = history
+
+    def _rec(self, op: str, path: str = "", path2: str = "", data: bytes = b"") -> None:
+        from repro.workload.replay import TraceOp
+
+        self._history.append(
+            TraceOp(
+                at=self._clock.now(), op=op, host=self._host, path=path, path2=path2, data=data
+            )
+        )
+
+    def write_file(self, path: str, data: bytes):
+        self._rec("write", path, data=data)
+        return self._fs.write_file(path, data)
+
+    def read_file(self, path: str):
+        self._rec("read", path)
+        return self._fs.read_file(path)
+
+    def exists(self, path: str):
+        self._rec("exists", path)
+        return self._fs.exists(path)
+
+    def mkdir(self, path: str):
+        self._rec("mkdir", path)
+        return self._fs.mkdir(path)
+
+    def rename(self, src: str, dst: str):
+        self._rec("rename", src, dst)
+        return self._fs.rename(src, dst)
+
+    def unlink(self, path: str):
+        self._rec("unlink", path)
+        return self._fs.unlink(path)
 
 
 def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
@@ -118,6 +189,13 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
     config = config or ChaosConfig()
     rng = random.Random(seed)
     report = ChaosReport(seed=seed)
+
+    recording = config.record_history or config.verify_replication
+    if recording and (config.rename_storm or config.crash_prob):
+        # the storm prologue and crash/restart epochs act outside the
+        # trace vocabulary, so a recorded history could not replay them
+        raise ValueError("record_history/verify_replication exclude rename_storm and crashes")
+    history: list | None = report.history if recording else None
 
     host_names = [f"h{i}" for i in range(config.host_count)]
     system = FicusSystem(
@@ -136,6 +214,8 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
     partitioned = False
     down: dict[str, int] = {}  # crashed host -> rounds left down
     for round_index in range(config.rounds):
+        if config.clock_step:
+            system.clock.advance(config.clock_step)
         # reboot hosts whose downtime has elapsed; the restart runs the
         # shadow-commit recovery sweep, so a second sweep must find nothing
         for host_name in [h for h, left in down.items() if left <= 1]:
@@ -143,7 +223,9 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
             _restart_host(system, host_name, report)
         for host_name in down:
             down[host_name] -= 1
-        partitioned = _maybe_repartition(system, host_names, rng, partitioned, report, config)
+        partitioned = _maybe_repartition(
+            system, host_names, rng, partitioned, report, config, history
+        )
         # config.crash_prob short-circuits before the rng draw, keeping
         # crash-free seeds' schedules byte-identical to before
         if (
@@ -159,6 +241,8 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
             if host_name in down:
                 continue
             fs = system.host(host_name).fs()
+            if history is not None:
+                fs = _RecordingFs(fs, host_name, system.clock, history)
             for _ in range(config.ops_per_round):
                 report.ops_attempted += 1
                 try:
@@ -173,7 +257,11 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
             if host_name in down:
                 continue
             host = system.host(host_name)
+            if history is not None:
+                _record_tick(history, system, host_name, "propagation")
             host.propagation_daemon.tick()
+            if history is not None:
+                _record_tick(history, system, host_name, "recon")
             host.recon_daemon.tick()
 
     # -- quiesce: withdraw every fault, then converge ---------------------
@@ -198,9 +286,45 @@ def run_chaos(seed: int, config: ChaosConfig | None = None) -> ChaosReport:
     report.auto_resolved = sum(
         system.host(h).recon_daemon.stats.total_auto_resolved for h in host_names
     )
+
+    # wall-clock staleness SLO: after the heal and the convergence
+    # rounds, no replica may still be serving data older than the bound
+    report.max_staleness_seconds = max(
+        (system.host(h).health().max_staleness_seconds for h in host_names), default=0.0
+    )
+    if (
+        config.staleness_slo_seconds is not None
+        and report.max_staleness_seconds > config.staleness_slo_seconds
+    ):
+        for host_name in host_names:
+            health = system.host(host_name).health()
+            if health.max_staleness_seconds > config.staleness_slo_seconds:
+                report.problems.append(
+                    f"{host_name}: staleness SLO violated after heal: "
+                    f"{health.max_staleness_seconds:g}s > "
+                    f"{config.staleness_slo_seconds:g}s ({health.staleness_seconds})"
+                )
+
+    if config.verify_replication:
+        from repro.workload.verify import replicate_and_verify, state_fingerprint
+
+        baseline = state_fingerprint(system, host_names)
+        verify = replicate_and_verify(report.history, seed, config, baseline)
+        report.verify = verify
+        for problem in verify.problems:
+            report.problems.append(f"replicate-and-verify: {problem}")
+
     if report.problems:
         _dump_flight_recorders(system, host_names, seed, report)
     return report
+
+
+def _record_tick(history: list, system: FicusSystem, host_name: str, daemon: str) -> None:
+    from repro.workload.replay import TraceOp
+
+    history.append(
+        TraceOp(at=system.clock.now(), op="tick", host=host_name, path=daemon)
+    )
 
 
 def _restart_host(system: FicusSystem, host_name: str, report: ChaosReport) -> None:
@@ -264,15 +388,31 @@ def _maybe_repartition(
     partitioned: bool,
     report: ChaosReport,
     config: ChaosConfig,
+    history: list | None = None,
 ) -> bool:
     if partitioned and rng.random() < config.heal_prob:
+        if history is not None:
+            from repro.workload.replay import TraceOp
+
+            history.append(TraceOp(at=system.clock.now(), op="heal"))
         system.heal()
         return False
     if not partitioned and rng.random() < config.partition_prob and len(host_names) > 1:
         shuffled = list(host_names)
         rng.shuffle(shuffled)
         cut = rng.randrange(1, len(shuffled))
-        system.partition([set(shuffled[:cut]), set(shuffled[cut:])])
+        groups = [set(shuffled[:cut]), set(shuffled[cut:])]
+        if history is not None:
+            from repro.workload.replay import TraceOp
+
+            history.append(
+                TraceOp(
+                    at=system.clock.now(),
+                    op="partition",
+                    groups=tuple(frozenset(g) for g in groups),
+                )
+            )
+        system.partition(groups)
         report.partitions_formed += 1
         return True
     return partitioned
@@ -398,6 +538,20 @@ def main(argv: list[str] | None = None) -> int:
         help="additionally run this seed with automatic conflict resolvers "
         "and covered append-log traffic in the mix",
     )
+    parser.add_argument(
+        "--verify-seed",
+        type=int,
+        default=None,
+        help="additionally run this seed recording its full call history, then "
+        "re-execute the recording on a fresh cluster and byte-diff the two "
+        "(with the wall-clock staleness SLO gated)",
+    )
+    parser.add_argument(
+        "--staleness-slo",
+        type=float,
+        default=60.0,
+        help="staleness bound in virtual seconds applied to the --verify-seed run",
+    )
     parser.add_argument("--hosts", type=int, default=3)
     parser.add_argument("--rounds", type=int, default=8)
     parser.add_argument(
@@ -417,6 +571,18 @@ def main(argv: list[str] | None = None) -> int:
         runs.append((args.crash_seed, replace(base, crash_prob=0.25)))
     if args.resolver_seed is not None:
         runs.append((args.resolver_seed, replace(base, resolvers=True)))
+    if args.verify_seed is not None:
+        runs.append(
+            (
+                args.verify_seed,
+                replace(
+                    base,
+                    verify_replication=True,
+                    staleness_slo_seconds=args.staleness_slo,
+                    clock_step=1.0,
+                ),
+            )
+        )
 
     failures = 0
     for seed, config in runs:
@@ -426,6 +592,12 @@ def main(argv: list[str] | None = None) -> int:
         storm += " +rename-storm" if config.rename_storm else ""
         if config.resolvers:
             storm += f" +resolvers({report.auto_resolved} auto-resolved)"
+        if config.verify_replication:
+            verdict = "replay identical" if report.verify.identical else "REPLAY DIVERGED"
+            storm += (
+                f" +verify({len(report.history)} ops recorded, {verdict}, "
+                f"staleness {report.max_staleness_seconds:g}s)"
+            )
         crashes = f", {report.crashes} crashes" if config.crash_prob else ""
         print(
             f"seed {seed}{storm}: {status}; "

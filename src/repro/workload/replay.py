@@ -17,7 +17,20 @@ from repro.errors import FicusError, InvalidArgument
 from repro.util.codec import decode_record, encode_record
 
 #: Operations understood by the replayer.
-OPS = ("write", "read", "mkdir", "unlink", "rmdir", "rename", "symlink", "partition", "heal", "advance")
+OPS = (
+    "write",
+    "read",
+    "exists",
+    "mkdir",
+    "unlink",
+    "rmdir",
+    "rename",
+    "symlink",
+    "partition",
+    "heal",
+    "advance",
+    "tick",
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +138,17 @@ def _apply(system, op: TraceOp, result: ReplayResult) -> None:
         return
     if op.op == "advance":
         return  # time already advanced by the replay loop
+    if op.op == "tick":
+        # a recorded daemon tick: path names which daemon ran on the host,
+        # so replicate-and-verify reproduces the exact message schedule
+        host = system.host(op.host)
+        if op.path == "propagation":
+            host.propagation_daemon.tick()
+        elif op.path == "recon":
+            host.recon_daemon.tick()
+        else:
+            raise InvalidArgument(f"unknown tick daemon {op.path!r}")
+        return
     fs = system.host(op.host).fs()
     if op.op == "write":
         fs.write_file(op.path, op.data)
@@ -132,8 +156,13 @@ def _apply(system, op: TraceOp, result: ReplayResult) -> None:
         data = fs.read_file(op.path)
         result.reads += 1
         result.read_bytes += len(data)
+    elif op.op == "exists":
+        fs.exists(op.path)
     elif op.op == "mkdir":
-        fs.makedirs(op.path)
+        # one RPC, exactly like the call being replayed: makedirs would
+        # probe every path component and its extra lookups would shift
+        # the fault-plane draw sequence, breaking replicate-and-verify
+        fs.mkdir(op.path)
     elif op.op == "unlink":
         fs.unlink(op.path)
     elif op.op == "rmdir":
